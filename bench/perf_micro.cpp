@@ -1,0 +1,254 @@
+// Microbenchmarks (google-benchmark): cost of the library's hot paths, plus
+// the ablations DESIGN.md calls out — pool-shuffle vs hypergeometric
+// assignment sampling, compensated vs naive summation, and exact vs
+// log-domain binomials.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/detection.hpp"
+#include "core/plan_io.hpp"
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "core/schemes/min_assignment.hpp"
+#include "math/binomial.hpp"
+#include "math/summation.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "platform/campaign.hpp"
+#include "rng/distributions.hpp"
+#include "sim/des.hpp"
+#include "sim/engine.hpp"
+#include "sim/two_phase.hpp"
+
+namespace core = redund::core;
+namespace sim = redund::sim;
+
+namespace {
+
+// ------------------------------------------------------------ construction
+
+void BM_MakeBalanced(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::make_balanced(1e6, eps, {.truncate_below = 1e-12}));
+  }
+}
+BENCHMARK(BM_MakeBalanced)->Arg(50)->Arg(75)->Arg(99);
+
+void BM_MakeGolleStubblebine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_golle_stubblebine_for_level(
+        1e6, 0.5, {.truncate_below = 1e-12}));
+  }
+}
+BENCHMARK(BM_MakeGolleStubblebine);
+
+void BM_RealizePlan(benchmark::State& state) {
+  const auto theoretical =
+      core::make_balanced(1e6, 0.75, {.truncate_below = 1e-12});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::realize(theoretical, 1000000, 0.75));
+  }
+}
+BENCHMARK(BM_RealizePlan);
+
+// --------------------------------------------------------------------- lp
+
+void BM_SolveMinAssignment(benchmark::State& state) {
+  const auto dimension = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_min_assignment(1e5, 0.5, dimension));
+  }
+}
+BENCHMARK(BM_SolveMinAssignment)->Arg(6)->Arg(12)->Arg(26);
+
+// -------------------------------------------------------------- detection
+
+void BM_DetectionEngine(benchmark::State& state) {
+  const auto d = core::make_balanced(1e6, 0.5, {.truncate_below = 1e-12});
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::int64_t k = 1; k <= d.dimension(); ++k) {
+      total += core::detection_probability(d, k, 0.1);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DetectionEngine);
+
+// -------------------------------------------------- simulator (ablation †)
+
+void BM_ReplicaHypergeometric(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto plan = core::realize(
+      core::make_balanced(static_cast<double>(n), 0.5,
+                          {.truncate_below = 1e-9}),
+      n, 0.5);
+  const sim::Workload workload(plan);
+  sim::AdversaryConfig adversary{.proportion = 0.1,
+                                 .strategy = sim::CheatStrategy::kAlwaysCheat};
+  auto engine = redund::rng::make_stream(7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_replica(
+        workload, adversary, engine,
+        sim::Allocation::kSequentialHypergeometric));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReplicaHypergeometric)->Arg(10000)->Arg(100000);
+
+void BM_ReplicaPoolShuffle(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto plan = core::realize(
+      core::make_balanced(static_cast<double>(n), 0.5,
+                          {.truncate_below = 1e-9}),
+      n, 0.5);
+  const sim::Workload workload(plan);
+  sim::AdversaryConfig adversary{.proportion = 0.1,
+                                 .strategy = sim::CheatStrategy::kAlwaysCheat};
+  auto engine = redund::rng::make_stream(7, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_replica(workload, adversary, engine,
+                                              sim::Allocation::kPoolShuffle));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReplicaPoolShuffle)->Arg(10000)->Arg(100000);
+
+void BM_TwoPhaseRound(benchmark::State& state) {
+  auto engine = redund::rng::make_stream(8, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_two_phase(1000000, 1000, engine));
+  }
+}
+BENCHMARK(BM_TwoPhaseRound);
+
+// ------------------------------------------------------------ rng kernels
+
+void BM_Xoshiro(benchmark::State& state) {
+  auto engine = redund::rng::make_stream(9, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_Hypergeometric(benchmark::State& state) {
+  auto engine = redund::rng::make_stream(10, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        redund::rng::hypergeometric(100000, 5, 10000, engine));
+  }
+}
+BENCHMARK(BM_Hypergeometric);
+
+// ------------------------------------------------- summation (ablation †)
+
+void BM_NeumaierSum(benchmark::State& state) {
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redund::math::neumaier_sum(values));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_NeumaierSum);
+
+void BM_NaiveSum(benchmark::State& state) {
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 1.0);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const double v : values) total += v;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_NaiveSum);
+
+// ------------------------------------------------- binomials (ablation †)
+
+void BM_BinomialExactPath(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redund::math::binomial(40, 20));
+  }
+}
+BENCHMARK(BM_BinomialExactPath);
+
+void BM_BinomialLogPath(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redund::math::binomial(300, 150));
+  }
+}
+BENCHMARK(BM_BinomialLogPath);
+
+// -------------------------------------------------------- DES & platform
+
+void BM_DesSchedule(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto plan = core::realize(
+      core::make_balanced(static_cast<double>(n), 0.5,
+                          {.truncate_below = 1e-9}),
+      n, 0.5);
+  sim::DesConfig config;
+  config.participants = 100;
+  config.speed_sigma = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_schedule(plan, config));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DesSchedule)->Arg(10000)->Arg(50000);
+
+void BM_CampaignRound(benchmark::State& state) {
+  redund::platform::CampaignConfig config;
+  config.plan = core::realize(
+      core::make_balanced(5000.0, 0.5, {.truncate_below = 1e-9}), 5000, 0.5);
+  config.honest_participants = 80;
+  config.sybil_identities = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redund::platform::run_campaign(config));
+  }
+}
+BENCHMARK(BM_CampaignRound);
+
+void BM_PlanIoRoundTrip(benchmark::State& state) {
+  const auto plan = core::realize(
+      core::make_balanced(1e6, 0.75, {.truncate_below = 1e-9}), 1000000,
+      0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_plan(core::to_text(plan)));
+  }
+}
+BENCHMARK(BM_PlanIoRoundTrip);
+
+// ------------------------------------------------------------- threading
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  redund::parallel::ThreadPool pool(2);
+  for (auto _ : state) {
+    pool.submit([] { return 1; }).get();
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmit);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  redund::parallel::ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redund::parallel::parallel_reduce<double>(
+        pool, 1000, 0.0,
+        [](std::size_t i) { return static_cast<double>(i); },
+        [](double a, double b) { return a + b; }));
+  }
+}
+BENCHMARK(BM_ParallelReduce);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Section 1 claim quantified: the hardened variant of simple redundancy
+// that keeps "only a single copy of a given task outstanding at any time"
+// doubles both the resource and the time costs of the computation — and
+// still does not eliminate collusion (Appendix A). This harness runs the
+// discrete-event scheduler over the schemes and dispatch policies and
+// reports resource cost (busy time) and time cost (makespan / latency).
+#include <iostream>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "sim/des.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace sim = redund::sim;
+namespace rep = redund::report;
+
+namespace {
+
+void add_rows(rep::Table& table, const std::string& label,
+              const core::RealizedPlan& plan, double speed_sigma) {
+  for (const auto policy : {sim::DispatchPolicy::kAllAtOnce,
+                            sim::DispatchPolicy::kPhaseSerialized}) {
+    sim::DesConfig config;
+    config.participants = 200;
+    config.policy = policy;
+    config.speed_sigma = speed_sigma;
+    config.seed = 0x7E57;
+    const auto result = sim::simulate_schedule(plan, config);
+    table.add_row(
+        {label,
+         policy == sim::DispatchPolicy::kAllAtOnce ? "all-at-once"
+                                                   : "phase-serialized",
+         rep::fixed(result.total_busy_time, 1),
+         rep::fixed(result.makespan, 2),
+         rep::fixed(result.mean_task_latency, 2),
+         rep::fixed(result.utilization, 3)});
+  }
+  table.add_separator();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  constexpr std::int64_t kN = 20000;
+  constexpr double kEps = 0.5;
+
+  std::cout << "Section 1 — Resource vs time cost of dispatch policies "
+               "(N = 20,000 tasks, 200 participants, exponential demands, "
+               "heterogeneous speeds sigma = 0.5)\n\n";
+
+  const auto simple = core::realize(
+      core::make_simple_redundancy(static_cast<double>(kN), 2), kN, kEps,
+      {.add_ringers = false});
+  const auto single = core::realize(
+      core::make_simple_redundancy(static_cast<double>(kN), 1), kN, kEps,
+      {.add_ringers = false});
+  const auto balanced = core::realize(
+      core::make_balanced(static_cast<double>(kN), kEps,
+                          {.truncate_below = 1e-9}),
+      kN, kEps);
+
+  rep::Table table({"scheme", "dispatch", "busy time (resource)",
+                    "makespan (time)", "mean task latency", "utilization"});
+  add_rows(table, "no redundancy (baseline)", single, 0.5);
+  add_rows(table, "simple redundancy (m=2)", simple, 0.5);
+  add_rows(table, "balanced (eps=0.5)", balanced, 0.5);
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "sec1_time_cost"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  std::cout << "\nShape checks (paper Section 1):\n"
+            << "  - simple redundancy doubles the *resource* cost of the "
+               "baseline under either dispatch policy;\n"
+            << "  - phase-serializing it roughly doubles the *time* cost "
+               "(makespan/latency) on top, without eliminating collusion "
+               "(Appendix A);\n"
+            << "  - Balanced pays ~1.39x resources and, serialized, its "
+               "latency tail is set by the rare high-multiplicity chains "
+               "rather than by every task.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Section 6 reproduction: the implementation adaptation of the Balanced
+// distribution — rounding, the tail partition at i_f, and ringer counts —
+// for the paper's two worked examples plus a parameter sweep.
+//
+// Paper anchors:
+//   * extreme:  N = 10^7, eps = 0.99  =>  i_f = 20, tail ~12 tasks
+//     (240 assignments of ~46.5M), 57 ringers;
+//   * typical:  N = 10^6, eps = 0.75  =>  i_f = 11, ~5-task tail, 2 ringers;
+//   * i_f grows like O(log((1-eps) N / eps)).
+#include <cmath>
+#include <iostream>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace rep = redund::report;
+
+namespace {
+
+void add_case(rep::Table& table, std::int64_t task_count, double eps) {
+  const auto plan = core::realize(
+      core::make_balanced(static_cast<double>(task_count), eps,
+                          {.truncate_below = 1e-12}),
+      task_count, eps);
+  table.add_row(
+      {rep::with_commas(task_count), rep::fixed(eps, 2),
+       std::to_string(plan.tail_multiplicity),
+       std::to_string(plan.tail_tasks),
+       rep::with_commas(plan.tail_tasks * plan.tail_multiplicity),
+       std::to_string(plan.ringer_count),
+       std::to_string(plan.ringer_multiplicity),
+       rep::with_commas(plan.total_assignments()),
+       rep::fixed(plan.redundancy_factor(), 4)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  std::cout << "Section 6 — Realizing the Balanced distribution: tail "
+               "partition and ringers\n\n";
+
+  rep::Table table({"N", "eps", "i_f", "tail tasks", "tail assigns",
+                    "ringers", "ringer mult.", "total assigns", "RF"});
+  // The paper's two worked examples first.
+  add_case(table, 10000000, 0.99);  // Extreme: i_f=20, ~12 tail, 57 ringers.
+  add_case(table, 1000000, 0.75);   // Typical: i_f=11, ~5 tail, 2 ringers.
+  table.add_separator();
+  // Sweep demonstrating the O(log((1-eps)N/eps)) growth of i_f.
+  for (const std::int64_t n : {std::int64_t{10000}, std::int64_t{100000},
+                               std::int64_t{1000000}, std::int64_t{10000000}}) {
+    add_case(table, n, 0.5);
+  }
+  table.add_separator();
+  for (const double eps : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    add_case(table, 1000000, eps);
+  }
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "sec6_realization"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  std::cout << "\nPaper anchors: (1e7, 0.99) -> i_f = 20, ~12-task tail "
+               "(240 assignments), 57 ringers; (1e6, 0.75) -> i_f = 11, "
+               "~5-task tail, 2 ringers.\n"
+            << "Tail bound: tail tasks <= i_f + 1/(1-eps); precompute is "
+               "the ringer count only — negligible next to the hundreds of "
+               "tasks the S_m optima require (Figure 2).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Section 7 reproduction: the minimum-multiplicity extension.
+//
+// Paper anchors (eps = 1/2): redundancy factors for minimum multiplicities
+// m = 2, 3, 4, 5 are 2.259, 3.192, 4.152, 5.1256 (last recovered from the
+// truncated-Poisson mean; OCR lost it); and on N = 100,000 tasks, the m = 2
+// distribution guarantees eps = 1/2 for 25,900 assignments (~13%) more than
+// simple redundancy — which guarantees nothing.
+#include <iostream>
+
+#include "core/detection.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+#include "report/csv_export.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace rep = redund::report;
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = rep::csv_directory_from_args(argc, argv);
+  std::cout << "Section 7 — Minimum-multiplicity Balanced distributions\n\n";
+
+  constexpr double kN = 100000.0;
+
+  rep::Table table({"min mult. m", "RF (eps=0.25)", "RF (eps=0.5)",
+                    "RF (eps=0.75)", "assignments (eps=0.5, N=1e5)",
+                    "extra vs simple m-redundancy"});
+  for (std::int64_t m = 1; m <= 5; ++m) {
+    const double rf_half = core::min_multiplicity_redundancy_factor(0.5, m);
+    const double extra = kN * (rf_half - static_cast<double>(m));
+    table.add_row(
+        {std::to_string(m),
+         rep::fixed(core::min_multiplicity_redundancy_factor(0.25, m), 4),
+         rep::fixed(rf_half, 4),
+         rep::fixed(core::min_multiplicity_redundancy_factor(0.75, m), 4),
+         rep::with_commas(kN * rf_half), rep::with_commas(extra)});
+  }
+  table.print(std::cout);
+  if (const std::string p = rep::export_csv(table, csv_dir, "sec7_min_multiplicity"); !p.empty()) {
+    std::cout << "(csv written: " << p << ")\n";
+  }
+
+  std::cout << "\nPaper anchors at eps = 1/2: m = 2..5 -> 2.259, 3.192, "
+               "4.152, 5.1256; m = 2 on N = 100,000 costs +25,900 "
+               "assignments (~13%) over simple redundancy.\n";
+
+  // Verify the detection guarantee of the m = 2 distribution numerically.
+  const auto d = core::make_min_multiplicity(kN, 0.5, 2,
+                                             {.truncate_below = 1e-12});
+  std::cout << "\nDetection check (m = 2, eps = 1/2): P_1 = "
+            << rep::fixed(core::asymptotic_detection(d, 1), 4)
+            << " (certain: no singleton tasks exist), P_2 = "
+            << rep::fixed(core::asymptotic_detection(d, 2), 4)
+            << ", P_3 = " << rep::fixed(core::asymptotic_detection(d, 3), 4)
+            << " — every tuple faces at least the target level; simple "
+               "redundancy's P_2 is 0.\n";
+  return 0;
+}

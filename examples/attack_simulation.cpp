@@ -1,0 +1,113 @@
+// Attack simulation: deploy each redundancy scheme and attack it with
+// colluding adversaries, reporting what the supervisor — and the adversary —
+// actually experience.
+//
+//   $ attack_simulation [task_count] [epsilon] [replicas]
+//
+// Two adversary profiles per scheme:
+//   * cautious — cheats only through what she believes is the safest
+//     channel: against simple redundancy, exactly the task pairs she fully
+//     controls (a ZERO-RISK channel: matching wrong copies are accepted);
+//     against GS/Balanced, singleton holdings (the weakest tuple — and for
+//     Balanced provably no better than any other).
+//   * reckless — cheats on every task she touches.
+//
+// The headline column is the ALARM probability: the chance the supervisor
+// detects at least one cheat during the campaign and can begin reactive
+// measures (paper, Section 1 caveats). Simple redundancy gives a cautious
+// adversary corruption with a 0.0000 alarm rate; Balanced makes every cheat
+// attempt a coin-flip the adversary cannot avoid.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/monte_carlo.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace sim = redund::sim;
+namespace rep = redund::report;
+
+int main(int argc, char** argv) {
+  const std::int64_t task_count = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const std::int64_t replicas = argc > 3 ? std::atoll(argv[3]) : 100;
+
+  std::cout << "Attack simulation: " << rep::with_commas(task_count)
+            << " tasks, target level " << epsilon << ", " << replicas
+            << " replicas per cell\n\n";
+
+  redund::parallel::ThreadPool pool;
+  const double proportions[] = {0.01, 0.05, 0.10};
+
+  for (const core::Scheme scheme :
+       {core::Scheme::kSimple, core::Scheme::kGolleStubblebine,
+        core::Scheme::kBalanced}) {
+    core::PlanRequest request;
+    request.task_count = task_count;
+    request.epsilon = epsilon;
+    request.scheme = scheme;
+    // Field simple redundancy as 2005-era systems did: no ringers.
+    request.add_ringers = scheme != core::Scheme::kSimple;
+    const core::Plan plan = core::make_plan(request);
+    const sim::Workload workload(plan.realized);
+
+    const sim::AdversaryConfig cautious =
+        scheme == core::Scheme::kSimple
+            ? sim::AdversaryConfig{.proportion = 0.0,
+                                   .strategy = sim::CheatStrategy::kExactTuple,
+                                   .tuple_size = 2}
+            : sim::AdversaryConfig{.proportion = 0.0,
+                                   .strategy = sim::CheatStrategy::kSingletons};
+
+    rep::Table table({"profile", "adversary p", "attempts/run",
+                      "detection rate", "corrupted results/run",
+                      "ALARM probability"});
+    for (const auto& [label, base] :
+         {std::pair{"cautious", cautious},
+          std::pair{"reckless",
+                    sim::AdversaryConfig{
+                        .proportion = 0.0,
+                        .strategy = sim::CheatStrategy::kAlwaysCheat}}}) {
+      for (const double p : proportions) {
+        sim::AdversaryConfig adversary = base;
+        adversary.proportion = p;
+        const auto result = sim::run_monte_carlo(
+            pool, workload, adversary,
+            {.replicas = replicas, .master_seed = 0xA77AC4});
+        const double corrupted =
+            static_cast<double>(result.successful_cheats) /
+            static_cast<double>(result.replicas);
+        table.add_row(
+            {label, rep::fixed(p, 2),
+             rep::with_commas(result.cheat_attempts / result.replicas),
+             rep::fixed(result.detection_rate(), 4),
+             rep::fixed(corrupted, 1),
+             rep::fixed(result.alarm_probability(), 4)});
+      }
+      table.add_separator();
+    }
+
+    std::cout << core::to_string(scheme) << "  ("
+              << rep::with_commas(workload.total_assignments())
+              << " assignments, " << plan.realized.ringer_count
+              << " ringers)\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading the tables:\n"
+      << "  - simple redundancy, cautious profile: corruption with ALARM "
+         "probability ~0 — the risk-free collusion channel the paper sets "
+         "out to close.\n"
+      << "  - Balanced: every attempt faces ~1-(1-eps)^{1-p} detection; a "
+         "single attempt is already a coin flip, several all but guarantee "
+         "the alarm — and it costs fewer assignments than either "
+         "alternative.\n"
+      << "  - Golle-Stubblebine matches Balanced's guarantee but pays for "
+         "extra protection at k >= 2 that a cautious adversary never "
+         "triggers.\n";
+  return 0;
+}

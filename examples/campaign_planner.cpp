@@ -1,0 +1,97 @@
+// Campaign planner: answer the supervisor's real questions before launching
+// a volunteer-computing campaign.
+//
+//   $ campaign_planner [task_count] [assignment_budget]
+//
+// 1. "I have a budget of B assignments — what detection level can I afford?"
+//    (inverts the Balanced cost curve with Brent's method)
+// 2. "What does each scheme cost at that level, and what does each actually
+//    protect against?" (cost + effective level at several adversary sizes)
+// 3. "I also want every task run at least twice for benign-fault tolerance —
+//    what does the floor cost me?" (Section 7 extension)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/detection.hpp"
+#include "core/planner.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "core/schemes/lower_bound.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+#include "report/table.hpp"
+
+namespace core = redund::core;
+namespace rep = redund::report;
+
+int main(int argc, char** argv) {
+  const std::int64_t task_count = argc > 1 ? std::atoll(argv[1]) : 500000;
+  const double budget =
+      argc > 2 ? std::atof(argv[2]) : 1.5 * static_cast<double>(task_count);
+  const auto n = static_cast<double>(task_count);
+
+  std::cout << "Campaign: " << rep::with_commas(task_count) << " tasks, budget "
+            << rep::with_commas(budget) << " assignments\n\n";
+
+  // --- Question 1: affordable level. ---
+  const double affordable = core::balanced_level_for_budget(n, budget);
+  std::cout << "1. Budget analysis\n"
+            << "   Balanced distribution affords detection level eps = "
+            << rep::fixed(affordable, 4) << " within budget.\n"
+            << "   (Theoretical floor for that level: "
+            << rep::with_commas(core::assignment_lower_bound(n, affordable))
+            << " assignments — no static scheme can do better than "
+            << rep::fixed(core::redundancy_lower_bound(affordable), 4)
+            << "x.)\n\n";
+  if (affordable <= 0.0) {
+    std::cout << "   Budget below N — nothing to plan.\n";
+    return 0;
+  }
+
+  // --- Question 2: scheme comparison at the affordable level. ---
+  std::cout << "2. Scheme comparison at eps = " << rep::fixed(affordable, 3)
+            << "\n";
+  rep::Table comparison({"scheme", "assignments", "precompute",
+                         "level (p->0)", "level (p=0.05)", "level (p=0.15)"});
+  for (const core::Scheme scheme :
+       {core::Scheme::kBalanced, core::Scheme::kGolleStubblebine,
+        core::Scheme::kMinAssignment, core::Scheme::kSimple}) {
+    core::PlanRequest request;
+    request.task_count = task_count;
+    request.epsilon = affordable;
+    request.scheme = scheme;
+    request.lp_dimension = 12;
+    // Field simple redundancy as real systems do: no ringers (patching it
+    // to a guarantee would need ~eps/(1-eps) * N/3 precomputed tasks).
+    request.add_ringers = scheme != core::Scheme::kSimple;
+    const core::Plan plan = core::make_plan(request);
+    const bool ringers = plan.realized.ringer_count > 0;
+    const core::Distribution deployed =
+        plan.realized.as_distribution(ringers);
+    comparison.add_row(
+        {core::to_string(scheme),
+         rep::with_commas(plan.realized.total_assignments()),
+         rep::with_commas(plan.realized.ringer_count),
+         rep::fixed(plan.achieved_level, 4),
+         rep::fixed(core::min_detection(deployed, 0.05, !ringers), 4),
+         rep::fixed(core::min_detection(deployed, 0.15, !ringers), 4)});
+  }
+  comparison.print(std::cout);
+  std::cout << "   (min-assignment is cheapest on paper but its protection "
+               "collapses as the adversary grows; simple redundancy offers "
+               "no collusion guarantee at all.)\n\n";
+
+  // --- Question 3: multiplicity floor for benign-fault tolerance. ---
+  std::cout << "3. Adding a minimum multiplicity of 2 (majority voting for "
+               "benign faults, Section 7)\n";
+  const double rf_floor =
+      core::min_multiplicity_redundancy_factor(affordable, 2);
+  std::cout << "   Cost with floor: " << rep::with_commas(n * rf_floor)
+            << " assignments (" << rep::fixed(rf_floor, 4) << "x)\n"
+            << "   vs plain simple redundancy: " << rep::with_commas(2.0 * n)
+            << " (2x) with no collusion guarantee\n"
+            << "   -> the eps = " << rep::fixed(affordable, 3)
+            << " guarantee costs only "
+            << rep::with_commas(n * (rf_floor - 2.0))
+            << " extra assignments on top of the 2x you already pay.\n";
+  return 0;
+}

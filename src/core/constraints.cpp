@@ -1,0 +1,57 @@
+#include "core/constraints.hpp"
+
+#include <cmath>
+
+#include "core/detection.hpp"
+
+namespace redund::core {
+
+namespace {
+
+ValidityReport check_impl(const Distribution& distribution, double task_count,
+                          double epsilon, double tolerance,
+                          std::int64_t top_constraint) {
+  ValidityReport report;
+
+  const double covered = distribution.task_count();
+  if (covered < task_count * (1.0 - tolerance) - tolerance) {
+    report.valid = false;
+    report.violations.push_back(
+        {0, task_count, covered,
+         "C_0: distribution covers " + std::to_string(covered) + " of " +
+             std::to_string(task_count) + " tasks"});
+  }
+
+  for (std::int64_t k = 1; k <= top_constraint; ++k) {
+    const double p_k = asymptotic_detection(distribution, k);
+    if (p_k < epsilon - tolerance) {
+      report.valid = false;
+      report.violations.push_back(
+          {k, epsilon, p_k,
+           "C_" + std::to_string(k) + ": P_" + std::to_string(k) + " = " +
+               std::to_string(p_k) + " < epsilon = " + std::to_string(epsilon)});
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+ValidityReport check_validity(const Distribution& distribution, double task_count,
+                              double epsilon, double tolerance) {
+  return check_impl(distribution, task_count, epsilon, tolerance,
+                    distribution.dimension() - 1);
+}
+
+ValidityReport check_validity_all(const Distribution& distribution,
+                                  double task_count, double epsilon,
+                                  double tolerance) {
+  return check_impl(distribution, task_count, epsilon, tolerance,
+                    distribution.dimension());
+}
+
+double precompute_requirement(const Distribution& distribution) noexcept {
+  return distribution.tasks_at(distribution.dimension());
+}
+
+}  // namespace redund::core

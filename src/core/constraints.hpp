@@ -1,0 +1,55 @@
+// Validity checking for redundancy distributions (paper Section 2.2).
+//
+// A distribution is a *valid m-dimensional distribution* at level epsilon if
+//   (C_0)  sum_i x_i >= N,
+//   (x>=0) every component is non-negative (enforced by Distribution), and
+//   (C_k)  P_k >= epsilon for k = 1 .. m-1.
+// C_m cannot be met by any m-dimensional distribution (an adversary holding
+// all m copies of a top-multiplicity task is undetectable), which is the
+// paper's argument that real deployments need precomputation or ringers —
+// quantified by precompute_requirement() below and realized in realize.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// One violated requirement.
+struct ConstraintViolation {
+  std::int64_t k = 0;       ///< 0 for C_0 (coverage), otherwise the tuple size.
+  double required = 0.0;    ///< Required value (N for C_0, epsilon for C_k).
+  double actual = 0.0;      ///< Achieved value.
+  std::string description;  ///< Human-readable explanation.
+};
+
+/// Report from check_validity().
+struct ValidityReport {
+  bool valid = true;
+  std::vector<ConstraintViolation> violations;
+};
+
+/// Checks that `distribution` is a valid dimension()-dimensional distribution
+/// for an N-task computation at detection level `epsilon`: C_0 plus C_k for
+/// k = 1 .. dimension()-1. `tolerance` absorbs floating-point noise
+/// (relative on C_0, absolute on probabilities).
+[[nodiscard]] ValidityReport check_validity(const Distribution& distribution,
+                                            double task_count, double epsilon,
+                                            double tolerance = 1e-9);
+
+/// As check_validity but also requires the top constraint C_dim to hold —
+/// satisfiable only by distributions augmented with verification mass (e.g.
+/// ringers above the top multiplicity). Used to validate realized plans.
+[[nodiscard]] ValidityReport check_validity_all(const Distribution& distribution,
+                                                double task_count, double epsilon,
+                                                double tolerance = 1e-9);
+
+/// The number of tasks the supervisor must itself verify for all constraints
+/// to hold: the mass at the top multiplicity, x_m, which C_m cannot protect.
+/// (Paper Figure 2, "Precomputing Required" column.)
+[[nodiscard]] double precompute_requirement(const Distribution& distribution) noexcept;
+
+}  // namespace redund::core

@@ -1,0 +1,80 @@
+#include "core/detection.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/binomial.hpp"
+#include "math/summation.hpp"
+
+namespace redund::core {
+
+namespace {
+
+/// sum_{i > k} C(i,k) * w^{i-k} * x_i with compensated summation.
+/// w = 1 gives the asymptotic numerator; w = 1-p the non-asymptotic one.
+/// Terms are built in the log domain so C(i,k) for large i never overflows
+/// before being damped by w^{i-k} or a tiny x_i.
+double weighted_mass_above(const Distribution& distribution, std::int64_t k,
+                           double w) noexcept {
+  math::NeumaierSum sum;
+  const double log_w = w > 0.0 ? std::log(w) : -std::numeric_limits<double>::infinity();
+  for (std::int64_t i = k + 1; i <= distribution.dimension(); ++i) {
+    const double x_i = distribution.tasks_at(i);
+    if (x_i <= 0.0) continue;
+    const double log_term = math::log_binomial(i, k) +
+                            static_cast<double>(i - k) * log_w + std::log(x_i);
+    sum.add(std::exp(log_term));
+  }
+  return sum.value();
+}
+
+}  // namespace
+
+double asymptotic_detection(const Distribution& distribution,
+                            std::int64_t k) noexcept {
+  return detection_probability(distribution, k, 0.0);
+}
+
+double detection_probability(const Distribution& distribution, std::int64_t k,
+                             double p) noexcept {
+  if (k < 1 || !(p >= 0.0) || p >= 1.0) return 0.0;
+  const double x_k = distribution.tasks_at(k);
+  const double above = weighted_mass_above(distribution, k, 1.0 - p);
+  const double denominator = x_k + above;
+  if (denominator <= 0.0) return 0.0;  // No k-tuple can exist.
+  return above / denominator;
+}
+
+double min_detection(const Distribution& distribution, double p,
+                     bool include_top) noexcept {
+  const std::int64_t top =
+      include_top ? distribution.dimension() : distribution.dimension() - 1;
+  double minimum = 1.0;
+  bool any = false;
+  for (std::int64_t k = 1; k <= top; ++k) {
+    // A k-tuple exists iff some mass lies at or above k; since the stored
+    // dimension's component is non-zero, all k in range qualify.
+    const double p_k = detection_probability(distribution, k, p);
+    any = true;
+    if (p_k < minimum) minimum = p_k;
+  }
+  return any ? minimum : 0.0;
+}
+
+std::int64_t weakest_tuple(const Distribution& distribution, double p,
+                           bool include_top) noexcept {
+  const std::int64_t top =
+      include_top ? distribution.dimension() : distribution.dimension() - 1;
+  double minimum = std::numeric_limits<double>::infinity();
+  std::int64_t argmin = 0;
+  for (std::int64_t k = 1; k <= top; ++k) {
+    const double p_k = detection_probability(distribution, k, p);
+    if (p_k < minimum) {
+      minimum = p_k;
+      argmin = k;
+    }
+  }
+  return argmin;
+}
+
+}  // namespace redund::core

@@ -1,0 +1,59 @@
+// The detection-probability engine (paper Sections 2.2 and 5).
+//
+// An adversary holding all k copies of one task ("a k-tuple") cheats
+// undetected iff the task's true multiplicity is exactly k. Two regimes:
+//
+// * Asymptotic (adversary controls a vanishing proportion of assignments):
+//     P_k = sum_{i>k} C(i,k) x_i / ( x_k + sum_{i>k} C(i,k) x_i ).
+//
+// * Non-asymptotic (adversary controls proportion p of assignments; every
+//   k-subset of a task's copies is equally likely to be hers, with the
+//   number of her copies of a multiplicity-i task ~ Binomial(i, p)):
+//     Pbar_{k,p} = x_k / sum_{i>=k} C(i,k) (1-p)^{i-k} x_i,
+//     P_{k,p}    = 1 - Pbar_{k,p}.
+//   (Derivation: Bayes over the task's multiplicity; the p^k factor cancels.)
+//
+// These generic evaluators work for any distribution; the scheme headers
+// additionally expose the paper's closed forms, and the test suite
+// cross-checks closed forms against this engine and against Monte Carlo.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// Asymptotic probability P_k of catching an adversary cheating on a k-tuple
+/// (k >= 1). Conventions: 1.0 when x_k == 0 and some mass lies above k (any
+/// k-tuple must come from a larger task, so it is always caught); 0.0 when
+/// no k-tuple can exist at all (no mass at or above k) or when all mass at
+/// or above k sits exactly at k.
+[[nodiscard]] double asymptotic_detection(const Distribution& distribution,
+                                          std::int64_t k) noexcept;
+
+/// Non-asymptotic detection probability P_{k,p} for an adversary controlling
+/// proportion p in [0, 1) of assignments. Reduces to asymptotic_detection as
+/// p -> 0. Same edge-case conventions.
+[[nodiscard]] double detection_probability(const Distribution& distribution,
+                                           std::int64_t k, double p) noexcept;
+
+/// The "effective detection level" of Section 5: the minimum of P_{k,p} over
+/// tuple sizes k. An intelligent adversary attacks the weakest k, so this is
+/// the protection the distribution actually provides.
+///
+/// By default the scan covers k = 1..dimension-1, mirroring the paper's
+/// "valid m-dimensional distribution": the top constraint C_m is
+/// structurally unsatisfiable, so deployments verify top-multiplicity tasks
+/// (precompute/ringers, Section 6) and the top tuple is not an attack
+/// surface. Pass include_top = true to scan k = dimension as well — for a
+/// bare distribution with an unverified top this honestly returns 0.
+[[nodiscard]] double min_detection(const Distribution& distribution, double p,
+                                   bool include_top = false) noexcept;
+
+/// The k attaining min_detection (smallest such k); 0 if no k-tuple exists.
+[[nodiscard]] std::int64_t weakest_tuple(const Distribution& distribution,
+                                         double p,
+                                         bool include_top = false) noexcept;
+
+}  // namespace redund::core

@@ -1,0 +1,144 @@
+#include "core/plan_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace redund::core {
+
+std::string to_text(const RealizedPlan& plan) {
+  std::ostringstream out;
+  write_plan(out, plan);
+  return out.str();
+}
+
+void write_plan(std::ostream& out, const RealizedPlan& plan) {
+  out << "redundancy-plan v1\n";
+  out << "tasks " << plan.task_count << "\n";
+  out << "counts";
+  for (const std::int64_t count : plan.counts) out << ' ' << count;
+  out << "\n";
+  if (plan.tail_tasks > 0) {
+    out << "tail " << plan.tail_multiplicity << ' ' << plan.tail_tasks << "\n";
+  }
+  if (plan.ringer_count > 0) {
+    out << "ringers " << plan.ringer_count << ' ' << plan.ringer_multiplicity
+        << "\n";
+  }
+  out << "end\n";
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("plan parse error at line " +
+                              std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+RealizedPlan parse_plan(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return read_plan(in);
+}
+
+RealizedPlan read_plan(std::istream& in) {
+  RealizedPlan plan;
+  bool saw_header = false;
+  bool saw_tasks = false;
+  bool saw_counts = false;
+  bool saw_end = false;
+
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;
+
+    if (!saw_header) {
+      std::string version;
+      if (keyword != "redundancy-plan" || !(line >> version) ||
+          version != "v1") {
+        fail(line_number, "expected header 'redundancy-plan v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) fail(line_number, "content after 'end'");
+
+    if (keyword == "tasks") {
+      if (!(line >> plan.task_count) || plan.task_count < 1) {
+        fail(line_number, "'tasks' needs a positive integer");
+      }
+      saw_tasks = true;
+    } else if (keyword == "counts") {
+      std::int64_t count = 0;
+      while (line >> count) {
+        if (count < 0) fail(line_number, "negative count");
+        plan.counts.push_back(count);
+      }
+      if (plan.counts.empty()) fail(line_number, "'counts' needs values");
+      if (!line.eof()) fail(line_number, "non-numeric count");
+      saw_counts = true;
+    } else if (keyword == "tail") {
+      if (!(line >> plan.tail_multiplicity >> plan.tail_tasks) ||
+          plan.tail_multiplicity < 1 || plan.tail_tasks < 1) {
+        fail(line_number, "'tail' needs <multiplicity> <tasks>, both >= 1");
+      }
+    } else if (keyword == "ringers") {
+      if (!(line >> plan.ringer_count >> plan.ringer_multiplicity) ||
+          plan.ringer_count < 1 || plan.ringer_multiplicity < 1) {
+        fail(line_number, "'ringers' needs <count> <multiplicity>, both >= 1");
+      }
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!saw_header) fail(line_number, "missing header");
+  if (!saw_end) fail(line_number, "missing 'end'");
+  if (!saw_tasks) fail(line_number, "missing 'tasks'");
+  if (!saw_counts) fail(line_number, "missing 'counts'");
+
+  // Cross-checks and recomputed totals.
+  std::int64_t covered = 0;
+  for (std::size_t i = 0; i < plan.counts.size(); ++i) {
+    covered += plan.counts[i];
+    plan.work_assignments +=
+        static_cast<std::int64_t>(i + 1) * plan.counts[i];
+  }
+  if (covered != plan.task_count) {
+    fail(line_number, "counts sum to " + std::to_string(covered) +
+                          " but tasks says " +
+                          std::to_string(plan.task_count));
+  }
+  if (!plan.counts.empty() && plan.counts.back() == 0) {
+    fail(line_number, "trailing zero count (top multiplicity must be "
+                      "occupied)");
+  }
+  if (plan.tail_tasks > 0) {
+    const auto band = static_cast<std::size_t>(plan.tail_multiplicity);
+    if (band > plan.counts.size() ||
+        plan.counts[band - 1] < plan.tail_tasks) {
+      fail(line_number, "tail band exceeds the counts at its multiplicity");
+    }
+  }
+  if (plan.ringer_count > 0) {
+    if (plan.ringer_multiplicity !=
+        static_cast<std::int64_t>(plan.counts.size()) + 1) {
+      fail(line_number,
+           "ringer multiplicity must sit one above the top count band");
+    }
+    plan.ringer_assignments = plan.ringer_count * plan.ringer_multiplicity;
+  }
+  return plan;
+}
+
+}  // namespace redund::core

@@ -1,0 +1,40 @@
+// Plan serialization: a small versioned text format so a supervisor can
+// export a realized deployment plan from the planning tool and load it in
+// the distribution pipeline (and so campaigns are reproducible artifacts).
+//
+// Format (line-oriented, '#' comments allowed, whitespace-tolerant):
+//
+//   redundancy-plan v1
+//   tasks <N>
+//   counts <x_1> <x_2> ... <x_M>
+//   tail <multiplicity> <tasks>        # omitted when no tail partition
+//   ringers <count> <multiplicity>     # omitted when no ringers
+//   end
+//
+// Totals (work/ringer assignments) are recomputed on load and cross-checked
+// against the counts, so a hand-edited file cannot smuggle inconsistency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/realize.hpp"
+
+namespace redund::core {
+
+/// Serializes `plan` in the v1 text format.
+[[nodiscard]] std::string to_text(const RealizedPlan& plan);
+
+/// Writes the v1 text format to a stream.
+void write_plan(std::ostream& out, const RealizedPlan& plan);
+
+/// Parses a v1 plan. Throws std::invalid_argument with a line-numbered
+/// message on malformed input or internal inconsistency (e.g. counts not
+/// summing to `tasks`, tail/ringer bands outside the counts vector).
+[[nodiscard]] RealizedPlan parse_plan(std::string_view text);
+
+/// Reads and parses a plan from a stream.
+[[nodiscard]] RealizedPlan read_plan(std::istream& in);
+
+}  // namespace redund::core

@@ -1,0 +1,132 @@
+#include "core/realize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace redund::core {
+
+std::int64_t RealizedPlan::tasks_at(std::int64_t multiplicity) const noexcept {
+  if (multiplicity < 1 ||
+      multiplicity > static_cast<std::int64_t>(counts.size())) {
+    return 0;
+  }
+  return counts[static_cast<std::size_t>(multiplicity - 1)];
+}
+
+Distribution RealizedPlan::as_distribution(bool include_ringers) const {
+  std::size_t size = counts.size();
+  if (include_ringers && ringer_count > 0) {
+    size = std::max(size, static_cast<std::size_t>(ringer_multiplicity));
+  }
+  std::vector<double> components(size, 0.0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    components[i] = static_cast<double>(counts[i]);
+  }
+  if (include_ringers && ringer_count > 0) {
+    components[static_cast<std::size_t>(ringer_multiplicity - 1)] +=
+        static_cast<double>(ringer_count);
+  }
+  return Distribution(std::move(components), "realized");
+}
+
+std::int64_t ringer_requirement(double x_top, std::int64_t top, double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument(
+        "ringer_requirement: epsilon must lie in (0, 1)");
+  }
+  if (top < 1 || !(x_top >= 0.0)) {
+    throw std::invalid_argument("ringer_requirement: bad top multiplicity");
+  }
+  if (x_top == 0.0) return 0;
+  const double threshold =
+      epsilon * x_top /
+      ((1.0 - epsilon) * static_cast<double>(top + 1));
+  // Strictly greater than the threshold, per the paper's inequality.
+  const auto floor_value = static_cast<std::int64_t>(std::floor(threshold));
+  const std::int64_t candidate = floor_value + 1;
+  // If threshold is itself integral, floor + 1 is still strictly greater; if
+  // equality suffices (it does: the constraint is >=), accept floor when it
+  // already meets the closed-form check.
+  const auto meets = [&](std::int64_t r) {
+    const double protection = static_cast<double>(top + 1) * static_cast<double>(r);
+    return protection / (x_top + protection) >= epsilon;
+  };
+  if (floor_value >= 1 && meets(floor_value)) return floor_value;
+  return candidate;
+}
+
+RealizedPlan realize(const Distribution& theoretical, std::int64_t task_count,
+                     double epsilon, const RealizeOptions& options) {
+  if (task_count < 1) {
+    throw std::invalid_argument("realize: task_count must be >= 1");
+  }
+  if (theoretical.dimension() == 0) {
+    throw std::invalid_argument("realize: empty theoretical distribution");
+  }
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument("realize: epsilon must lie in (0, 1)");
+  }
+  const double n_real = static_cast<double>(task_count);
+  if (std::abs(theoretical.task_count() - n_real) > 0.01 * n_real + 2.0) {
+    throw std::invalid_argument(
+        "realize: theoretical distribution does not cover ~task_count tasks");
+  }
+
+  RealizedPlan plan;
+  plan.task_count = task_count;
+  plan.counts.assign(static_cast<std::size_t>(theoretical.dimension()), 0);
+
+  // Step 1: floor every component; find i_f = first 0 < a_i < 1.
+  std::int64_t assigned = 0;
+  std::int64_t i_f = 0;
+  for (std::int64_t i = 1; i <= theoretical.dimension(); ++i) {
+    const double a_i = theoretical.tasks_at(i);
+    const auto floored = static_cast<std::int64_t>(std::floor(a_i));
+    plan.counts[static_cast<std::size_t>(i - 1)] = floored;
+    assigned += floored;
+    if (i_f == 0 && a_i > 0.0 && a_i < 1.0) i_f = i;
+  }
+
+  // Step 2: tail partition. Whatever flooring and truncation left uncovered
+  // is assigned at multiplicity i_f (or at the distribution's top when every
+  // component was integral down to the end).
+  const std::int64_t remainder = task_count - assigned;
+  if (remainder < 0) {
+    throw std::invalid_argument(
+        "realize: theoretical distribution over-covers task_count");
+  }
+  if (remainder > 0) {
+    if (i_f == 0) i_f = theoretical.dimension();
+    if (static_cast<std::size_t>(i_f) > plan.counts.size()) {
+      plan.counts.resize(static_cast<std::size_t>(i_f), 0);
+    }
+    plan.counts[static_cast<std::size_t>(i_f - 1)] += remainder;
+    plan.tail_multiplicity = i_f;
+    plan.tail_tasks = remainder;
+  }
+
+  // Trim unoccupied top multiplicities so M is the true top.
+  while (!plan.counts.empty() && plan.counts.back() == 0) plan.counts.pop_back();
+  if (plan.counts.empty()) {
+    throw std::invalid_argument("realize: realization produced no tasks");
+  }
+
+  for (std::size_t i = 0; i < plan.counts.size(); ++i) {
+    plan.work_assignments +=
+        static_cast<std::int64_t>(i + 1) * plan.counts[i];
+  }
+
+  // Step 3: ringers above the top occupied multiplicity M.
+  if (options.add_ringers) {
+    const auto top = static_cast<std::int64_t>(plan.counts.size());
+    const auto x_top = static_cast<double>(plan.counts.back());
+    plan.ringer_count = ringer_requirement(x_top, top, epsilon);
+    if (plan.ringer_count > 0) {
+      plan.ringer_multiplicity = top + 1;
+      plan.ringer_assignments = plan.ringer_count * plan.ringer_multiplicity;
+    }
+  }
+  return plan;
+}
+
+}  // namespace redund::core

@@ -1,0 +1,86 @@
+// Deployment realization of a theoretical distribution (paper Section 6).
+//
+// Theoretical distributions have real-valued components and (conceptually)
+// infinite dimension; a deployment needs integer task counts and a bounded
+// top multiplicity. The paper's adaptation, implemented here:
+//
+//   1. Round each a_i down to an integer.
+//   2. Let i_f be the first multiplicity where a_i drops below one task.
+//      Everything not yet covered — the sub-unit tail plus what flooring
+//      shaved off — forms the *tail partition*, assigned with multiplicity
+//      i_f. The tail holds at most i_f + 1/(1-eps) tasks (Lagrange remainder
+//      bound), a negligible sliver of the computation.
+//   3. The top occupied multiplicity M is structurally unprotected (an
+//      adversary holding all M copies of such a task is undetectable), so
+//      distribute r precomputed *ringer* tasks with multiplicity M + 1,
+//      where r is the least integer with
+//          (M+1) r / (x_M + (M+1) r) >= eps,
+//      i.e. r > eps * x_M / ((1-eps)(M+1)).
+//      Ringers only ever raise detection probabilities for the other k too.
+//
+// Anchor values from the paper: N = 10^7, eps = 0.99 gives i_f = 20, a tail
+// of 12 tasks (240 assignments of ~46.5M total) and 57 ringers; the typical
+// N = 10^6, eps = 0.75 gives i_f = 11, a 5-task tail and 2 ringers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// Controls for realize().
+struct RealizeOptions {
+  bool add_ringers = true;  ///< Guard the top multiplicity with ringers.
+};
+
+/// An integer deployment plan produced by realize().
+struct RealizedPlan {
+  /// tasks_at[i-1] = integer number of real tasks assigned with multiplicity
+  /// i (tail partition included; ringers excluded).
+  std::vector<std::int64_t> counts;
+
+  std::int64_t task_count = 0;          ///< N — always covered exactly.
+  std::int64_t tail_multiplicity = 0;   ///< i_f (0 when no tail was needed).
+  std::int64_t tail_tasks = 0;          ///< Tasks placed in the tail partition.
+  std::int64_t ringer_count = 0;        ///< r precomputed ringer tasks.
+  std::int64_t ringer_multiplicity = 0; ///< M + 1 (0 when no ringers).
+  std::int64_t work_assignments = 0;    ///< sum_i i * counts[i-1].
+  std::int64_t ringer_assignments = 0;  ///< r * (M + 1).
+
+  /// Everything workers will execute: real work plus ringer copies.
+  [[nodiscard]] std::int64_t total_assignments() const noexcept {
+    return work_assignments + ringer_assignments;
+  }
+
+  /// Achieved integer redundancy factor, ringers included.
+  [[nodiscard]] double redundancy_factor() const noexcept {
+    return task_count > 0 ? static_cast<double>(total_assignments()) /
+                                static_cast<double>(task_count)
+                          : 0.0;
+  }
+
+  /// Integer number of real tasks at `multiplicity`, 0 out of range.
+  [[nodiscard]] std::int64_t tasks_at(std::int64_t multiplicity) const noexcept;
+
+  /// View as a Distribution for the detection engine / validity checker.
+  /// With include_ringers, the r ringer tasks appear at multiplicity M+1
+  /// (the supervisor knows their results, so they count as protection mass).
+  [[nodiscard]] Distribution as_distribution(bool include_ringers = true) const;
+};
+
+/// Realizes `theoretical` for an integer N-task computation at level
+/// `epsilon` (used only for ringer sizing; pass the level the theoretical
+/// distribution was built for). Requires task_count >= 1 and a non-empty
+/// theoretical distribution whose task mass is within rounding of N.
+[[nodiscard]] RealizedPlan realize(const Distribution& theoretical,
+                                   std::int64_t task_count, double epsilon,
+                                   const RealizeOptions& options = {});
+
+/// The least integer r with (M+1) r / (x_M + (M+1) r) >= eps — the ringer
+/// count guarding x_top tasks of multiplicity `top` at level eps.
+[[nodiscard]] std::int64_t ringer_requirement(double x_top, std::int64_t top,
+                                              double epsilon);
+
+}  // namespace redund::core

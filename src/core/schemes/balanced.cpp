@@ -1,0 +1,113 @@
+#include "core/schemes/balanced.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/roots.hpp"
+
+namespace redund::core {
+
+namespace {
+
+void require_level(double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument(
+        "balanced: detection level epsilon must lie in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double balanced_gamma(double epsilon) {
+  require_level(epsilon);
+  // ln(1/(1-eps)) = -ln(1-eps), computed via log1p for accuracy at small eps.
+  return -std::log1p(-epsilon);
+}
+
+double balanced_component(double task_count, double epsilon, std::int64_t i) {
+  require_level(epsilon);
+  if (i < 1) return 0.0;
+  const double gamma = balanced_gamma(epsilon);
+  // a_i = N ((1-eps)/eps) gamma^i / i!, built by the stable term recurrence
+  // (gamma < ln(100) for any epsilon <= 0.99, so no overflow is possible).
+  double term = gamma;
+  for (std::int64_t j = 2; j <= i; ++j) {
+    term *= gamma / static_cast<double>(j);
+  }
+  return task_count * ((1.0 - epsilon) / epsilon) * term;
+}
+
+double balanced_redundancy_factor(double epsilon) {
+  require_level(epsilon);
+  return balanced_gamma(epsilon) / epsilon;
+}
+
+double balanced_detection(double epsilon, double p) {
+  require_level(epsilon);
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument("balanced_detection: p must lie in [0, 1)");
+  }
+  // 1 - (1-eps)^{1-p} = -expm1((1-p) * ln(1-eps)).
+  return -std::expm1((1.0 - p) * std::log1p(-epsilon));
+}
+
+Distribution make_balanced(double task_count, double epsilon,
+                           const BalancedOptions& options) {
+  require_level(epsilon);
+  if (!(task_count >= 0.0)) {
+    throw std::invalid_argument("make_balanced: task_count must be >= 0");
+  }
+  const double gamma = balanced_gamma(epsilon);
+  const double scale = task_count * (1.0 - epsilon) / epsilon;
+
+  std::vector<double> components;
+  double term = gamma;  // gamma^i / i! for i = 1.
+  for (std::int64_t i = 1; i <= options.max_dimension; ++i) {
+    const double a_i = scale * term;
+    // Keep generating through the mode; stop once the (eventually strictly
+    // decreasing) components drop below the cutoff.
+    if (a_i < options.truncate_below && static_cast<double>(i) > gamma) break;
+    components.push_back(a_i);
+    term *= gamma / static_cast<double>(i + 1);
+  }
+  Distribution distribution(std::move(components));
+  distribution.set_label("balanced(eps=" + std::to_string(epsilon) + ")");
+  return distribution;
+}
+
+double balanced_level_for_robustness(double target_level, double p) {
+  require_level(target_level);
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument(
+        "balanced_level_for_robustness: p must lie in [0, 1)");
+  }
+  // eps' = 1 - (1-target)^{1/(1-p)}, via expm1/log1p for accuracy.
+  const double eps_prime = -std::expm1(std::log1p(-target_level) / (1.0 - p));
+  if (!(eps_prime < 1.0)) {
+    throw std::invalid_argument(
+        "balanced_level_for_robustness: required design level reaches 1");
+  }
+  return eps_prime;
+}
+
+double balanced_level_for_budget(double task_count, double max_assignments) {
+  if (!(task_count > 0.0)) {
+    throw std::invalid_argument(
+        "balanced_level_for_budget: task_count must be > 0");
+  }
+  const double budget_factor = max_assignments / task_count;
+  if (budget_factor <= 1.0) return 0.0;  // Cheaper than assigning once: no-go.
+
+  // RF(eps) = gamma(eps)/eps increases from 1 (eps->0) to infinity (eps->1).
+  const auto residual = [budget_factor](double eps) {
+    return balanced_redundancy_factor(eps) - budget_factor;
+  };
+  constexpr double kLo = 1e-9;
+  constexpr double kHi = 1.0 - 1e-12;
+  if (residual(kHi) < 0.0) return kHi;  // Budget exceeds any practical need.
+  const auto root = math::brent(residual, kLo, kHi);
+  return root && root->converged ? root->x : 0.0;
+}
+
+}  // namespace redund::core

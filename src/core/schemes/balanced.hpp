@@ -1,0 +1,75 @@
+// The Balanced distribution — the paper's primary contribution (Section 4).
+//
+// For detection level epsilon in (0,1), let gamma = ln(1/(1-epsilon)). The
+// Balanced distribution assigns
+//
+//     a_i = N * ((1-epsilon)/epsilon) * gamma^i / i!        (Eq. 2)
+//
+// tasks with multiplicity i — i.e. N times the zero-truncated Poisson(gamma)
+// distribution (Theorem 1's proof). Properties (Theorem 1, Prop. 3):
+//   1. sum_i a_i = N                       (covers the computation);
+//   2. P_k = epsilon for every k >= 1      (all constraints met with equality,
+//      which Prop. 2 shows any assignment-efficient, collusion-robust
+//      distribution must do);
+//   3. total assignments = (N/epsilon) * ln(1/(1-epsilon)), i.e.
+//      RF = ln(1/(1-epsilon))/epsilon — below Golle-Stubblebine's
+//      1/sqrt(1-epsilon) for all epsilon and below simple redundancy's 2
+//      for epsilon < ~0.7968;
+//   4. non-asymptotically, P_{k,p} = 1 - (1-epsilon)^{1-p}, independent of k.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// Parameters for constructing a Balanced distribution.
+struct BalancedOptions {
+  /// Components are generated until a_i falls below this many tasks; the
+  /// theoretical analyses want a long tail (the default keeps everything
+  /// down to a billionth of a task), while Section 6 realization cuts at
+  /// a_i < 1 itself.
+  double truncate_below = 1e-9;
+  /// Hard cap on the dimension, as a safety net for extreme epsilon.
+  std::int64_t max_dimension = 512;
+};
+
+/// gamma(epsilon) = ln(1/(1-epsilon)). Requires 0 < epsilon < 1.
+[[nodiscard]] double balanced_gamma(double epsilon);
+
+/// The i-th component a_i of Eq. (2) for an N-task computation (i >= 1).
+[[nodiscard]] double balanced_component(double task_count, double epsilon,
+                                        std::int64_t i);
+
+/// Closed-form redundancy factor ln(1/(1-epsilon))/epsilon (Theorem 1.3).
+[[nodiscard]] double balanced_redundancy_factor(double epsilon);
+
+/// Closed-form non-asymptotic detection probability (Proposition 3):
+/// P_{k,p} = 1 - (1-epsilon)^{1-p} for every tuple size k; p in [0,1).
+[[nodiscard]] double balanced_detection(double epsilon, double p);
+
+/// Builds the (truncated) theoretical Balanced distribution for an N-task
+/// computation at level epsilon. Throws std::invalid_argument for
+/// epsilon outside (0,1) or task_count < 0.
+[[nodiscard]] Distribution make_balanced(double task_count, double epsilon,
+                                         const BalancedOptions& options = {});
+
+/// Robust-level planning: the design level epsilon' such that the Balanced
+/// distribution built for epsilon' still guarantees detection level
+/// `target_level` against an adversary controlling proportion `p` of the
+/// assignments. Inverts Proposition 3:
+///     1 - (1-eps')^{1-p} >= target  <=>  eps' = 1 - (1-target)^{1/(1-p)}.
+/// Throws for target_level or p outside their ranges, or when the required
+/// epsilon' would reach 1 (unattainable).
+[[nodiscard]] double balanced_level_for_robustness(double target_level,
+                                                   double p);
+
+/// Inverse planning: the largest epsilon whose Balanced distribution fits in
+/// `max_assignments` total assignments for `task_count` tasks, found by
+/// bracketed root search on the (strictly increasing) cost curve. Returns 0
+/// if even epsilon -> 0 does not fit (budget < N).
+[[nodiscard]] double balanced_level_for_budget(double task_count,
+                                               double max_assignments);
+
+}  // namespace redund::core

@@ -1,0 +1,89 @@
+#include "core/schemes/golle_stubblebine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace redund::core {
+
+namespace {
+
+void require_parameter(double c) {
+  if (!(c > 0.0) || !(c < 1.0)) {
+    throw std::invalid_argument("golle-stubblebine: c must lie in (0, 1)");
+  }
+}
+
+void require_level(double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument(
+        "golle-stubblebine: epsilon must lie in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double gs_parameter_for_level(double epsilon) {
+  require_level(epsilon);
+  return 1.0 - std::sqrt(1.0 - epsilon);
+}
+
+double gs_parameter_for_level_at(double epsilon, double p) {
+  require_level(epsilon);
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument(
+        "gs_parameter_for_level_at: p must lie in [0, 1)");
+  }
+  const double c = (1.0 - std::sqrt(1.0 - epsilon)) / (1.0 - p);
+  if (c >= 1.0) {
+    throw std::invalid_argument(
+        "gs_parameter_for_level_at: level unreachable at this p (requires "
+        "c >= 1)");
+  }
+  return c;
+}
+
+double gs_redundancy_factor(double c) {
+  require_parameter(c);
+  return 1.0 / (1.0 - c);
+}
+
+double gs_detection(double c, std::int64_t k) { return gs_detection(c, k, 0.0); }
+
+double gs_detection(double c, std::int64_t k, double p) {
+  require_parameter(c);
+  if (k < 1) return 0.0;
+  if (!(p >= 0.0) || p >= 1.0) {
+    throw std::invalid_argument("gs_detection: p must lie in [0, 1)");
+  }
+  // 1 - (1 - c(1-p))^{k+1}, via expm1/log1p for accuracy near 0 and 1.
+  const double base = 1.0 - c * (1.0 - p);
+  return -std::expm1(static_cast<double>(k + 1) * std::log(base));
+}
+
+Distribution make_golle_stubblebine(double task_count, double c,
+                                    const GolleStubblebineOptions& options) {
+  require_parameter(c);
+  if (!(task_count >= 0.0)) {
+    throw std::invalid_argument(
+        "make_golle_stubblebine: task_count must be >= 0");
+  }
+  std::vector<double> components;
+  double g_i = (1.0 - c) * task_count;  // g_1.
+  for (std::int64_t i = 1; i <= options.max_dimension; ++i) {
+    if (g_i < options.truncate_below) break;  // Strictly decreasing from i=1.
+    components.push_back(g_i);
+    g_i *= c;
+  }
+  Distribution distribution(std::move(components));
+  distribution.set_label("golle-stubblebine(c=" + std::to_string(c) + ")");
+  return distribution;
+}
+
+Distribution make_golle_stubblebine_for_level(
+    double task_count, double epsilon, const GolleStubblebineOptions& options) {
+  return make_golle_stubblebine(task_count, gs_parameter_for_level(epsilon),
+                                options);
+}
+
+}  // namespace redund::core

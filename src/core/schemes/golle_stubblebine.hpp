@@ -1,0 +1,60 @@
+// The Golle-Stubblebine geometric distribution (paper Section 3.1; original
+// in Golle & Stubblebine, Financial Crypto 2001) — the prior state of the
+// art this paper improves on, implemented here as the headline baseline.
+//
+// For a parameter c in (0,1),
+//     g_i = (1-c) c^{i-1} N,
+// so multiplicities are geometric. Then sum_i g_i = N, the redundancy factor
+// is 1/(1-c), and
+//     P_k     = 1 - (1-c)^{k+1}               (asymptotic),
+//     P_{k,p} = 1 - (1 - c(1-p))^{k+1}        (adversary holds proportion p).
+// Detection probabilities *increase* with k, so an intelligent adversary
+// always attacks singletons (k = 1); guaranteeing level epsilon therefore
+// requires only P_1 >= epsilon, i.e. c >= 1 - sqrt(1-epsilon), giving
+// RF = 1/sqrt(1-epsilon) — cheaper than simple redundancy iff epsilon < 0.75,
+// but strictly costlier than Balanced for every epsilon (the mass spent
+// raising P_k above epsilon for k > 1 is wasted; Section 3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// Truncation controls (same semantics as BalancedOptions).
+struct GolleStubblebineOptions {
+  double truncate_below = 1e-9;
+  std::int64_t max_dimension = 512;
+};
+
+/// Smallest parameter c guaranteeing asymptotic level epsilon:
+/// c = 1 - sqrt(1 - epsilon). Requires epsilon in (0,1).
+[[nodiscard]] double gs_parameter_for_level(double epsilon);
+
+/// Smallest c guaranteeing level epsilon against an adversary controlling
+/// proportion p of assignments: c = (1 - sqrt(1-epsilon)) / (1-p). Throws if
+/// the requirement is unsatisfiable with c < 1 (i.e. p >= sqrt(1-epsilon)).
+[[nodiscard]] double gs_parameter_for_level_at(double epsilon, double p);
+
+/// Closed-form redundancy factor 1/(1-c).
+[[nodiscard]] double gs_redundancy_factor(double c);
+
+/// Closed-form asymptotic detection probability 1 - (1-c)^{k+1}.
+[[nodiscard]] double gs_detection(double c, std::int64_t k);
+
+/// Closed-form non-asymptotic detection probability 1 - (1-c(1-p))^{k+1}.
+[[nodiscard]] double gs_detection(double c, std::int64_t k, double p);
+
+/// Builds the (truncated) geometric distribution with parameter c for an
+/// N-task computation. Throws for c outside (0,1) or task_count < 0.
+[[nodiscard]] Distribution make_golle_stubblebine(double task_count, double c,
+                                                  const GolleStubblebineOptions&
+                                                      options = {});
+
+/// Convenience: the GS distribution tuned for asymptotic level epsilon.
+[[nodiscard]] Distribution make_golle_stubblebine_for_level(
+    double task_count, double epsilon,
+    const GolleStubblebineOptions& options = {});
+
+}  // namespace redund::core

@@ -1,0 +1,42 @@
+#include "core/schemes/lower_bound.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace redund::core {
+
+namespace {
+
+void require_level(double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument("lower_bound: epsilon must lie in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double redundancy_lower_bound(double epsilon) {
+  require_level(epsilon);
+  return 2.0 / (2.0 - epsilon);
+}
+
+double assignment_lower_bound(double task_count, double epsilon) {
+  require_level(epsilon);
+  if (!(task_count >= 0.0)) {
+    throw std::invalid_argument("assignment_lower_bound: task_count >= 0");
+  }
+  return 2.0 * task_count / (2.0 - epsilon);
+}
+
+Distribution relaxed_optimum(double task_count, double epsilon) {
+  require_level(epsilon);
+  if (!(task_count >= 0.0)) {
+    throw std::invalid_argument("relaxed_optimum: task_count >= 0");
+  }
+  std::vector<double> components = {
+      2.0 * task_count * (1.0 - epsilon) / (2.0 - epsilon),
+      task_count * epsilon / (2.0 - epsilon)};
+  return Distribution(std::move(components), "prop1-relaxed-optimum");
+}
+
+}  // namespace redund::core

@@ -1,0 +1,29 @@
+// Proposition 1 — the theoretical floor on redundancy (paper Appendix B).
+//
+// Relaxing S to keep only C_0 and C_1 yields a two-variable LP whose unique
+// optimum is
+//     x_1 = 2N(1-eps)/(2-eps),   x_2 = N eps/(2-eps),
+// with total assignments 2N/(2-eps). That point is infeasible for the full
+// system (it violates C_2), so every solution of S or S_m needs strictly
+// more than 2N/(2-eps) assignments: the optimal redundancy factor is
+// strictly greater than 2/(2-eps) (4/3 at eps = 1/2). This header provides
+// the bound and the relaxed optimum, which the tests use to verify both the
+// proposition's algebra and the simplex solver against an exact answer.
+#pragma once
+
+#include "core/distribution.hpp"
+
+namespace redund::core {
+
+/// The Prop.-1 redundancy-factor lower bound 2/(2-epsilon);
+/// every valid scheme must exceed it strictly. epsilon in (0,1).
+[[nodiscard]] double redundancy_lower_bound(double epsilon);
+
+/// Lower bound on total assignments for an N-task computation: 2N/(2-eps).
+[[nodiscard]] double assignment_lower_bound(double task_count, double epsilon);
+
+/// The relaxed system's exact optimum (x_1, x_2) from the Appendix-B proof.
+/// Feasible for {C_0, C_1} only; deliberately violates C_2.
+[[nodiscard]] Distribution relaxed_optimum(double task_count, double epsilon);
+
+}  // namespace redund::core

@@ -1,0 +1,69 @@
+// Assignment-minimizing distributions — the linear programs S and S_m of
+// paper Section 3.2, and Fact 1's closed-form solution.
+//
+// System S_m (dimension m, level epsilon, N tasks):
+//
+//   minimize    sum_{i=1}^{m} i * x_i
+//   subject to  sum_i x_i >= N                                     (C_0)
+//               sum_{i=k+1}^{m} C(i,k) x_i >= (eps/(1-eps)) x_k    (C_k, k<m)
+//               x_i >= 0.
+//
+// The top constraint C_m is *not* imposed (it is unsatisfiable in dimension
+// m), so the optimal solutions leave the x_m tasks unprotected — the
+// supervisor must verify ("precompute") them. These optima are what Figures
+// 1 and 2 evaluate: as m grows the cost and the precompute load fall toward
+// the Prop.-1 lower bound 2/(2-eps), but the non-asymptotic detection
+// probabilities collapse, which is the paper's case for Balanced.
+//
+// Fact 1 (recovered closed form, epsilon = 1/2, m >= 6): with
+// D = 3m^2 - m + 2,
+//   x_1 = 2Nm^2/D,  x_2 = Nm(m-1)/D,  x_m = 2N/D,  all other x_i = 0,
+// and RF = 4m^2/D  (-> 4/3 = 2/(2 - 1/2), the Prop.-1 bound, as m -> inf).
+#pragma once
+
+#include <cstdint>
+
+#include "core/distribution.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace redund::core {
+
+/// Builds the LP model for system S_m. Exposed separately so tests and
+/// ablations can inspect or modify the model (e.g. add equality constraints).
+/// dimension >= 2, epsilon in (0,1), task_count > 0.
+[[nodiscard]] lp::Model build_min_assignment_model(double task_count,
+                                                   double epsilon,
+                                                   std::int64_t dimension);
+
+/// Result of solving S_m.
+struct MinAssignmentResult {
+  Distribution distribution;     ///< The optimal x (empty if not optimal).
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  double total_assignments = 0.0;
+  /// Tasks at the top multiplicity, which C_m cannot protect and the
+  /// supervisor must verify (Figure 2's "Precomputing Required").
+  double precompute_required = 0.0;
+};
+
+/// Solves S_m with the in-repo simplex. The returned distribution is a valid
+/// m-dimensional distribution (check_validity passes) whenever status is
+/// kOptimal.
+[[nodiscard]] MinAssignmentResult solve_min_assignment(double task_count,
+                                                       double epsilon,
+                                                       std::int64_t dimension);
+
+/// Variant where every constraint C_1..C_{m-1} is imposed with *equality*
+/// (P_k = epsilon exactly) — the augmentation discussed after Prop. 2, whose
+/// optimum is "virtually indistinguishable from the Balanced distribution".
+[[nodiscard]] MinAssignmentResult solve_min_assignment_equality(
+    double task_count, double epsilon, std::int64_t dimension);
+
+/// Fact 1's closed-form optimum of S_m for epsilon = 1/2, m >= 6.
+[[nodiscard]] Distribution min_assignment_closed_form_half(double task_count,
+                                                           std::int64_t dimension);
+
+/// Fact 1's closed-form redundancy factor 4m^2/(3m^2 - m + 2) (eps = 1/2).
+[[nodiscard]] double min_assignment_rf_half(std::int64_t dimension);
+
+}  // namespace redund::core

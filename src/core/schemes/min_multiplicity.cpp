@@ -1,0 +1,69 @@
+#include "core/schemes/min_multiplicity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/poisson.hpp"
+
+namespace redund::core {
+
+namespace {
+
+void require_args(double task_count, double epsilon, std::int64_t m) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument(
+        "min_multiplicity: epsilon must lie in (0, 1)");
+  }
+  if (m < 1) {
+    throw std::invalid_argument(
+        "min_multiplicity: minimum multiplicity m must be >= 1");
+  }
+  if (!(task_count >= 0.0)) {
+    throw std::invalid_argument("min_multiplicity: task_count must be >= 0");
+  }
+}
+
+}  // namespace
+
+double min_multiplicity_redundancy_factor(double epsilon, std::int64_t m) {
+  require_args(0.0, epsilon, m);
+  const double gamma = balanced_gamma(epsilon);
+  return math::truncated_poisson_mean(gamma, m);
+}
+
+double min_multiplicity_component(double task_count, double epsilon,
+                                  std::int64_t m, std::int64_t i) {
+  require_args(task_count, epsilon, m);
+  if (i < m) return 0.0;
+  const double gamma = balanced_gamma(epsilon);
+  return task_count * math::truncated_poisson_pmf(gamma, m, i);
+}
+
+Distribution make_min_multiplicity(double task_count, double epsilon,
+                                   std::int64_t m,
+                                   const BalancedOptions& options) {
+  require_args(task_count, epsilon, m);
+  const double gamma = balanced_gamma(epsilon);
+  const double tail = math::poisson_upper_tail(gamma, m);
+  if (tail <= 0.0) {
+    throw std::invalid_argument(
+        "make_min_multiplicity: truncation mass underflows for these "
+        "parameters");
+  }
+  std::vector<double> components(static_cast<std::size_t>(m - 1), 0.0);
+  // a_i = N * pmf(i)/tail; build pmf by the stable term recurrence.
+  double pmf = math::poisson_pmf(gamma, m);
+  for (std::int64_t i = m; i <= options.max_dimension; ++i) {
+    const double a_i = task_count * pmf / tail;
+    if (a_i < options.truncate_below && static_cast<double>(i) > gamma) break;
+    components.push_back(a_i);
+    pmf *= gamma / static_cast<double>(i + 1);
+  }
+  Distribution distribution(std::move(components));
+  distribution.set_label("min-mult(m=" + std::to_string(m) +
+                         ",eps=" + std::to_string(epsilon) + ")");
+  return distribution;
+}
+
+}  // namespace redund::core

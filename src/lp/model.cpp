@@ -1,0 +1,66 @@
+#include "lp/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace redund::lp {
+
+std::size_t Model::add_constraint_dense(const std::vector<double>& row,
+                                        Relation relation, double rhs,
+                                        std::string name) {
+  if (row.size() != costs_.size()) {
+    throw std::invalid_argument(
+        "Model::add_constraint_dense: row size must equal variable count");
+  }
+  Constraint constraint;
+  constraint.relation = relation;
+  constraint.rhs = rhs;
+  constraint.name = std::move(name);
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] != 0.0) {
+      constraint.variables.push_back(j);
+      constraint.coefficients.push_back(row[j]);
+    }
+  }
+  constraints_.push_back(std::move(constraint));
+  return constraints_.size() - 1;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double value = 0.0;
+  const std::size_t n = std::min(x.size(), costs_.size());
+  for (std::size_t j = 0; j < n; ++j) value += costs_[j] * x[j];
+  return value;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tolerance) const {
+  if (x.size() < costs_.size()) return false;
+  for (std::size_t j = 0; j < costs_.size(); ++j) {
+    if (x[j] < -tolerance) return false;
+  }
+  for (const Constraint& constraint : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t t = 0; t < constraint.variables.size(); ++t) {
+      lhs += constraint.coefficients[t] * x[constraint.variables[t]];
+    }
+    // Scale the tolerance with the magnitude of the row so huge rows
+    // (rhs ~ N = 1e6) do not fail on representation noise.
+    const double scale =
+        1.0 + std::abs(lhs) + std::abs(constraint.rhs);
+    const double slack = lhs - constraint.rhs;
+    switch (constraint.relation) {
+      case Relation::kLessEqual:
+        if (slack > tolerance * scale) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (slack < -tolerance * scale) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(slack) > tolerance * scale) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace redund::lp

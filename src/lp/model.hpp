@@ -1,0 +1,90 @@
+// Linear-program model builder.
+//
+// The assignment-minimizing distributions of the paper (Section 3.2) are
+// solutions of the LPs S and S_k:
+//
+//   minimize   sum_i i * x_i                      (total assignments)
+//   subject to sum_i x_i >= N                     (C_0: cover all tasks)
+//              sum_{i>k} C(i,k) x_i >= eps/(1-eps) x_k   (C_k, k < dim)
+//              x_i >= 0.
+//
+// This header provides a small general-purpose model type those systems (and
+// the tests' independent oracles) are expressed in. All variables carry an
+// implicit lower bound of zero, which is exactly the paper's setting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace redund::lp {
+
+/// Relation of a linear constraint row to its right-hand side.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: sum_j coefficients[j] * x_{variables[j]} REL rhs.
+/// Stored sparsely; a variable may appear at most once per constraint.
+struct Constraint {
+  std::vector<std::size_t> variables;  ///< Column indices.
+  std::vector<double> coefficients;    ///< Parallel to `variables`.
+  Relation relation = Relation::kGreaterEqual;
+  double rhs = 0.0;
+  std::string name;  ///< Diagnostic label (e.g. "C_3").
+};
+
+/// Objective sense.
+enum class Sense { kMinimize, kMaximize };
+
+/// A linear program over non-negative variables.
+class Model {
+ public:
+  /// Adds a variable with objective coefficient `cost`; returns its index.
+  std::size_t add_variable(double cost, std::string name = {}) {
+    costs_.push_back(cost);
+    variable_names_.push_back(std::move(name));
+    return costs_.size() - 1;
+  }
+
+  /// Adds a constraint; dense `row` must have one entry per variable added
+  /// so far (zeros are dropped internally). Returns the constraint index.
+  std::size_t add_constraint_dense(const std::vector<double>& row,
+                                   Relation relation, double rhs,
+                                   std::string name = {});
+
+  /// Adds a sparse constraint directly.
+  std::size_t add_constraint(Constraint constraint) {
+    constraints_.push_back(std::move(constraint));
+    return constraints_.size() - 1;
+  }
+
+  void set_sense(Sense sense) noexcept { sense_ = sense; }
+
+  [[nodiscard]] Sense sense() const noexcept { return sense_; }
+  [[nodiscard]] std::size_t variable_count() const noexcept { return costs_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] const std::vector<double>& costs() const noexcept { return costs_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  [[nodiscard]] const std::string& variable_name(std::size_t j) const {
+    return variable_names_.at(j);
+  }
+
+  /// Evaluates the objective at a point.
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// True when `x` satisfies every constraint and non-negativity within
+  /// `tolerance` (used by tests as an independent feasibility oracle).
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tolerance = 1e-7) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::string> variable_names_;
+  std::vector<Constraint> constraints_;
+  Sense sense_ = Sense::kMinimize;
+};
+
+}  // namespace redund::lp

@@ -1,0 +1,76 @@
+#include "math/poisson.hpp"
+
+#include <cmath>
+
+#include "math/binomial.hpp"
+#include "math/summation.hpp"
+
+namespace redund::math {
+
+namespace {
+
+// Terms below this relative threshold are negligible in double precision;
+// used to cut off convergent series whose terms decay at least geometrically.
+constexpr double kSeriesEpsilon = 1e-18;
+constexpr int kMaxSeriesTerms = 4096;
+
+}  // namespace
+
+double poisson_pmf(double gamma, std::int64_t i) noexcept {
+  if (!(gamma > 0.0) || i < 0) return 0.0;
+  const double log_p =
+      -gamma + static_cast<double>(i) * std::log(gamma) - log_factorial(i);
+  return std::exp(log_p);
+}
+
+double poisson_upper_tail(double gamma, std::int64_t m) noexcept {
+  if (!(gamma > 0.0)) return 0.0;
+  if (m <= 0) return 1.0;
+  if (static_cast<double>(m) <= gamma + 6.0 * std::sqrt(gamma) + 8.0) {
+    // Head is short relative to the mass location: 1 - sum of head is stable.
+    NeumaierSum head;
+    for (std::int64_t i = 0; i < m; ++i) head.add(poisson_pmf(gamma, i));
+    const double tail = 1.0 - head.value();
+    return tail > 0.0 ? tail : 0.0;
+  }
+  // Deep in the upper tail: direct summation avoids catastrophic cancellation.
+  NeumaierSum tail;
+  double term = poisson_pmf(gamma, m);
+  for (int j = 0; j < kMaxSeriesTerms; ++j) {
+    tail.add(term);
+    const auto i = static_cast<double>(m + j + 1);
+    term *= gamma / i;
+    if (term < kSeriesEpsilon * tail.value()) break;
+  }
+  return tail.value();
+}
+
+double zero_truncated_poisson_pmf(double gamma, std::int64_t i) noexcept {
+  if (!(gamma > 0.0) || i < 1) return 0.0;
+  return poisson_pmf(gamma, i) / (-std::expm1(-gamma));
+}
+
+double truncated_poisson_pmf(double gamma, std::int64_t m, std::int64_t i) noexcept {
+  if (!(gamma > 0.0) || i < m || i < 0) return 0.0;
+  if (m <= 0) return poisson_pmf(gamma, i);
+  if (m == 1) return zero_truncated_poisson_pmf(gamma, i);
+  const double tail = poisson_upper_tail(gamma, m);
+  if (tail <= 0.0) return 0.0;
+  return poisson_pmf(gamma, i) / tail;
+}
+
+double poisson_weighted_tail(double gamma, std::int64_t m) noexcept {
+  if (!(gamma > 0.0)) return 0.0;
+  // Identity: sum_{i >= m} i e^{-g} g^i / i! = g * P[X >= m - 1].
+  return gamma * poisson_upper_tail(gamma, m - 1);
+}
+
+double truncated_poisson_mean(double gamma, std::int64_t m) noexcept {
+  if (!(gamma > 0.0)) return 0.0;
+  if (m <= 0) return gamma;
+  const double tail = poisson_upper_tail(gamma, m);
+  if (tail <= 0.0) return 0.0;
+  return poisson_weighted_tail(gamma, m) / tail;
+}
+
+}  // namespace redund::math

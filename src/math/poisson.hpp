@@ -1,0 +1,43 @@
+// Zero-truncated and m-truncated Poisson distributions.
+//
+// Theorem 1 of the paper observes that the Balanced distribution is N times
+// the zero-truncated Poisson distribution with parameter
+//   gamma = ln(1 / (1 - epsilon)),
+// and the Section 7 extension (minimum multiplicity m) is N times the Poisson
+// distribution truncated below m. This header provides the probability masses,
+// normalising constants, means, and tail sums those schemes need, all
+// evaluated with compensated summation so the tiny tail masses survive.
+#pragma once
+
+#include <cstdint>
+
+namespace redund::math {
+
+/// Poisson pmf p(i) = e^{-gamma} gamma^i / i!, evaluated in the log domain.
+/// gamma must be > 0 and i >= 0; returns 0 otherwise.
+[[nodiscard]] double poisson_pmf(double gamma, std::int64_t i) noexcept;
+
+/// Zero-truncated Poisson pmf: p(i) / (1 - e^{-gamma}) for i >= 1, 0 for i < 1.
+[[nodiscard]] double zero_truncated_poisson_pmf(double gamma, std::int64_t i) noexcept;
+
+/// Pmf of the Poisson distribution truncated below m (support i >= m >= 0):
+///   p(i) / P[X >= m].
+/// Truncation at m = 1 reduces to the zero-truncated pmf. Returns 0 for i < m.
+[[nodiscard]] double truncated_poisson_pmf(double gamma, std::int64_t m,
+                                           std::int64_t i) noexcept;
+
+/// Upper tail P[X >= m] of Poisson(gamma). Exact complement-style evaluation:
+/// sums the head with compensated summation and subtracts from 1 when m is
+/// small; sums the tail directly when the head would dominate.
+[[nodiscard]] double poisson_upper_tail(double gamma, std::int64_t m) noexcept;
+
+/// Mean of the Poisson truncated below m:
+///   E[X | X >= m] = (gamma * P[X >= m - 1]) / P[X >= m]   for m >= 1,
+/// and plain gamma for m <= 0. (Identity: sum_{i>=m} i p(i) = gamma P[X>=m-1].)
+[[nodiscard]] double truncated_poisson_mean(double gamma, std::int64_t m) noexcept;
+
+/// Partial weighted tail sum_{i >= m} i * p(i) of Poisson(gamma)
+/// (the unnormalised numerator of truncated_poisson_mean).
+[[nodiscard]] double poisson_weighted_tail(double gamma, std::int64_t m) noexcept;
+
+}  // namespace redund::math

@@ -1,0 +1,177 @@
+// Exact rational arithmetic over checked 64-bit integers.
+//
+// The paper's theorems are algebraic identities (Fact 1's optimal vertex,
+// Proposition 1's relaxed optimum, the C_k constraint boundary). The rest of
+// the library evaluates them in double precision; this type lets the test
+// suite re-verify the load-bearing identities *exactly*, eliminating any
+// doubt that a pass is a rounding accident. Throws std::overflow_error
+// rather than silently wrapping — these checks run on small numerators, and
+// an overflow means the check was misapplied, not that it should degrade.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace redund::math {
+
+/// Exact rational p/q with q > 0, always stored in lowest terms.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+
+  /// From an integer.
+  constexpr Rational(std::int64_t value) noexcept  // NOLINT(google-explicit-constructor)
+      : numerator_(value) {}
+
+  /// From numerator/denominator; denominator must be non-zero.
+  constexpr Rational(std::int64_t numerator, std::int64_t denominator)
+      : numerator_(numerator), denominator_(denominator) {
+    if (denominator_ == 0) {
+      throw std::invalid_argument("Rational: zero denominator");
+    }
+    normalize_();
+  }
+
+  [[nodiscard]] constexpr std::int64_t numerator() const noexcept {
+    return numerator_;
+  }
+  [[nodiscard]] constexpr std::int64_t denominator() const noexcept {
+    return denominator_;
+  }
+
+  [[nodiscard]] constexpr bool is_integer() const noexcept {
+    return denominator_ == 1;
+  }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(numerator_) /
+           static_cast<double>(denominator_);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return denominator_ == 1
+               ? std::to_string(numerator_)
+               : std::to_string(numerator_) + "/" + std::to_string(denominator_);
+  }
+
+  friend constexpr Rational operator+(const Rational& a, const Rational& b) {
+    // a/b + c/d = (ad + cb) / bd, with gcd pre-reduction to delay overflow.
+    const std::int64_t g = std::gcd(a.denominator_, b.denominator_);
+    const std::int64_t bd = checked_mul_(a.denominator_ / g, b.denominator_);
+    const std::int64_t lhs = checked_mul_(a.numerator_, b.denominator_ / g);
+    const std::int64_t rhs = checked_mul_(b.numerator_, a.denominator_ / g);
+    return Rational(checked_add_(lhs, rhs), bd);
+  }
+
+  friend constexpr Rational operator-(const Rational& a, const Rational& b) {
+    return a + Rational(checked_negate_(b.numerator_), b.denominator_);
+  }
+
+  friend constexpr Rational operator*(const Rational& a, const Rational& b) {
+    // Cross-reduce before multiplying.
+    const std::int64_t g1 = std::gcd(abs_(a.numerator_), b.denominator_);
+    const std::int64_t g2 = std::gcd(abs_(b.numerator_), a.denominator_);
+    return Rational(
+        checked_mul_(a.numerator_ / g1, b.numerator_ / g2),
+        checked_mul_(a.denominator_ / g2, b.denominator_ / g1));
+  }
+
+  friend constexpr Rational operator/(const Rational& a, const Rational& b) {
+    if (b.numerator_ == 0) {
+      throw std::invalid_argument("Rational: division by zero");
+    }
+    return a * Rational(b.denominator_, b.numerator_);
+  }
+
+  constexpr Rational& operator+=(const Rational& other) {
+    *this = *this + other;
+    return *this;
+  }
+  constexpr Rational& operator-=(const Rational& other) {
+    *this = *this - other;
+    return *this;
+  }
+  constexpr Rational& operator*=(const Rational& other) {
+    *this = *this * other;
+    return *this;
+  }
+  constexpr Rational& operator/=(const Rational& other) {
+    *this = *this / other;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.numerator_ == b.numerator_ && a.denominator_ == b.denominator_;
+  }
+
+  friend constexpr std::strong_ordering operator<=>(const Rational& a,
+                                                    const Rational& b) {
+    // a/b <=> c/d  ~  ad <=> cb (denominators positive).
+    const std::int64_t lhs = checked_mul_(a.numerator_, b.denominator_);
+    const std::int64_t rhs = checked_mul_(b.numerator_, a.denominator_);
+    return lhs <=> rhs;
+  }
+
+ private:
+  static constexpr std::int64_t abs_(std::int64_t x) noexcept {
+    return x < 0 ? -x : x;
+  }
+
+  static constexpr std::int64_t checked_add_(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_add_overflow(a, b, &out)) {
+      throw std::overflow_error("Rational: addition overflow");
+    }
+    return out;
+  }
+
+  static constexpr std::int64_t checked_mul_(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) {
+      throw std::overflow_error("Rational: multiplication overflow");
+    }
+    return out;
+  }
+
+  static constexpr std::int64_t checked_negate_(std::int64_t a) {
+    if (a == std::numeric_limits<std::int64_t>::min()) {
+      throw std::overflow_error("Rational: negation overflow");
+    }
+    return -a;
+  }
+
+  constexpr void normalize_() {
+    if (denominator_ < 0) {
+      numerator_ = checked_negate_(numerator_);
+      denominator_ = checked_negate_(denominator_);
+    }
+    const std::int64_t g = std::gcd(abs_(numerator_), denominator_);
+    if (g > 1) {
+      numerator_ /= g;
+      denominator_ /= g;
+    }
+    if (numerator_ == 0) denominator_ = 1;
+  }
+
+  std::int64_t numerator_ = 0;
+  std::int64_t denominator_ = 1;
+};
+
+/// Exact binomial coefficient as a Rational (integer-valued); throws
+/// std::overflow_error when it does not fit. n, k small (tests only).
+[[nodiscard]] constexpr Rational rational_binomial(std::int64_t n,
+                                                   std::int64_t k) {
+  if (k < 0 || n < 0 || k > n) return Rational(0);
+  Rational result(1);
+  if (k > n - k) k = n - k;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    result *= Rational(n - k + i, i);
+  }
+  return result;
+}
+
+}  // namespace redund::math

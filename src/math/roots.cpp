@@ -1,0 +1,117 @@
+#include "math/roots.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace redund::math {
+
+namespace {
+
+bool brackets_root(double f_lo, double f_hi) noexcept {
+  return (f_lo <= 0.0 && f_hi >= 0.0) || (f_lo >= 0.0 && f_hi <= 0.0);
+}
+
+}  // namespace
+
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const RootOptions& options) {
+  if (!(lo <= hi)) return std::nullopt;
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  if (!brackets_root(f_lo, f_hi)) return std::nullopt;
+
+  RootResult result;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    const double mid = lo + 0.5 * (hi - lo);
+    const double f_mid = f(mid);
+    result.x = mid;
+    result.f_of_x = f_mid;
+    if (std::abs(f_mid) <= options.f_tolerance ||
+        (hi - lo) * 0.5 <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if (brackets_root(f_lo, f_mid)) {
+      hi = mid;
+      f_hi = f_mid;
+    } else {
+      lo = mid;
+      f_lo = f_mid;
+    }
+  }
+  return result;
+}
+
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (!brackets_root(fa, fb)) return std::nullopt;
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;          // Previous iterate.
+  double fc = fa;
+  double d = b - a;      // Step taken two iterations ago (for safeguards).
+  bool used_bisection = true;
+
+  RootResult result;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    result.x = b;
+    result.f_of_x = fb;
+    if (fb == 0.0 || std::abs(fb) <= options.f_tolerance ||
+        std::abs(b - a) <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = 0.5 * (a + b);
+    const bool s_outside = (s < std::min(mid, b) || s > std::max(mid, b));
+    const bool step_too_small =
+        (used_bisection && std::abs(s - b) >= 0.5 * std::abs(b - c)) ||
+        (!used_bisection && std::abs(s - b) >= 0.5 * std::abs(d));
+    if (s_outside || step_too_small) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c - b;
+    c = b;
+    fc = fb;
+    if (brackets_root(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return result;
+}
+
+}  // namespace redund::math

@@ -1,0 +1,80 @@
+// Index-range parallelism and deterministic parallel reduction on top of
+// ThreadPool.
+//
+// The key property for this library is *schedule-independent determinism*:
+// parallel_reduce assigns work by static block decomposition and combines
+// per-block partial results in block order on the calling thread, so the
+// floating-point result is identical for any thread count — a requirement
+// for reproducing the paper's Monte Carlo numbers exactly across machines.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace redund::parallel {
+
+/// Static block decomposition of [0, count) into at most `pieces` contiguous
+/// blocks of near-equal size. Returns (begin, end) pairs; never returns an
+/// empty block.
+[[nodiscard]] inline std::vector<std::pair<std::size_t, std::size_t>> decompose(
+    std::size_t count, std::size_t pieces) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  if (count == 0 || pieces == 0) return blocks;
+  pieces = std::min(pieces, count);
+  const std::size_t base = count / pieces;
+  const std::size_t extra = count % pieces;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    blocks.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return blocks;
+}
+
+/// Runs body(i) for every i in [0, count), distributing contiguous blocks
+/// over the pool. Blocks until all iterations complete. `body` must be
+/// callable concurrently from multiple threads.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t count, Body&& body) {
+  const auto blocks = decompose(count, pool.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks.size());
+  for (const auto& [begin, end] : blocks) {
+    futures.push_back(pool.submit([begin = begin, end = end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  for (auto& future : futures) future.get();  // Propagates exceptions.
+}
+
+/// Deterministic map-reduce: computes combine(..., map(i), ...) over
+/// i in [0, count). `map(i)` returns a value of type T; partial results per
+/// block are folded with `combine(T, T)` in ascending block order, so the
+/// result does not depend on the pool size or scheduling.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t count, T identity,
+                                Map&& map, Combine&& combine) {
+  const auto blocks = decompose(count, pool.size());
+  std::vector<std::future<T>> futures;
+  futures.reserve(blocks.size());
+  for (const auto& [begin, end] : blocks) {
+    futures.push_back(pool.submit([begin = begin, end = end, identity, &map, &combine] {
+      T partial = identity;
+      for (std::size_t i = begin; i < end; ++i) {
+        partial = combine(std::move(partial), map(i));
+      }
+      return partial;
+    }));
+  }
+  T result = std::move(identity);
+  for (auto& future : futures) {
+    result = combine(std::move(result), future.get());
+  }
+  return result;
+}
+
+}  // namespace redund::parallel

@@ -1,0 +1,78 @@
+// A task-based thread pool (C++ Core Guidelines CP.4: think in terms of
+// tasks, not threads; CP.41: minimize thread creation/destruction).
+//
+// The pool is the execution substrate for the Monte Carlo simulation driver:
+// replicas are submitted as tasks and joined through futures. Worker threads
+// are created once, never detached (CP.26), and joined in the destructor
+// (CP.23/CP.25 — the pool behaves as a scoped container of joining threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace redund::parallel {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+///
+/// Thread-safe: submit() may be called concurrently from any thread,
+/// including from inside a running task (tasks must not *block* on tasks
+/// they submitted unless workers remain to run them — the pool does not
+/// implement work stealing or fibers).
+class ThreadPool {
+ public:
+  /// Creates `thread_count` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submits a nullary callable; returns a future for its result.
+  template <typename Fn>
+  [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    // shared_ptr because std::function requires copyable targets and
+    // std::packaged_task is move-only.
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task = std::move(task)] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every task submitted so far has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop_();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace redund::parallel

@@ -1,0 +1,62 @@
+#include "platform/registry.hpp"
+
+#include <stdexcept>
+
+namespace redund::platform {
+
+ParticipantId Registry::enroll(Principal principal, std::string name) {
+  const auto id = static_cast<ParticipantId>(records_.size());
+  if (name.empty()) {
+    name = (principal == Principal::kAdversary ? "sybil" : "user") +
+           std::to_string(id);
+  }
+  records_.push_back({id, std::move(name), principal, false, 0, 0, 0});
+  return id;
+}
+
+ParticipantId Registry::enroll_sybils(std::int64_t count) {
+  if (count < 1) {
+    throw std::invalid_argument("Registry::enroll_sybils: count must be >= 1");
+  }
+  const ParticipantId first = enroll(Principal::kAdversary);
+  for (std::int64_t i = 1; i < count; ++i) {
+    enroll(Principal::kAdversary);
+  }
+  return first;
+}
+
+void Registry::blacklist(ParticipantId id) { record(id).blacklisted = true; }
+
+const ParticipantRecord& Registry::record(ParticipantId id) const {
+  if (id >= records_.size()) {
+    throw std::out_of_range("Registry::record: unknown participant id");
+  }
+  return records_[id];
+}
+
+ParticipantRecord& Registry::record(ParticipantId id) {
+  if (id >= records_.size()) {
+    throw std::out_of_range("Registry::record: unknown participant id");
+  }
+  return records_[id];
+}
+
+std::int64_t Registry::active_count() const noexcept {
+  std::int64_t active = 0;
+  for (const auto& r : records_) active += r.blacklisted ? 0 : 1;
+  return active;
+}
+
+std::int64_t Registry::blacklisted_count() const noexcept {
+  return size() - active_count();
+}
+
+std::int64_t Registry::adversary_count() const noexcept {
+  std::int64_t count = 0;
+  for (const auto& r : records_) {
+    count += r.principal == Principal::kAdversary ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace redund::platform

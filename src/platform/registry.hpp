@@ -1,0 +1,46 @@
+// Participant registry: registration, Sybil enrollment, blacklisting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/identity.hpp"
+
+namespace redund::platform {
+
+/// The supervisor's book of registered identities.
+///
+/// Not thread-safe: the registry belongs to the (single) supervisor; Monte
+/// Carlo parallelism runs one platform instance per replica.
+class Registry {
+ public:
+  /// Registers one identity; returns its id.
+  ParticipantId enroll(Principal principal, std::string name = {});
+
+  /// Registers `count` adversary-controlled identities at once (the cheap
+  /// Sybil enrollment of footnote 1). Returns the first new id; ids are
+  /// contiguous.
+  ParticipantId enroll_sybils(std::int64_t count);
+
+  /// Marks an identity blacklisted; its future work requests are refused.
+  void blacklist(ParticipantId id);
+
+  [[nodiscard]] const ParticipantRecord& record(ParticipantId id) const;
+  [[nodiscard]] ParticipantRecord& record(ParticipantId id);
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(records_.size());
+  }
+  [[nodiscard]] std::int64_t active_count() const noexcept;
+  [[nodiscard]] std::int64_t blacklisted_count() const noexcept;
+  [[nodiscard]] std::int64_t adversary_count() const noexcept;
+
+  [[nodiscard]] const std::vector<ParticipantRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<ParticipantRecord> records_;
+};
+
+}  // namespace redund::platform

@@ -1,0 +1,124 @@
+#include "platform/scheduler.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace redund::platform {
+
+Scheduler::Scheduler(const core::RealizedPlan& plan) {
+  for (std::size_t i = 0; i < plan.counts.size(); ++i) {
+    const auto multiplicity = static_cast<std::int64_t>(i + 1);
+    for (std::int64_t t = 0; t < plan.counts[i]; ++t) {
+      tasks_.push_back({multiplicity, false});
+    }
+  }
+  for (std::int64_t r = 0; r < plan.ringer_count; ++r) {
+    tasks_.push_back({plan.ringer_multiplicity, true});
+  }
+  std::int64_t total_units = 0;
+  for (const TaskInfo& task : tasks_) total_units += task.multiplicity;
+  units_.reserve(static_cast<std::size_t>(total_units));
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    for (std::int64_t c = 0; c < tasks_[t].multiplicity; ++c) {
+      units_.push_back({static_cast<std::int64_t>(t), 0});
+    }
+  }
+}
+
+bool Scheduler::holds_(ParticipantId participant, std::int64_t task) const {
+  const auto& held = holds_by_participant_[participant];
+  return std::binary_search(held.begin(), held.end(), task);
+}
+
+void Scheduler::record_hold_(ParticipantId participant, std::int64_t task) {
+  auto& held = holds_by_participant_[participant];
+  held.insert(std::lower_bound(held.begin(), held.end(), task), task);
+}
+
+void Scheduler::drop_hold_(ParticipantId participant, std::int64_t task) {
+  auto& held = holds_by_participant_[participant];
+  const auto it = std::lower_bound(held.begin(), held.end(), task);
+  if (it != held.end() && *it == task) held.erase(it);
+}
+
+void Scheduler::deal(Registry& registry, rng::Xoshiro256StarStar& engine) {
+  holds_by_participant_.assign(static_cast<std::size_t>(registry.size()), {});
+
+  std::vector<ParticipantId> active;
+  std::int64_t max_multiplicity = 0;
+  for (const auto& record : registry.records()) {
+    if (!record.blacklisted) active.push_back(record.id);
+  }
+  for (const TaskInfo& task : tasks_) {
+    max_multiplicity = std::max(max_multiplicity, task.multiplicity);
+  }
+  if (static_cast<std::int64_t>(active.size()) < max_multiplicity) {
+    throw std::invalid_argument(
+        "Scheduler::deal: need at least max-multiplicity active identities "
+        "to honour the one-copy-per-identity rule");
+  }
+
+  rng::shuffle(std::span<WorkUnit>(units_), engine);
+  rng::shuffle(std::span<ParticipantId>(active), engine);
+
+  std::size_t cursor = 0;
+  for (WorkUnit& unit : units_) {
+    // Round-robin with skip: try up to |active| identities.
+    for (std::size_t tries = 0; tries < active.size(); ++tries) {
+      const ParticipantId candidate = active[cursor];
+      cursor = (cursor + 1) % active.size();
+      if (!holds_(candidate, unit.task)) {
+        unit.assignee = candidate;
+        record_hold_(candidate, unit.task);
+        registry.record(candidate).assignments_completed += 1;
+        break;
+      }
+      if (tries + 1 == active.size()) {
+        throw std::runtime_error(
+            "Scheduler::deal: could not place a unit without violating the "
+            "one-copy rule");
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> Scheduler::reassign_from(
+    ParticipantId from, Registry& registry, rng::Xoshiro256StarStar& engine) {
+  std::vector<ParticipantId> active;
+  for (const auto& record : registry.records()) {
+    if (!record.blacklisted) active.push_back(record.id);
+  }
+  if (active.empty()) {
+    throw std::runtime_error("Scheduler::reassign_from: nobody left to work");
+  }
+  rng::shuffle(std::span<ParticipantId>(active), engine);
+
+  std::vector<std::size_t> reassigned;
+  std::size_t cursor = 0;
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    WorkUnit& unit = units_[u];
+    if (unit.assignee != from) continue;
+    drop_hold_(from, unit.task);
+    for (std::size_t tries = 0; tries < active.size(); ++tries) {
+      const ParticipantId candidate = active[cursor];
+      cursor = (cursor + 1) % active.size();
+      if (!holds_(candidate, unit.task)) {
+        unit.assignee = candidate;
+        record_hold_(candidate, unit.task);
+        registry.record(candidate).assignments_completed += 1;
+        reassigned.push_back(u);
+        break;
+      }
+      if (tries + 1 == active.size()) {
+        throw std::runtime_error(
+            "Scheduler::reassign_from: could not place a reassigned unit");
+      }
+    }
+  }
+  return reassigned;
+}
+
+}  // namespace redund::platform

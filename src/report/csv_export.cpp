@@ -1,0 +1,32 @@
+#include "report/csv_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace redund::report {
+
+std::string csv_directory_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--csv-dir") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--csv-dir requires a directory argument");
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+std::string export_csv(const Table& table, std::string_view directory,
+                       std::string_view name) {
+  if (directory.empty()) return {};
+  std::string path = std::string(directory) + "/" + std::string(name) + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("export_csv: cannot create " + path);
+  }
+  table.write_csv(out);
+  return path;
+}
+
+}  // namespace redund::report

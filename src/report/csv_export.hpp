@@ -1,0 +1,28 @@
+// Optional CSV export for the benchmark harnesses.
+//
+// Every table/figure binary accepts `--csv-dir DIR`; when present, each
+// table it prints is also written to DIR/<name>.csv so downstream plotting
+// (gnuplot/matplotlib) can regenerate the paper's figures from the same run
+// that produced the console output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "report/table.hpp"
+
+namespace redund::report {
+
+/// Parses `--csv-dir DIR` from a main()'s argv. Returns the directory, or
+/// an empty string when the flag is absent. Throws std::invalid_argument if
+/// the flag is present without a value.
+[[nodiscard]] std::string csv_directory_from_args(int argc,
+                                                  const char* const* argv);
+
+/// Writes `table` to `<directory>/<name>.csv` when directory is non-empty
+/// (no-op otherwise). Returns the path written, or empty. Throws
+/// std::runtime_error when the file cannot be created.
+std::string export_csv(const Table& table, std::string_view directory,
+                       std::string_view name);
+
+}  // namespace redund::report

@@ -1,0 +1,223 @@
+// Random variate samplers over the engines in rng/engines.hpp.
+//
+// std::*_distribution implementations differ across standard libraries, which
+// would make "bit-reproducible across toolchains" impossible; these samplers
+// are self-contained and fully specified. Each takes the engine by reference
+// as its last parameter (engines are cheap but stateful; see CP.31 — the
+// state must be shared, everything else is passed by value).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/engines.hpp"
+
+namespace redund::rng {
+
+/// Uniform double in [0, 1): fills the 53-bit mantissa from the top bits of
+/// one 64-bit draw (the canonical xoshiro conversion).
+template <typename Engine>
+[[nodiscard]] double uniform01(Engine& engine) noexcept {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, bound) without modulo bias, via Lemire's
+/// multiply-shift rejection method. bound must be >= 1.
+template <typename Engine>
+[[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound, Engine& engine) noexcept {
+  // Degenerate but defined: the only value below 1 is 0.
+  if (bound <= 1) return 0;
+  __extension__ using uint128 = unsigned __int128;
+  while (true) {
+    const std::uint64_t x = engine();
+    const auto product =
+        static_cast<uint128>(x) * static_cast<uint128>(bound);
+    const auto low = static_cast<std::uint64_t>(product);
+    if (low >= bound || low >= (std::uint64_t{0} - bound) % bound) {
+      return static_cast<std::uint64_t>(product >> 64);
+    }
+  }
+}
+
+/// Uniform integer in the closed range [lo, hi].
+template <typename Engine>
+[[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi,
+                                       Engine& engine) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span, engine));
+}
+
+/// Bernoulli(p) draw.
+template <typename Engine>
+[[nodiscard]] bool bernoulli(double p, Engine& engine) noexcept {
+  return uniform01(engine) < p;
+}
+
+/// Standard normal draw (Box-Muller; one of the pair is discarded to keep
+/// the sampler stateless).
+template <typename Engine>
+[[nodiscard]] double standard_normal(Engine& engine) noexcept {
+  // Guard against log(0): uniform01 can return exactly 0.
+  double u = uniform01(engine);
+  while (u <= 0.0) u = uniform01(engine);
+  const double v = uniform01(engine);
+  constexpr double kTwoPi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(kTwoPi * v);
+}
+
+/// Exponential draw with the given mean (inverse-CDF method).
+template <typename Engine>
+[[nodiscard]] double exponential(double mean, Engine& engine) noexcept {
+  return -mean * std::log1p(-uniform01(engine));
+}
+
+/// Lognormal draw with log-scale sigma, normalized to unit *median*
+/// (exp(sigma * Z)): the simulator's model of participant speed spread.
+template <typename Engine>
+[[nodiscard]] double lognormal_unit_median(double sigma, Engine& engine) noexcept {
+  return std::exp(sigma * standard_normal(engine));
+}
+
+/// Binomial(n, p) sampler.
+///
+/// Uses BINV (inversion by sequential search) when n*p is small and a
+/// normal-approximation rejection fallback is deliberately avoided: for the
+/// library's workloads n*min(p,1-p) stays modest, and where it does not we
+/// use the waiting-time (geometric) method, which is exact and O(n*p).
+template <typename Engine>
+[[nodiscard]] std::int64_t binomial(std::int64_t n, double p, Engine& engine) noexcept {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+
+  std::int64_t successes = 0;
+  if (static_cast<double>(n) * q < 30.0) {
+    // BINV: invert the CDF by sequential search from 0.
+    const double s = q / (1.0 - q);
+    const double base = std::pow(1.0 - q, static_cast<double>(n));
+    double pmf = base;
+    double cdf = base;
+    const double u = uniform01(engine);
+    while (cdf < u && successes < n) {
+      ++successes;
+      pmf *= s * static_cast<double>(n - successes + 1) /
+             static_cast<double>(successes);
+      cdf += pmf;
+    }
+  } else {
+    // Waiting-time method: count geometric gaps until they exceed n.
+    const double log1mq = std::log1p(-q);
+    std::int64_t position = 0;
+    while (true) {
+      const double u = uniform01(engine);
+      const auto gap =
+          static_cast<std::int64_t>(std::floor(std::log1p(-u) / log1mq)) + 1;
+      position += gap;
+      if (position > n) break;
+      ++successes;
+    }
+  }
+  return flipped ? n - successes : successes;
+}
+
+/// Hypergeometric sampler: number of "marked" items in a draw of `sample`
+/// items without replacement from a population of `population` items of
+/// which `marked` are marked. Exact inversion on the pmf recurrence.
+template <typename Engine>
+[[nodiscard]] std::int64_t hypergeometric(std::int64_t population, std::int64_t marked,
+                                          std::int64_t sample, Engine& engine) noexcept {
+  marked = std::clamp<std::int64_t>(marked, 0, population);
+  sample = std::clamp<std::int64_t>(sample, 0, population);
+  const std::int64_t lo = std::max<std::int64_t>(0, sample + marked - population);
+  const std::int64_t hi = std::min(marked, sample);
+  if (lo >= hi) return lo;
+
+  // pmf(k) ratio: pmf(k+1)/pmf(k) = (marked-k)(sample-k) / ((k+1)(population-marked-sample+k+1)).
+  // Start the inversion at the mode-ish lower end; ranges here are small.
+  // Compute pmf(lo) in the log domain for robustness.
+  auto log_pmf_lo = [&]() noexcept {
+    auto lchoose = [](std::int64_t n, std::int64_t k) noexcept {
+      return std::lgamma(static_cast<double>(n) + 1.0) -
+             std::lgamma(static_cast<double>(k) + 1.0) -
+             std::lgamma(static_cast<double>(n - k) + 1.0);
+    };
+    return lchoose(marked, lo) + lchoose(population - marked, sample - lo) -
+           lchoose(population, sample);
+  };
+  double pmf = std::exp(log_pmf_lo());
+  double cdf = pmf;
+  std::int64_t k = lo;
+  const double u = uniform01(engine);
+  while (cdf < u && k < hi) {
+    const double ratio =
+        (static_cast<double>(marked - k) * static_cast<double>(sample - k)) /
+        (static_cast<double>(k + 1) *
+         static_cast<double>(population - marked - sample + k + 1));
+    pmf *= ratio;
+    cdf += pmf;
+    ++k;
+  }
+  return k;
+}
+
+/// Poisson(gamma) sampler. Knuth multiplication below gamma = 30, else the
+/// simple normal-rounding approximation is avoided in favour of splitting:
+/// Poisson(a+b) = Poisson(a) + Poisson(b) with a <= 30 chunks (exact).
+template <typename Engine>
+[[nodiscard]] std::int64_t poisson(double gamma, Engine& engine) noexcept {
+  if (!(gamma > 0.0)) return 0;
+  std::int64_t total = 0;
+  while (gamma > 30.0) {
+    // Split off an exact Poisson(30) component.
+    constexpr double kChunk = 30.0;
+    const double limit = std::exp(-kChunk);
+    double product = uniform01(engine);
+    std::int64_t count = 0;
+    while (product > limit) {
+      product *= uniform01(engine);
+      ++count;
+    }
+    total += count;
+    gamma -= kChunk;
+  }
+  const double limit = std::exp(-gamma);
+  double product = uniform01(engine);
+  std::int64_t count = 0;
+  while (product > limit) {
+    product *= uniform01(engine);
+    ++count;
+  }
+  return total + count;
+}
+
+/// In-place Fisher–Yates shuffle.
+template <typename T, typename Engine>
+void shuffle(std::span<T> items, Engine& engine) noexcept {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_below(i, engine));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Samples `k` distinct indices from [0, n) (partial Fisher–Yates on an
+/// index vector). Returned in random order.
+template <typename Engine>
+[[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+    std::uint64_t n, std::uint64_t k, Engine& engine) {
+  k = std::min(k, n);
+  std::vector<std::uint64_t> indices(n);
+  for (std::uint64_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + uniform_below(n - i, engine);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace redund::rng

@@ -1,0 +1,16 @@
+#include "sim/adversary.hpp"
+
+namespace redund::sim {
+
+std::string to_string(CheatStrategy strategy) {
+  switch (strategy) {
+    case CheatStrategy::kHonest: return "honest";
+    case CheatStrategy::kAlwaysCheat: return "always-cheat";
+    case CheatStrategy::kExactTuple: return "exact-tuple";
+    case CheatStrategy::kAtLeastTuple: return "at-least-tuple";
+    case CheatStrategy::kSingletons: return "singletons";
+  }
+  return "unknown";
+}
+
+}  // namespace redund::sim

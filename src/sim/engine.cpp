@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+
+namespace redund::sim {
+
+double ReplicaResult::detection_rate_at(std::int64_t held) const noexcept {
+  if (held < 1 || held >= static_cast<std::int64_t>(attempts_by_held.size())) {
+    return 0.0;
+  }
+  const auto attempts = attempts_by_held[static_cast<std::size_t>(held)];
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(detected_by_held[static_cast<std::size_t>(held)]) /
+         static_cast<double>(attempts);
+}
+
+void ReplicaResult::merge(const ReplicaResult& other) {
+  replicas += other.replicas;
+  adversary_assignments += other.adversary_assignments;
+  tasks_held += other.tasks_held;
+  cheat_attempts += other.cheat_attempts;
+  detected_cheats += other.detected_cheats;
+  successful_cheats += other.successful_cheats;
+  fully_controlled_tasks += other.fully_controlled_tasks;
+  replicas_with_detection += other.replicas_with_detection;
+  replicas_with_corruption += other.replicas_with_corruption;
+  if (attempts_by_held.size() < other.attempts_by_held.size()) {
+    attempts_by_held.resize(other.attempts_by_held.size(), 0);
+    detected_by_held.resize(other.detected_by_held.size(), 0);
+  }
+  for (std::size_t k = 0; k < other.attempts_by_held.size(); ++k) {
+    attempts_by_held[k] += other.attempts_by_held[k];
+    detected_by_held[k] += other.detected_by_held[k];
+  }
+}
+
+namespace {
+
+/// Per-task held-copy counts via sequential conditional hypergeometric
+/// sampling: after deciding tasks 0..t-1, task t's held count given the
+/// remaining picks is Hypergeometric(remaining pool, m_t, remaining picks).
+void sample_held_hypergeometric(const Workload& workload, std::int64_t picks,
+                                rng::Xoshiro256StarStar& engine,
+                                std::vector<std::int64_t>& held) {
+  std::int64_t remaining_pool = workload.total_assignments();
+  std::int64_t remaining_picks = picks;
+  const auto& tasks = workload.tasks();
+  held.assign(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size() && remaining_picks > 0; ++t) {
+    const std::int64_t m = tasks[t].multiplicity;
+    const std::int64_t h =
+        rng::hypergeometric(remaining_pool, m, remaining_picks, engine);
+    held[t] = h;
+    remaining_pool -= m;
+    remaining_picks -= h;
+  }
+}
+
+/// Per-task held-copy counts by materializing the assignment pool and
+/// sampling a uniform w-subset with partial Fisher-Yates.
+void sample_held_pool(const Workload& workload, std::int64_t picks,
+                      rng::Xoshiro256StarStar& engine,
+                      std::vector<std::int64_t>& held) {
+  const auto& tasks = workload.tasks();
+  std::vector<std::uint32_t> pool;
+  pool.reserve(static_cast<std::size_t>(workload.total_assignments()));
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::int64_t c = 0; c < tasks[t].multiplicity; ++c) {
+      pool.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  held.assign(tasks.size(), 0);
+  const auto n = static_cast<std::uint64_t>(pool.size());
+  const auto w = static_cast<std::uint64_t>(picks);
+  for (std::uint64_t i = 0; i < w && i < n; ++i) {
+    const std::uint64_t j = i + rng::uniform_below(n - i, engine);
+    std::swap(pool[i], pool[j]);
+    ++held[pool[i]];
+  }
+}
+
+}  // namespace
+
+ReplicaResult run_replica(const Workload& workload,
+                          const AdversaryConfig& adversary,
+                          rng::Xoshiro256StarStar& engine,
+                          Allocation allocation) {
+  const auto total = workload.total_assignments();
+  const auto picks = static_cast<std::int64_t>(
+      std::llround(adversary.proportion * static_cast<double>(total)));
+
+  std::vector<std::int64_t> held;
+  if (allocation == Allocation::kPoolShuffle) {
+    sample_held_pool(workload, picks, engine, held);
+  } else {
+    sample_held_hypergeometric(workload, picks, engine, held);
+  }
+
+  ReplicaResult result;
+  result.replicas = 1;
+  result.adversary_assignments = picks;
+
+  std::int64_t max_multiplicity = 0;
+  for (const TaskSpec& task : workload.tasks()) {
+    max_multiplicity = std::max(max_multiplicity, task.multiplicity);
+  }
+  result.attempts_by_held.assign(
+      static_cast<std::size_t>(max_multiplicity + 1), 0);
+  result.detected_by_held.assign(
+      static_cast<std::size_t>(max_multiplicity + 1), 0);
+
+  const auto& tasks = workload.tasks();
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::int64_t h = held[t];
+    if (h < 1) continue;
+    ++result.tasks_held;
+    if (h == tasks[t].multiplicity) ++result.fully_controlled_tasks;
+    if (!adversary.should_cheat(h)) continue;
+    if (adversary.cheat_probability < 1.0 &&
+        !rng::bernoulli(adversary.cheat_probability, engine)) {
+      continue;
+    }
+
+    ++result.cheat_attempts;
+    ++result.attempts_by_held[static_cast<std::size_t>(h)];
+    // Detection: an honest copy exists, or the supervisor knows the answer.
+    const bool detected = h < tasks[t].multiplicity || tasks[t].is_ringer;
+    if (detected) {
+      ++result.detected_cheats;
+      ++result.detected_by_held[static_cast<std::size_t>(h)];
+    } else {
+      ++result.successful_cheats;
+    }
+  }
+  result.replicas_with_detection = result.detected_cheats > 0 ? 1 : 0;
+  result.replicas_with_corruption = result.successful_cheats > 0 ? 1 : 0;
+  return result;
+}
+
+}  // namespace redund::sim

@@ -1,0 +1,47 @@
+#include "sim/monte_carlo.hpp"
+
+namespace redund::sim {
+
+ReplicaResult run_monte_carlo(parallel::ThreadPool& pool,
+                              const Workload& workload,
+                              const AdversaryConfig& adversary,
+                              const MonteCarloConfig& config,
+                              Allocation allocation) {
+  return parallel::parallel_reduce<ReplicaResult>(
+      pool, static_cast<std::size_t>(config.replicas), ReplicaResult{},
+      [&](std::size_t replica) {
+        rng::Xoshiro256StarStar engine =
+            rng::make_stream(config.master_seed, replica);
+        return run_replica(workload, adversary, engine, allocation);
+      },
+      [](ReplicaResult merged, const ReplicaResult& next) {
+        merged.merge(next);
+        return merged;
+      });
+}
+
+TwoPhaseAggregate run_two_phase_monte_carlo(parallel::ThreadPool& pool,
+                                            std::int64_t task_count,
+                                            std::int64_t adversary_work,
+                                            const MonteCarloConfig& config,
+                                            TwoPhaseMethod method) {
+  return parallel::parallel_reduce<TwoPhaseAggregate>(
+      pool, static_cast<std::size_t>(config.replicas), TwoPhaseAggregate{},
+      [&](std::size_t replica) {
+        rng::Xoshiro256StarStar engine =
+            rng::make_stream(config.master_seed, replica);
+        const TwoPhaseResult result =
+            run_two_phase(task_count, adversary_work, engine, method);
+        TwoPhaseAggregate aggregate;
+        aggregate.overlap.add(static_cast<double>(result.fully_controlled));
+        aggregate.can_cheat.add(result.can_cheat());
+        return aggregate;
+      },
+      [](TwoPhaseAggregate merged, const TwoPhaseAggregate& next) {
+        merged.overlap.merge(next.overlap);
+        merged.can_cheat.merge(next.can_cheat);
+        return merged;
+      });
+}
+
+}  // namespace redund::sim

@@ -1,0 +1,51 @@
+// The two-phase simple-redundancy model of Appendix A.
+//
+// Each of N tasks is assigned exactly twice, once per phase (the "only one
+// copy outstanding at a time" variant of simple redundancy from Section 1).
+// An adversary controlling proportion p of the participants receives
+// w = pN assignments in each phase; a task is *fully controlled* (cheatable
+// with impunity) when she draws it in both phases. Appendix A shows the
+// expected number of fully controlled tasks is ~ w^2/N = p^2 N (the overlap
+// is Hypergeometric(N, w, w), well approximated by Binomial(w, w/N)), so she
+// expects at least one cheatable task as soon as p >= 1/sqrt(N).
+#pragma once
+
+#include <cstdint>
+
+#include "rng/engines.hpp"
+
+namespace redund::sim {
+
+/// How the phase-2 overlap is generated.
+enum class TwoPhaseMethod {
+  kExplicitDeal,    ///< Materialize phase-2's random deal; count index < w.
+  kHypergeometric,  ///< Draw the overlap directly from Hypergeometric(N,w,w).
+};
+
+/// Result of one two-phase round.
+struct TwoPhaseResult {
+  std::int64_t task_count = 0;          ///< N.
+  std::int64_t adversary_work = 0;      ///< w per phase.
+  std::int64_t fully_controlled = 0;    ///< Tasks she holds in both phases.
+
+  [[nodiscard]] bool can_cheat() const noexcept { return fully_controlled > 0; }
+};
+
+/// Expected number of fully controlled tasks: exact hypergeometric mean
+/// w^2 / N (which is also the paper's p^2 N approximation when w = pN).
+[[nodiscard]] double two_phase_expected_overlap(std::int64_t task_count,
+                                                std::int64_t adversary_work) noexcept;
+
+/// The paper's cheating threshold: the adversary proportion at which she
+/// expects one fully controlled task, 1/sqrt(N).
+[[nodiscard]] double two_phase_threshold(std::int64_t task_count) noexcept;
+
+/// Simulates one round: the adversary receives `adversary_work` of the N
+/// phase-1 assignments and `adversary_work` of the N phase-2 assignments,
+/// both uniformly without replacement.
+[[nodiscard]] TwoPhaseResult run_two_phase(
+    std::int64_t task_count, std::int64_t adversary_work,
+    rng::Xoshiro256StarStar& engine,
+    TwoPhaseMethod method = TwoPhaseMethod::kHypergeometric);
+
+}  // namespace redund::sim

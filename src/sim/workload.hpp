@@ -1,0 +1,55 @@
+// Workload construction for the volunteer-computing simulator.
+//
+// A workload is the supervisor-side view of one computation: the task
+// multiset implied by a realized redundancy plan (real tasks, the tail
+// partition, and precomputed ringers). Tasks are identified by dense indices
+// so per-replica state is flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/realize.hpp"
+
+namespace redund::sim {
+
+/// One task in the computation.
+struct TaskSpec {
+  std::int64_t multiplicity = 0;  ///< How many copies enter the pool.
+  bool is_ringer = false;         ///< Supervisor precomputed the answer.
+};
+
+/// The full task multiset plus cached totals.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Builds from explicit counts: counts[i-1] tasks of multiplicity i, plus
+  /// `ringer_count` ringers of multiplicity `ringer_multiplicity`.
+  Workload(const std::vector<std::int64_t>& counts, std::int64_t ringer_count,
+           std::int64_t ringer_multiplicity);
+
+  /// Builds the workload a RealizedPlan deploys.
+  explicit Workload(const core::RealizedPlan& plan)
+      : Workload(plan.counts, plan.ringer_count, plan.ringer_multiplicity) {}
+
+  [[nodiscard]] const std::vector<TaskSpec>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] std::int64_t task_count() const noexcept {
+    return static_cast<std::int64_t>(tasks_.size());
+  }
+  [[nodiscard]] std::int64_t total_assignments() const noexcept {
+    return total_assignments_;
+  }
+  [[nodiscard]] std::int64_t ringer_count() const noexcept {
+    return ringer_count_;
+  }
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::int64_t total_assignments_ = 0;
+  std::int64_t ringer_count_ = 0;
+};
+
+}  // namespace redund::sim

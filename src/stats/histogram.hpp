@@ -1,0 +1,68 @@
+// Fixed-width and integer-bucket histograms for simulation diagnostics
+// (e.g. the distribution of how many copies of one task the adversary holds,
+// which Appendix A argues is approximately Binomial(w, w/N)).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace redund::stats {
+
+/// Histogram over non-negative integer outcomes [0, max_value]; outcomes
+/// beyond max_value are clamped into the final "overflow" bucket.
+class IntHistogram {
+ public:
+  /// Buckets 0..max_value inclusive, plus one overflow bucket.
+  explicit IntHistogram(std::size_t max_value)
+      : counts_(max_value + 2, 0), max_value_(max_value) {}
+
+  void add(std::uint64_t value) noexcept {
+    const std::size_t bucket =
+        value <= max_value_ ? static_cast<std::size_t>(value) : max_value_ + 1;
+    ++counts_[bucket];
+    ++total_;
+  }
+
+  void merge(const IntHistogram& other) noexcept {
+    const std::size_t n = std::min(counts_.size(), other.counts_.size());
+    for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+    // Anything the other histogram clamped stays clamped here.
+    for (std::size_t i = n; i < other.counts_.size(); ++i) {
+      counts_.back() += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t value) const noexcept {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return counts_.back(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t max_value() const noexcept { return max_value_; }
+
+  /// Empirical probability of `value`.
+  [[nodiscard]] double frequency(std::size_t value) const noexcept {
+    return total_ > 0
+               ? static_cast<double>(count(value)) / static_cast<double>(total_)
+               : 0.0;
+  }
+
+  /// Empirical mean (overflow bucket contributes at max_value + 1).
+  [[nodiscard]] double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      weighted += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    }
+    return weighted / static_cast<double>(total_);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::size_t max_value_;
+};
+
+}  // namespace redund::stats

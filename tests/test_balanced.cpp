@@ -1,0 +1,204 @@
+// Tests for the Balanced distribution: Theorem 1's three properties,
+// Proposition 3, the zero-truncated-Poisson identity, and the budget
+// inversion — the heart of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/distribution.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "core/schemes/lower_bound.hpp"
+#include "math/poisson.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+constexpr double kN = 1.0e6;
+
+core::BalancedOptions long_tail() {
+  return {.truncate_below = 1e-15, .max_dimension = 512};
+}
+
+TEST(BalancedGamma, ClosedForm) {
+  EXPECT_NEAR(core::balanced_gamma(0.5), std::log(2.0), 1e-15);
+  EXPECT_NEAR(core::balanced_gamma(0.75), std::log(4.0), 1e-15);
+  EXPECT_THROW((void)core::balanced_gamma(0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::balanced_gamma(1.0), std::invalid_argument);
+  EXPECT_THROW((void)core::balanced_gamma(-0.1), std::invalid_argument);
+}
+
+TEST(BalancedComponent, MatchesZeroTruncatedPoisson) {
+  // Theorem 1's proof: a_i = N * ztp(gamma, i). Cross-check the two paths.
+  const double eps = 0.6;
+  const double gamma = core::balanced_gamma(eps);
+  for (std::int64_t i = 1; i <= 30; ++i) {
+    const double via_scheme = core::balanced_component(kN, eps, i);
+    const double via_poisson =
+        kN * redund::math::zero_truncated_poisson_pmf(gamma, i);
+    EXPECT_NEAR(via_scheme, via_poisson, 1e-9 * (via_poisson + 1.0))
+        << "i=" << i;
+  }
+}
+
+// Theorem 1, property 1: sum a_i = N.
+class BalancedTheorem1 : public ::testing::TestWithParam<double> {};
+
+TEST_P(BalancedTheorem1, Property1TaskMassIsN) {
+  const double eps = GetParam();
+  const core::Distribution d = core::make_balanced(kN, eps, long_tail());
+  EXPECT_NEAR(d.task_count(), kN, 1e-6 * kN);
+}
+
+TEST_P(BalancedTheorem1, Property2AllConstraintsMetWithEquality) {
+  const double eps = GetParam();
+  const core::Distribution d = core::make_balanced(kN, eps, long_tail());
+  // Away from the finite truncation edge, P_k == eps for every k. (At the
+  // edge the truncated representation necessarily sags below eps — the
+  // infinite tail carries the last sliver of protection; Section 6's
+  // realization handles that band with the tail partition and ringers,
+  // verified in test_realize.)
+  const std::int64_t k_max =
+      std::max<std::int64_t>(d.dimension() / 2, d.dimension() - 12);
+  ASSERT_GE(k_max, 1);
+  for (std::int64_t k = 1; k <= k_max; ++k) {
+    EXPECT_NEAR(core::asymptotic_detection(d, k), eps, 1e-5)
+        << "eps=" << eps << " k=" << k;
+  }
+}
+
+TEST_P(BalancedTheorem1, Property3TotalAssignments) {
+  const double eps = GetParam();
+  const core::Distribution d = core::make_balanced(kN, eps, long_tail());
+  const double expected = kN * std::log(1.0 / (1.0 - eps)) / eps;
+  EXPECT_NEAR(d.total_assignments(), expected, 1e-6 * expected);
+  EXPECT_NEAR(d.redundancy_factor(), core::balanced_redundancy_factor(eps),
+              1e-9);
+}
+
+TEST_P(BalancedTheorem1, BeatsGolleStubblebineForAllLevels) {
+  const double eps = GetParam();
+  EXPECT_LT(core::balanced_redundancy_factor(eps),
+            core::gs_redundancy_factor(core::gs_parameter_for_level(eps)))
+      << "eps=" << eps;
+}
+
+TEST_P(BalancedTheorem1, RespectsProposition1LowerBound) {
+  const double eps = GetParam();
+  EXPECT_GT(core::balanced_redundancy_factor(eps),
+            core::redundancy_lower_bound(eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelSweep, BalancedTheorem1,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.6, 0.75, 0.9,
+                                           0.99));
+
+TEST(BalancedRedundancy, PaperAnchors) {
+  // RF(1/2) = 2 ln 2 ~ 1.3863; crossover with simple redundancy (RF = 2)
+  // at eps ~ 0.7968 (where ln(1/(1-eps)) = 2 eps).
+  EXPECT_NEAR(core::balanced_redundancy_factor(0.5), 2.0 * std::log(2.0),
+              1e-12);
+  EXPECT_LT(core::balanced_redundancy_factor(0.79), 2.0);
+  EXPECT_GT(core::balanced_redundancy_factor(0.81), 2.0);
+}
+
+TEST(BalancedDetectionClosedForm, Proposition3) {
+  // P_{k,p} = 1 - (1-eps)^{1-p}; spot values.
+  EXPECT_NEAR(core::balanced_detection(0.5, 0.0), 0.5, 1e-15);
+  EXPECT_NEAR(core::balanced_detection(0.5, 0.5), 1.0 - std::sqrt(0.5),
+              1e-12);
+  // Monotone decreasing in p, and -> 0 slower than the GS/minimizing
+  // distributions (Section 5's robustness claim is tested in integration).
+  double previous = 1.0;
+  for (const double p : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    const double current = core::balanced_detection(0.75, p);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+  EXPECT_THROW((void)core::balanced_detection(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(BalancedConstruction, RejectsBadArguments) {
+  EXPECT_THROW((void)core::make_balanced(kN, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::make_balanced(kN, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)core::make_balanced(-1.0, 0.5), std::invalid_argument);
+}
+
+TEST(BalancedConstruction, ComponentsAreUnimodalThenDecreasing) {
+  // The zero-truncated Poisson rises to its mode then decays; for
+  // eps <= 1 - 1/e (gamma <= 1) the mode is at i = 1.
+  const core::Distribution d = core::make_balanced(kN, 0.5, long_tail());
+  for (std::int64_t i = 1; i < d.dimension(); ++i) {
+    EXPECT_GT(d.tasks_at(i), d.tasks_at(i + 1)) << "i=" << i;
+  }
+}
+
+TEST(BalancedConstruction, HighEpsilonHasInteriorMode) {
+  // eps = 0.99 => gamma = ln(100) ~ 4.6: mode at i = 4.
+  const core::Distribution d = core::make_balanced(kN, 0.99, long_tail());
+  EXPECT_GT(d.tasks_at(4), d.tasks_at(1));
+  EXPECT_GT(d.tasks_at(4), d.tasks_at(8));
+}
+
+TEST(BalancedRobustness, InvertsProposition3) {
+  // Design for eps' so that even at adversary share p the effective level
+  // stays >= target: 1 - (1-eps')^{1-p} == target exactly.
+  for (const double target : {0.25, 0.5, 0.75}) {
+    for (const double p : {0.0, 0.05, 0.15, 0.3}) {
+      const double design = core::balanced_level_for_robustness(target, p);
+      EXPECT_GE(design, target - 1e-12);
+      EXPECT_NEAR(core::balanced_detection(design, p), target, 1e-12)
+          << "target=" << target << " p=" << p;
+    }
+  }
+  // p = 0 is the identity.
+  EXPECT_NEAR(core::balanced_level_for_robustness(0.6, 0.0), 0.6, 1e-12);
+  EXPECT_THROW((void)core::balanced_level_for_robustness(0.5, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::balanced_level_for_robustness(0.0, 0.1),
+               std::invalid_argument);
+}
+
+TEST(BalancedRobustness, DesignLevelCostIsModest) {
+  // Hardening eps = 1/2 against a 10% adversary costs only a few percent
+  // more assignments — the practical upshot of Prop. 3's slow decay.
+  const double design = core::balanced_level_for_robustness(0.5, 0.10);
+  const double overhead = core::balanced_redundancy_factor(design) /
+                          core::balanced_redundancy_factor(0.5);
+  EXPECT_GT(design, 0.5);
+  EXPECT_LT(design, 0.56);
+  EXPECT_LT(overhead, 1.10);
+}
+
+TEST(BalancedBudget, InvertsTheCostCurve) {
+  // Budget exactly equal to the eps = 0.5 cost must return ~0.5.
+  const double budget = kN * core::balanced_redundancy_factor(0.5);
+  const double eps = core::balanced_level_for_budget(kN, budget);
+  EXPECT_NEAR(eps, 0.5, 1e-6);
+}
+
+TEST(BalancedBudget, EdgeCases) {
+  EXPECT_EQ(core::balanced_level_for_budget(kN, 0.5 * kN), 0.0);  // < N.
+  EXPECT_GT(core::balanced_level_for_budget(kN, 100.0 * kN), 0.999);
+  EXPECT_THROW((void)core::balanced_level_for_budget(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Figure4Anchor, BalancedSavingsAtEps075) {
+  // Figure 4 (N = 1e6, eps = 0.75): Balanced needs ~1,848,392 assignments
+  // vs 2,000,000 for both GS (c = 1/2 exactly) and simple redundancy — a
+  // saving of > 150,000 assignments, i.e. "more than 50,000" as the paper
+  // states. GS == simple at eps = 0.75 exactly (1/sqrt(1-0.75) = 2).
+  const double balanced_cost = kN * core::balanced_redundancy_factor(0.75);
+  const double gs_cost =
+      kN * core::gs_redundancy_factor(core::gs_parameter_for_level(0.75));
+  EXPECT_NEAR(gs_cost, 2.0 * kN, 1e-6 * kN);
+  EXPECT_NEAR(balanced_cost, kN * (4.0 / 3.0) * std::log(4.0), 1.0);
+  EXPECT_GT(gs_cost - balanced_cost, 50000.0);
+  EXPECT_GT(2.0 * kN - balanced_cost, 50000.0);
+}
+
+}  // namespace

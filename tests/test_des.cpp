@@ -1,0 +1,176 @@
+// Tests for the discrete-event time simulator: conservation laws,
+// scheduling bounds, and the paper's "two-phase doubles the time cost"
+// claim quantified.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "rng/distributions.hpp"
+#include "sim/des.hpp"
+
+namespace core = redund::core;
+namespace sim = redund::sim;
+
+namespace {
+
+core::RealizedPlan simple_plan(std::int64_t n, std::int64_t m) {
+  return core::realize(
+      core::make_simple_redundancy(static_cast<double>(n), m), n, 0.5,
+      {.add_ringers = false});
+}
+
+// --------------------------------------------------------- normal sampler
+
+TEST(NormalSampler, MomentsMatch) {
+  auto engine = redund::rng::make_stream(3, 0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = redund::rng::standard_normal(engine);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(ExponentialSampler, MeanMatches) {
+  auto engine = redund::rng::make_stream(4, 0);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = redund::rng::exponential(2.5, engine);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 2.5, 0.05);
+}
+
+TEST(LognormalSampler, UnitMedian) {
+  auto engine = redund::rng::make_stream(5, 0);
+  int above = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    above += redund::rng::lognormal_unit_median(0.5, engine) > 1.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kDraws, 0.5, 0.01);
+}
+
+// ------------------------------------------------------------------- DES
+
+TEST(Des, ConservationAndBounds) {
+  const auto plan = simple_plan(500, 2);
+  sim::DesConfig config;
+  config.participants = 20;
+  config.seed = 11;
+  const auto result = sim::simulate_schedule(plan, config);
+
+  EXPECT_EQ(result.units_executed, plan.total_assignments());
+  // Makespan bounded below by the work bound and the max-demand bound.
+  EXPECT_GE(result.makespan,
+            result.total_busy_time / 20.0 - 1e-9);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-12);
+  EXPECT_LE(result.mean_task_latency, result.max_task_latency);
+  EXPECT_LE(result.max_task_latency, result.makespan + 1e-12);
+}
+
+TEST(Des, DeterministicForFixedSeed) {
+  const auto plan = simple_plan(300, 2);
+  sim::DesConfig config;
+  config.participants = 10;
+  config.speed_sigma = 0.4;
+  config.seed = 99;
+  const auto a = sim::simulate_schedule(plan, config);
+  const auto b = sim::simulate_schedule(plan, config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_busy_time, b.total_busy_time);
+}
+
+TEST(Des, HomogeneousDeterministicIsExact) {
+  // 100 singleton tasks of unit demand on 10 unit-speed hosts: makespan
+  // is exactly 10 and utilization exactly 1.
+  core::RealizedPlan plan;
+  plan.counts = {100};
+  plan.task_count = 100;
+  plan.work_assignments = 100;
+  sim::DesConfig config;
+  config.participants = 10;
+  config.deterministic_service = true;
+  const auto result = sim::simulate_schedule(plan, config);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(result.utilization, 1.0);
+}
+
+TEST(Des, PhaseSerializationDoublesTimeForSimpleRedundancy) {
+  // The paper's Section-1 claim: requiring one outstanding copy at a time
+  // "doubles both the resource and time costs". With multiplicity-2 tasks,
+  // deterministic unit demands and ample parallelism, the serialized
+  // makespan is exactly twice the overlapped one.
+  const auto plan = simple_plan(200, 2);
+  sim::DesConfig config;
+  config.participants = 400;  // Enough to run everything in parallel.
+  config.deterministic_service = true;
+
+  config.policy = sim::DispatchPolicy::kAllAtOnce;
+  const auto overlapped = sim::simulate_schedule(plan, config);
+  config.policy = sim::DispatchPolicy::kPhaseSerialized;
+  const auto serialized = sim::simulate_schedule(plan, config);
+
+  EXPECT_DOUBLE_EQ(overlapped.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(serialized.makespan, 2.0);
+  // Resource cost (busy time) identical — the doubling is in *time*.
+  EXPECT_DOUBLE_EQ(overlapped.total_busy_time, serialized.total_busy_time);
+}
+
+TEST(Des, SerializedCriticalPathScalesWithTopMultiplicity) {
+  // Balanced plans have a short tail of high-multiplicity tasks; under
+  // serialization those chains dominate latency.
+  const auto plan = core::realize(
+      core::make_balanced(2000.0, 0.75, {.truncate_below = 1e-9}), 2000,
+      0.75);
+  sim::DesConfig config;
+  config.participants = 5000;
+  config.deterministic_service = true;
+
+  config.policy = sim::DispatchPolicy::kAllAtOnce;
+  const auto overlapped = sim::simulate_schedule(plan, config);
+  config.policy = sim::DispatchPolicy::kPhaseSerialized;
+  const auto serialized = sim::simulate_schedule(plan, config);
+
+  EXPECT_DOUBLE_EQ(overlapped.makespan, 1.0);
+  // Top chain = ringer multiplicity (12 at these parameters).
+  EXPECT_DOUBLE_EQ(serialized.makespan,
+                   static_cast<double>(plan.ringer_multiplicity));
+}
+
+TEST(Des, SlowParticipantsStretchMakespan) {
+  const auto plan = simple_plan(1000, 2);
+  sim::DesConfig config;
+  config.participants = 50;
+  config.seed = 21;
+
+  config.speed_sigma = 0.0;
+  const auto homogeneous = sim::simulate_schedule(plan, config);
+  config.speed_sigma = 1.0;  // Heavy spread: some hosts are very slow.
+  const auto heterogeneous = sim::simulate_schedule(plan, config);
+  EXPECT_GT(heterogeneous.makespan, homogeneous.makespan);
+}
+
+TEST(Des, RejectsBadConfig) {
+  const auto plan = simple_plan(10, 2);
+  sim::DesConfig config;
+  config.participants = 0;
+  EXPECT_THROW((void)sim::simulate_schedule(plan, config), std::invalid_argument);
+  config.participants = 1;
+  config.mean_service = 0.0;
+  EXPECT_THROW((void)sim::simulate_schedule(plan, config), std::invalid_argument);
+  config.mean_service = 1.0;
+  EXPECT_THROW((void)sim::simulate_schedule(core::RealizedPlan{}, config),
+               std::invalid_argument);
+}
+
+}  // namespace

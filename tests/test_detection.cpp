@@ -1,0 +1,152 @@
+// Unit tests for the detection-probability engine against hand-computed
+// values and the closed forms of Sections 2-5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/detection.hpp"
+#include "core/distribution.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+
+using redund::core::Distribution;
+using redund::core::asymptotic_detection;
+using redund::core::detection_probability;
+using redund::core::min_detection;
+using redund::core::weakest_tuple;
+
+namespace {
+
+TEST(AsymptoticDetection, HandComputedTwoComponent) {
+  // x_1 = 60, x_2 = 40: P_1 = C(2,1)*40 / (60 + C(2,1)*40) = 80/140.
+  const Distribution d({60.0, 40.0});
+  EXPECT_NEAR(asymptotic_detection(d, 1), 80.0 / 140.0, 1e-12);
+  // P_2 = 0: nothing above multiplicity 2.
+  EXPECT_DOUBLE_EQ(asymptotic_detection(d, 2), 0.0);
+}
+
+TEST(AsymptoticDetection, HandComputedThreeComponent) {
+  // x = (50, 30, 20).
+  // P_1 = (2*30 + 3*20) / (50 + 120) = 120/170.
+  // P_2 = C(3,2)*20 / (30 + 60) = 60/90.
+  const Distribution d({50.0, 30.0, 20.0});
+  EXPECT_NEAR(asymptotic_detection(d, 1), 120.0 / 170.0, 1e-12);
+  EXPECT_NEAR(asymptotic_detection(d, 2), 60.0 / 90.0, 1e-12);
+  EXPECT_DOUBLE_EQ(asymptotic_detection(d, 3), 0.0);
+}
+
+TEST(AsymptoticDetection, EmptyMultiplicityWithMassAboveIsCertain) {
+  // x_1 = 0, x_2 = 10: a 1-tuple must come from a pair => always caught.
+  const Distribution d({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(asymptotic_detection(d, 1), 1.0);
+}
+
+TEST(AsymptoticDetection, InvalidArgumentsAreZero) {
+  const Distribution d({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(asymptotic_detection(d, 0), 0.0);
+  EXPECT_DOUBLE_EQ(asymptotic_detection(d, -3), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(d, 1, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(d, 1, -0.1), 0.0);
+}
+
+TEST(NonAsymptoticDetection, ReducesToAsymptoticAtZero) {
+  const Distribution d({5.0, 7.0, 3.0, 1.0});
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(detection_probability(d, k, 0.0),
+                     asymptotic_detection(d, k));
+  }
+}
+
+TEST(NonAsymptoticDetection, DecreasesInP) {
+  // More control => conditioning makes "I hold everything" likelier.
+  const Distribution d({50.0, 30.0, 20.0});
+  double previous = 1.1;
+  for (const double p : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6}) {
+    const double current = detection_probability(d, 1, p);
+    EXPECT_LT(current, previous) << "p=" << p;
+    previous = current;
+  }
+}
+
+TEST(NonAsymptoticDetection, HandComputedFormula) {
+  // Pbar_{1,p} = x_1 / (x_1 + 2(1-p) x_2) for a 2-dim distribution.
+  const Distribution d({60.0, 40.0});
+  const double p = 0.25;
+  const double expected = 1.0 - 60.0 / (60.0 + 2.0 * 0.75 * 40.0);
+  EXPECT_NEAR(detection_probability(d, 1, p), expected, 1e-12);
+}
+
+TEST(NonAsymptoticDetection, MatchesGolleStubblebineClosedForm) {
+  // The generic engine on the geometric distribution must reproduce
+  // P_{k,p} = 1 - (1 - c(1-p))^{k+1} (Section 3.1).
+  const double c = redund::core::gs_parameter_for_level(0.5);
+  const Distribution d = redund::core::make_golle_stubblebine(
+      1e6, c, {.truncate_below = 1e-12, .max_dimension = 256});
+  for (const double p : {0.0, 0.05, 0.15}) {
+    for (std::int64_t k = 1; k <= 8; ++k) {
+      EXPECT_NEAR(detection_probability(d, k, p),
+                  redund::core::gs_detection(c, k, p), 1e-6)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(NonAsymptoticDetection, MatchesBalancedClosedForm) {
+  // Proposition 3: P_{k,p} = 1 - (1-eps)^{1-p}, independent of k.
+  const double eps = 0.6;
+  const Distribution d = redund::core::make_balanced(
+      1e6, eps, {.truncate_below = 1e-12, .max_dimension = 256});
+  for (const double p : {0.0, 0.1, 0.3}) {
+    const double closed = redund::core::balanced_detection(eps, p);
+    for (std::int64_t k = 1; k <= 10; ++k) {
+      EXPECT_NEAR(detection_probability(d, k, p), closed, 1e-6)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(MinDetection, PicksTheWeakestTuple) {
+  // Distribution where P_1 is strong but P_2 is weak:
+  // x = (10, 100, 5): P_1 = (200+15)/(10+215) ~ 0.956,
+  // P_2 = C(3,2)*5/(100+15) = 15/115 ~ 0.130.
+  const Distribution d({10.0, 100.0, 5.0});
+  // Default scan stops below the (assumed verified) top multiplicity.
+  EXPECT_NEAR(min_detection(d, 0.0), 15.0 / 115.0, 1e-12);
+  EXPECT_EQ(weakest_tuple(d, 0.0), 2);
+  // Including the unverified top honestly reports zero protection at k = 3.
+  EXPECT_DOUBLE_EQ(min_detection(d, 0.0, true), 0.0);
+  EXPECT_EQ(weakest_tuple(d, 0.0, true), 3);
+}
+
+TEST(MinDetection, BalancedIsFlatAcrossK) {
+  const double eps = 0.5;
+  // Long truncation so the top-of-dimension edge effect is negligible.
+  const Distribution d = redund::core::make_balanced(
+      1e6, eps, {.truncate_below = 1e-15, .max_dimension = 512});
+  // Exclude the very top multiplicities whose P_k decays by construction of
+  // the finite truncation; Section 6 handles those with ringers.
+  for (std::int64_t k = 1; k <= d.dimension() - 8; ++k) {
+    EXPECT_NEAR(asymptotic_detection(d, k), eps, 1e-6) << "k=" << k;
+  }
+}
+
+TEST(MinDetection, EmptyDistributionIsZero) {
+  EXPECT_DOUBLE_EQ(min_detection(Distribution{}, 0.0), 0.0);
+  EXPECT_EQ(weakest_tuple(Distribution{}, 0.0), 0);
+}
+
+TEST(Detection, LargeMultiplicityStability) {
+  // A distribution with mass at multiplicity 200 exercises the log-domain
+  // binomial path: C(200, 100) overflows naive arithmetic.
+  std::vector<double> components(200, 0.0);
+  components[99] = 1000.0;   // x_100.
+  components[199] = 1.0;     // x_200.
+  const Distribution d{components};
+  const double p100 = asymptotic_detection(d, 100);
+  // C(200,100) ~ 9.05e58 times 1 task dwarfs x_100 = 1000; with naive
+  // arithmetic the numerator would overflow to inf and poison the ratio.
+  EXPECT_GE(p100, 1.0 - 1e-9);
+  EXPECT_LE(p100, 1.0);
+}
+
+}  // namespace

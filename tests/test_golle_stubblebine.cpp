@@ -1,0 +1,129 @@
+// Tests for the Golle-Stubblebine geometric baseline (Section 3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+constexpr double kN = 1.0e6;
+
+core::GolleStubblebineOptions long_tail() {
+  return {.truncate_below = 1e-15, .max_dimension = 512};
+}
+
+TEST(GsParameter, ClosedForm) {
+  // c = 1 - sqrt(1-eps): eps = 0.75 => c = 0.5; eps = 0.5 => c ~ 0.2929.
+  EXPECT_NEAR(core::gs_parameter_for_level(0.75), 0.5, 1e-15);
+  EXPECT_NEAR(core::gs_parameter_for_level(0.5), 1.0 - std::sqrt(0.5), 1e-15);
+  EXPECT_THROW((void)core::gs_parameter_for_level(0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::gs_parameter_for_level(1.0), std::invalid_argument);
+}
+
+TEST(GsParameterNonAsymptotic, ScalesWithP) {
+  // c(eps, p) = (1 - sqrt(1-eps)) / (1-p); RF = (1-p)/(sqrt(1-eps) - p).
+  const double c = core::gs_parameter_for_level_at(0.5, 0.1);
+  EXPECT_NEAR(c, (1.0 - std::sqrt(0.5)) / 0.9, 1e-15);
+  EXPECT_NEAR(core::gs_detection(c, 1, 0.1), 0.5, 1e-12);
+  // Unreachable when p >= sqrt(1-eps).
+  EXPECT_THROW((void)core::gs_parameter_for_level_at(0.99, 0.2),
+               std::invalid_argument);
+}
+
+TEST(GsGeometry, MassAndCost) {
+  const double c = 0.3;
+  const core::Distribution d = core::make_golle_stubblebine(kN, c, long_tail());
+  EXPECT_NEAR(d.task_count(), kN, 1e-6 * kN);
+  // Total assignments = N/(1-c).
+  EXPECT_NEAR(d.total_assignments(), kN / 0.7, 1e-5 * kN);
+  EXPECT_NEAR(d.redundancy_factor(), core::gs_redundancy_factor(c), 1e-7);
+}
+
+TEST(GsGeometry, ComponentsAreGeometric) {
+  const double c = 0.4;
+  const core::Distribution d = core::make_golle_stubblebine(kN, c, long_tail());
+  for (std::int64_t i = 1; i < d.dimension(); ++i) {
+    EXPECT_NEAR(d.tasks_at(i + 1) / d.tasks_at(i), c, 1e-9) << "i=" << i;
+  }
+  EXPECT_NEAR(d.tasks_at(1), (1.0 - c) * kN, 1e-6 * kN);
+}
+
+class GsDetectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GsDetectionSweep, ClosedFormMatchesGenericEngine) {
+  const double eps = GetParam();
+  const double c = core::gs_parameter_for_level(eps);
+  const core::Distribution d =
+      core::make_golle_stubblebine(kN, c, long_tail());
+  // Stay clear of the truncation edge, where the finite representation
+  // necessarily sags below the infinite-tail closed form.
+  const std::int64_t k_max = std::min<std::int64_t>(10, d.dimension() - 5);
+  for (std::int64_t k = 1; k <= k_max; ++k) {
+    EXPECT_NEAR(core::asymptotic_detection(d, k), core::gs_detection(c, k),
+                1e-5)
+        << "k=" << k;
+  }
+}
+
+TEST_P(GsDetectionSweep, DetectionIncreasesWithK) {
+  // The paper's key observation: the adversary's best attack is k = 1, so
+  // all protection above eps at larger k is wasted resource.
+  const double eps = GetParam();
+  const double c = core::gs_parameter_for_level(eps);
+  double previous = 0.0;
+  for (std::int64_t k = 1; k <= 12; ++k) {
+    const double current = core::gs_detection(c, k);
+    EXPECT_GT(current, previous) << "k=" << k;
+    previous = current;
+  }
+  // P_1 lands exactly on the level.
+  EXPECT_NEAR(core::gs_detection(c, 1), eps, 1e-12);
+}
+
+TEST_P(GsDetectionSweep, ValidDistribution) {
+  const double eps = GetParam();
+  const core::Distribution d =
+      core::make_golle_stubblebine_for_level(kN, eps, long_tail());
+  EXPECT_TRUE(core::check_validity(d, kN, eps, 1e-4).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelSweep, GsDetectionSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.75, 0.9));
+
+TEST(GsRedundancy, PaperAnchors) {
+  // RF(eps) = 1/sqrt(1-eps). Beats simple redundancy iff eps < 0.75.
+  EXPECT_NEAR(core::gs_redundancy_factor(core::gs_parameter_for_level(0.5)),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_LT(core::gs_redundancy_factor(core::gs_parameter_for_level(0.74)),
+            2.0);
+  EXPECT_NEAR(core::gs_redundancy_factor(core::gs_parameter_for_level(0.75)),
+              2.0, 1e-12);
+  EXPECT_GT(core::gs_redundancy_factor(core::gs_parameter_for_level(0.76)),
+            2.0);
+}
+
+TEST(GsDetectionNonAsymptotic, DecreasesInP) {
+  const double c = core::gs_parameter_for_level(0.5);
+  double previous = 1.0;
+  for (const double p : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+    const double current = core::gs_detection(c, 1, p);
+    EXPECT_LT(current, previous) << "p=" << p;
+    previous = current;
+  }
+  EXPECT_THROW((void)core::gs_detection(c, 1, -0.5), std::invalid_argument);
+}
+
+TEST(GsConstruction, RejectsBadArguments) {
+  EXPECT_THROW((void)core::make_golle_stubblebine(kN, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::make_golle_stubblebine(kN, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)core::make_golle_stubblebine(-kN, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)core::gs_redundancy_factor(1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(core::gs_detection(0.5, 0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the assignment-minimizing LP systems S_m (Section 3.2): Fact 1's
+// closed form, the Proposition-1 lower bound, feasibility/validity of every
+// solved system, and the qualitative behaviours Figure 2 tabulates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/lower_bound.hpp"
+#include "core/schemes/min_assignment.hpp"
+
+namespace core = redund::core;
+using redund::lp::SolveStatus;
+
+namespace {
+
+constexpr double kN = 100000.0;  // Figure 2's N.
+constexpr double kHalf = 0.5;    // Figure 2's epsilon.
+
+TEST(LowerBound, ClosedFormAnchors) {
+  // 2/(2-eps): 4/3 at eps = 1/2 (the value quoted after Fact 1).
+  EXPECT_NEAR(core::redundancy_lower_bound(0.5), 4.0 / 3.0, 1e-15);
+  EXPECT_NEAR(core::assignment_lower_bound(kN, 0.5), 2.0 * kN / 1.5, 1e-9);
+  EXPECT_THROW((void)core::redundancy_lower_bound(0.0), std::invalid_argument);
+}
+
+TEST(LowerBound, RelaxedOptimumStructure) {
+  // Appendix B: x_1 = 2N(1-eps)/(2-eps), x_2 = N eps/(2-eps); it satisfies
+  // C_0 and C_1 with equality but violates C_2.
+  const core::Distribution d = core::relaxed_optimum(kN, kHalf);
+  EXPECT_NEAR(d.tasks_at(1), 2.0 * kN * 0.5 / 1.5, 1e-9);
+  EXPECT_NEAR(d.tasks_at(2), kN * 0.5 / 1.5, 1e-9);
+  EXPECT_NEAR(d.task_count(), kN, 1e-9);
+  EXPECT_NEAR(d.total_assignments(), core::assignment_lower_bound(kN, kHalf),
+              1e-8);
+  EXPECT_NEAR(core::asymptotic_detection(d, 1), kHalf, 1e-12);
+  EXPECT_DOUBLE_EQ(core::asymptotic_detection(d, 2), 0.0);  // C_2 violated.
+}
+
+TEST(MinAssignment, S2MatchesRelaxedOptimum) {
+  // S_2 *is* the relaxed system {C_0, C_1}: the simplex must land on the
+  // Appendix-B closed form exactly.
+  const auto result = core::solve_min_assignment(kN, kHalf, 2);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.total_assignments,
+              core::assignment_lower_bound(kN, kHalf), 1e-4 * kN);
+  EXPECT_NEAR(result.distribution.tasks_at(1), 2.0 * kN * 0.5 / 1.5,
+              1e-3 * kN);
+}
+
+class Fact1Sweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Fact1Sweep, LpReproducesClosedFormObjective) {
+  const std::int64_t m = GetParam();
+  const auto result = core::solve_min_assignment(kN, kHalf, m);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal) << "m=" << m;
+
+  // Optimal objective matches Fact 1's 4m^2/(3m^2 - m + 2) redundancy.
+  // (The vertex itself is not unique — the paper notes tail mass sometimes
+  // splits between x_{m-1} and x_m — so only the objective is pinned.)
+  EXPECT_NEAR(result.distribution.redundancy_factor(),
+              core::min_assignment_rf_half(m), 1e-6)
+      << "m=" << m;
+  EXPECT_NEAR(result.distribution.task_count(), kN, 1e-6 * kN);
+  // Structural property shared by all optimal vertices: the bulk of the
+  // mass sits at multiplicities 1 and 2.
+  EXPECT_GT(result.distribution.tasks_at(1) + result.distribution.tasks_at(2),
+            0.9 * kN)
+      << "m=" << m;
+}
+
+TEST_P(Fact1Sweep, SolutionIsValidMDimensional) {
+  const std::int64_t m = GetParam();
+  const auto result = core::solve_min_assignment(kN, kHalf, m);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(core::check_validity(result.distribution, kN, kHalf, 1e-6).valid)
+      << "m=" << m;
+}
+
+TEST_P(Fact1Sweep, ClosedFormIsFeasibleForTheLp) {
+  const std::int64_t m = GetParam();
+  const auto model = core::build_min_assignment_model(kN, kHalf, m);
+  const core::Distribution closed =
+      core::min_assignment_closed_form_half(kN, m);
+  std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+  for (std::int64_t i = 1; i <= m; ++i) {
+    x[static_cast<std::size_t>(i - 1)] = closed.tasks_at(i);
+  }
+  EXPECT_TRUE(model.is_feasible(x, 1e-7)) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, Fact1Sweep,
+                         ::testing::Values<std::int64_t>(6, 8, 10, 12, 16, 20,
+                                                         26));
+
+TEST(MinAssignment, CostDecreasesTowardLowerBound) {
+  // Figure 2's global trend: larger dimension => fewer assignments,
+  // approaching (but strictly above) 2N/(2-eps).
+  double previous = 1e18;
+  for (const std::int64_t m : {4, 8, 16, 26}) {
+    const auto result = core::solve_min_assignment(kN, kHalf, m);
+    ASSERT_EQ(result.status, SolveStatus::kOptimal);
+    EXPECT_LT(result.total_assignments, previous + 1e-6) << "m=" << m;
+    EXPECT_GT(result.total_assignments,
+              core::assignment_lower_bound(kN, kHalf));
+    previous = result.total_assignments;
+  }
+}
+
+TEST(MinAssignment, PrecomputeDecreasesWithDimension) {
+  // Figure 2's second trend (modulo the paper's noted local exceptions —
+  // compare well-separated dimensions).
+  const auto small = core::solve_min_assignment(kN, kHalf, 6);
+  const auto large = core::solve_min_assignment(kN, kHalf, 20);
+  ASSERT_EQ(small.status, SolveStatus::kOptimal);
+  ASSERT_EQ(large.status, SolveStatus::kOptimal);
+  EXPECT_GT(small.precompute_required, large.precompute_required);
+  // Fact 1: precompute = x_m = 2N/(3m^2 - m + 2).
+  EXPECT_NEAR(small.precompute_required, 2.0 * kN / (3.0 * 36 - 6 + 2), 1.0);
+}
+
+TEST(MinAssignment, NonAsymptoticDetectionCollapses) {
+  // Figure 2's third trend: with p > 0, some P_{k,p} of the minimizing
+  // distribution drops far below eps — unlike Balanced, which stays at
+  // 1-(1-eps)^{1-p}.
+  const auto result = core::solve_min_assignment(kN, kHalf, 16);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  const double worst = core::min_detection(result.distribution, 0.10);
+  const double balanced = core::balanced_detection(kHalf, 0.10);
+  EXPECT_LT(worst, 0.5 * balanced);
+  EXPECT_GT(balanced, 0.45);  // ~0.4648.
+}
+
+TEST(MinAssignment, EqualityVariantApproachesBalanced) {
+  // Augmenting S_m with equality constraints (the discussion after Prop. 2)
+  // yields costs within a fraction of a percent of Balanced's.
+  const auto result = core::solve_min_assignment_equality(kN, kHalf, 24);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  const double balanced_cost =
+      kN * core::balanced_redundancy_factor(kHalf);
+  EXPECT_NEAR(result.total_assignments, balanced_cost, 0.01 * balanced_cost);
+}
+
+TEST(MinAssignment, GeneralEpsilonSolutionsAreValid) {
+  for (const double eps : {0.25, 0.6, 0.75}) {
+    for (const std::int64_t m : {4, 9, 14}) {
+      const auto result = core::solve_min_assignment(kN, eps, m);
+      ASSERT_EQ(result.status, SolveStatus::kOptimal)
+          << "eps=" << eps << " m=" << m;
+      EXPECT_TRUE(
+          core::check_validity(result.distribution, kN, eps, 1e-6).valid)
+          << "eps=" << eps << " m=" << m;
+      EXPECT_GT(result.total_assignments,
+                core::assignment_lower_bound(kN, eps));
+    }
+  }
+}
+
+TEST(MinAssignment, RejectsBadArguments) {
+  EXPECT_THROW((void)core::solve_min_assignment(kN, kHalf, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::solve_min_assignment(kN, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)core::solve_min_assignment(0.0, kHalf, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::min_assignment_closed_form_half(kN, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::min_assignment_rf_half(4), std::invalid_argument);
+}
+
+}  // namespace

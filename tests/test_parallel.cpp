@@ -1,0 +1,190 @@
+// Unit tests for redund_parallel: pool lifecycle, task execution, exception
+// propagation, and the determinism contract of parallel_reduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace p = redund::parallel;
+
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  p::ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeHonoured) {
+  p::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  p::ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  p::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  p::ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  p::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    (void)pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, DestructorCompletesOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    p::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&done] { ++done; });
+    }
+  }  // Destructor joins after draining.
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks) {
+  p::ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 7; });
+    return inner;
+  });
+  EXPECT_EQ(outer.get().get(), 7);
+}
+
+// ---------------------------------------------------------------- decompose
+
+TEST(Decompose, CoversRangeExactlyOnce) {
+  for (const std::size_t count : {0u, 1u, 7u, 100u, 101u}) {
+    for (const std::size_t pieces : {1u, 2u, 3u, 8u, 200u}) {
+      const auto blocks = p::decompose(count, pieces);
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (const auto& [begin, end] : blocks) {
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LT(begin, end);  // Never empty.
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, count) << "count=" << count << " pieces=" << pieces;
+    }
+  }
+}
+
+TEST(Decompose, BlockSizesDifferByAtMostOne) {
+  const auto blocks = p::decompose(103, 8);
+  std::size_t smallest = 1000;
+  std::size_t largest = 0;
+  for (const auto& [begin, end] : blocks) {
+    smallest = std::min(smallest, end - begin);
+    largest = std::max(largest, end - begin);
+  }
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+// ------------------------------------------------------------- parallel_for
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  p::ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  p::parallel_for(pool, visits.size(),
+                  [&visits](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  p::ThreadPool pool(2);
+  bool ran = false;
+  p::parallel_for(pool, 0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  p::ThreadPool pool(2);
+  EXPECT_THROW(p::parallel_for(pool, 10,
+                               [](std::size_t i) {
+                                 if (i == 5) throw std::logic_error("bad");
+                               }),
+               std::logic_error);
+}
+
+// ---------------------------------------------------------- parallel_reduce
+
+TEST(ParallelReduce, SumsIntegers) {
+  p::ThreadPool pool(4);
+  const auto total = p::parallel_reduce<long>(
+      pool, 1000, 0L, [](std::size_t i) { return static_cast<long>(i + 1); },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(total, 500500L);
+}
+
+TEST(ParallelReduce, DeterministicAcrossPoolSizes) {
+  // Floating-point reduction must be bit-identical for any thread count: the
+  // combine order is fixed by block index, not by completion order.
+  const auto run = [](std::size_t threads) {
+    p::ThreadPool pool(threads);
+    return p::parallel_reduce<double>(
+        pool, 5000, 0.0,
+        [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); },
+        [](double a, double b) { return a + b; });
+  };
+  const double reference = run(1);
+  // Note: identical block decomposition requires identical pool sizes; the
+  // guarantee is "same pool size => bit-identical", and "different pool
+  // size => equal within summation noise".
+  EXPECT_EQ(run(1), reference);
+  EXPECT_NEAR(run(2), reference, 1e-9);
+  EXPECT_NEAR(run(4), reference, 1e-9);
+  EXPECT_EQ(run(4), run(4));
+}
+
+TEST(ParallelReduce, IdentityReturnedForZeroCount) {
+  p::ThreadPool pool(2);
+  const auto result = p::parallel_reduce<int>(
+      pool, 0, -17, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, -17);
+}
+
+TEST(ParallelReduce, NonCommutativeCombinePreservesOrder) {
+  // Concatenation is order-sensitive; result must be "0123...".
+  p::ThreadPool pool(3);
+  const auto result = p::parallel_reduce<std::string>(
+      pool, 10, std::string{},
+      [](std::size_t i) { return std::to_string(i); },
+      [](std::string a, const std::string& b) { return a + b; });
+  EXPECT_EQ(result, "0123456789");
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for plan serialization: round-trips across every scheme, format
+// stability, and rejection of malformed/inconsistent inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/plan_io.hpp"
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+void expect_plans_equal(const core::RealizedPlan& a,
+                        const core::RealizedPlan& b) {
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.task_count, b.task_count);
+  EXPECT_EQ(a.tail_multiplicity, b.tail_multiplicity);
+  EXPECT_EQ(a.tail_tasks, b.tail_tasks);
+  EXPECT_EQ(a.ringer_count, b.ringer_count);
+  EXPECT_EQ(a.ringer_multiplicity, b.ringer_multiplicity);
+  EXPECT_EQ(a.work_assignments, b.work_assignments);
+  EXPECT_EQ(a.ringer_assignments, b.ringer_assignments);
+  EXPECT_EQ(a.total_assignments(), b.total_assignments());
+}
+
+class PlanIoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanIoRoundTrip, EverySchemeSurvives) {
+  constexpr std::int64_t kN = 5000;
+  core::RealizedPlan plan;
+  switch (GetParam()) {
+    case 0:
+      plan = core::realize(core::make_balanced(kN, 0.5), kN, 0.5);
+      break;
+    case 1:
+      plan = core::realize(core::make_balanced(kN, 0.99), kN, 0.99);
+      break;
+    case 2:
+      plan = core::realize(core::make_golle_stubblebine_for_level(kN, 0.75),
+                           kN, 0.75);
+      break;
+    case 3:
+      plan = core::realize(core::make_min_multiplicity(kN, 0.5, 3), kN, 0.5);
+      break;
+    case 4:  // No ringers, no tail.
+      plan = core::realize(core::make_simple_redundancy(kN, 2), kN, 0.5,
+                           {.add_ringers = false});
+      break;
+    default:
+      FAIL();
+  }
+  const core::RealizedPlan parsed = core::parse_plan(core::to_text(plan));
+  expect_plans_equal(plan, parsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PlanIoRoundTrip, ::testing::Range(0, 5));
+
+TEST(PlanIo, HandWrittenWithCommentsParses) {
+  const char* text =
+      "# deployment for campaign 7\n"
+      "redundancy-plan v1\n"
+      "tasks 10   # ten tasks\n"
+      "counts 4 5 1\n"
+      "tail 3 1\n"
+      "ringers 2 4\n"
+      "end\n";
+  const auto plan = core::parse_plan(text);
+  EXPECT_EQ(plan.task_count, 10);
+  EXPECT_EQ(plan.counts, (std::vector<std::int64_t>{4, 5, 1}));
+  EXPECT_EQ(plan.tail_multiplicity, 3);
+  EXPECT_EQ(plan.ringer_count, 2);
+  EXPECT_EQ(plan.work_assignments, 4 + 10 + 3);
+  EXPECT_EQ(plan.ringer_assignments, 8);
+  EXPECT_EQ(plan.total_assignments(), 25);
+}
+
+TEST(PlanIo, RejectsMalformedInputs) {
+  // Wrong header.
+  EXPECT_THROW((void)core::parse_plan("redundancy-plan v2\ntasks 1\ncounts 1\nend\n"),
+               std::invalid_argument);
+  // Missing end.
+  EXPECT_THROW((void)core::parse_plan("redundancy-plan v1\ntasks 1\ncounts 1\n"),
+               std::invalid_argument);
+  // Missing counts.
+  EXPECT_THROW((void)core::parse_plan("redundancy-plan v1\ntasks 1\nend\n"),
+               std::invalid_argument);
+  // Counts/tasks mismatch.
+  EXPECT_THROW(
+      (void)core::parse_plan("redundancy-plan v1\ntasks 5\ncounts 1 1\nend\n"),
+      std::invalid_argument);
+  // Negative count.
+  EXPECT_THROW(
+      (void)core::parse_plan("redundancy-plan v1\ntasks 1\ncounts -1 2\nend\n"),
+      std::invalid_argument);
+  // Non-numeric count.
+  EXPECT_THROW(
+      (void)core::parse_plan("redundancy-plan v1\ntasks 2\ncounts 1 x\nend\n"),
+      std::invalid_argument);
+  // Unknown keyword.
+  EXPECT_THROW((void)core::parse_plan(
+                   "redundancy-plan v1\ntasks 1\ncounts 1\nbogus 3\nend\n"),
+               std::invalid_argument);
+  // Content after end.
+  EXPECT_THROW((void)core::parse_plan(
+                   "redundancy-plan v1\ntasks 1\ncounts 1\nend\ntasks 2\n"),
+               std::invalid_argument);
+  // Ringers not one above the top band.
+  EXPECT_THROW((void)core::parse_plan("redundancy-plan v1\ntasks 2\ncounts 1 1\n"
+                                "ringers 1 9\nend\n"),
+               std::invalid_argument);
+  // Tail band larger than the counts there.
+  EXPECT_THROW((void)core::parse_plan("redundancy-plan v1\ntasks 3\ncounts 2 1\n"
+                                "tail 2 5\nend\n"),
+               std::invalid_argument);
+  // Trailing zero count.
+  EXPECT_THROW(
+      (void)core::parse_plan("redundancy-plan v1\ntasks 1\ncounts 1 0\nend\n"),
+      std::invalid_argument);
+}
+
+TEST(PlanIo, StreamInterfacesMatchStringOnes) {
+  constexpr std::int64_t kN = 1000;
+  const auto plan = core::realize(core::make_balanced(kN, 0.5), kN, 0.5);
+  std::stringstream buffer;
+  core::write_plan(buffer, plan);
+  EXPECT_EQ(buffer.str(), core::to_text(plan));
+  const auto parsed = core::read_plan(buffer);
+  expect_plans_equal(plan, parsed);
+}
+
+TEST(PlanIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)core::parse_plan("redundancy-plan v1\ntasks 1\nbroken\nend\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the high-level planning facade.
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+TEST(Planner, BalancedPlanHitsTheLevel) {
+  core::PlanRequest request;
+  request.task_count = 100000;
+  request.epsilon = 0.5;
+  request.scheme = core::Scheme::kBalanced;
+  const core::Plan plan = core::make_plan(request);
+
+  EXPECT_NEAR(plan.achieved_level, 0.5, 5e-3);
+  // Prop. 3 at p = 0.10: 1 - 0.5^0.9 ~ 0.4648.
+  EXPECT_NEAR(plan.achieved_level_p10, core::balanced_detection(0.5, 0.10),
+              5e-3);
+  EXPECT_NEAR(plan.theoretical.redundancy_factor(),
+              core::balanced_redundancy_factor(0.5), 1e-6);
+  EXPECT_GT(plan.realized.ringer_count, 0);
+}
+
+TEST(Planner, GolleStubblebinePlan) {
+  core::PlanRequest request;
+  request.task_count = 100000;
+  request.epsilon = 0.5;
+  request.scheme = core::Scheme::kGolleStubblebine;
+  const core::Plan plan = core::make_plan(request);
+  EXPECT_GE(plan.achieved_level, 0.5 - 5e-3);
+  EXPECT_NEAR(plan.theoretical.redundancy_factor(),
+              core::gs_redundancy_factor(core::gs_parameter_for_level(0.5)),
+              1e-6);
+}
+
+TEST(Planner, SchemeCostOrderingAtHalf) {
+  // Balanced < GS < simple at eps = 1/2 — the paper's headline comparison —
+  // including realization overhead.
+  core::PlanRequest request;
+  request.task_count = 200000;
+  request.epsilon = 0.5;
+
+  request.scheme = core::Scheme::kBalanced;
+  const auto balanced = core::make_plan(request);
+  request.scheme = core::Scheme::kGolleStubblebine;
+  const auto gs = core::make_plan(request);
+  request.scheme = core::Scheme::kSimple;
+  const auto simple = core::make_plan(request);
+
+  EXPECT_LT(balanced.realized.total_assignments(),
+            gs.realized.total_assignments());
+  EXPECT_LT(gs.realized.total_assignments(),
+            simple.realized.total_assignments());
+}
+
+TEST(Planner, MinAssignmentIsCheapestButFragile) {
+  core::PlanRequest request;
+  request.task_count = 100000;
+  request.epsilon = 0.5;
+  request.lp_dimension = 16;
+
+  request.scheme = core::Scheme::kMinAssignment;
+  const auto lp = core::make_plan(request);
+  request.scheme = core::Scheme::kBalanced;
+  const auto balanced = core::make_plan(request);
+
+  EXPECT_LT(lp.theoretical.total_assignments(),
+            balanced.theoretical.total_assignments());
+  // ...but its detection collapses at p = 0.10 while Balanced holds.
+  EXPECT_LT(lp.achieved_level_p10, balanced.achieved_level_p10);
+}
+
+TEST(Planner, MinMultiplicityPlanEnforcesFloor) {
+  core::PlanRequest request;
+  request.task_count = 50000;
+  request.epsilon = 0.5;
+  request.scheme = core::Scheme::kMinMultiplicity;
+  request.minimum_multiplicity = 2;
+  const auto plan = core::make_plan(request);
+  EXPECT_EQ(plan.realized.tasks_at(1), 0);
+  EXPECT_GT(plan.realized.tasks_at(2), 0);
+  EXPECT_NEAR(plan.theoretical.redundancy_factor(),
+              core::min_multiplicity_redundancy_factor(0.5, 2), 1e-6);
+  EXPECT_GE(plan.achieved_level, 0.5 - 5e-3);
+}
+
+TEST(Planner, SimplePlanIsHonestAboutCollusion) {
+  core::PlanRequest request;
+  request.task_count = 1000;
+  request.epsilon = 0.5;
+  request.scheme = core::Scheme::kSimple;
+  request.add_ringers = false;
+  const auto plan = core::make_plan(request);
+  // Without ringers, an adversary holding both copies is never caught.
+  EXPECT_EQ(plan.achieved_level, 0.0);
+}
+
+TEST(Planner, SchemeNames) {
+  EXPECT_EQ(core::to_string(core::Scheme::kSimple), "simple");
+  EXPECT_EQ(core::to_string(core::Scheme::kGolleStubblebine),
+            "golle-stubblebine");
+  EXPECT_EQ(core::to_string(core::Scheme::kBalanced), "balanced");
+  EXPECT_EQ(core::to_string(core::Scheme::kMinAssignment), "min-assignment");
+  EXPECT_EQ(core::to_string(core::Scheme::kMinMultiplicity),
+            "min-multiplicity");
+}
+
+TEST(Planner, RejectsBadRequest) {
+  core::PlanRequest request;
+  request.task_count = 0;
+  EXPECT_THROW((void)core::make_plan(request), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// Tests for the platform layer: registry/Sybil enrollment, the
+// one-copy-per-identity scheduling rule (and how Sybils defeat it),
+// verification, resolution policies, and the reactive supervisor loop.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/min_multiplicity.hpp"
+#include "platform/campaign.hpp"
+#include "platform/registry.hpp"
+#include "platform/scheduler.hpp"
+
+namespace core = redund::core;
+namespace plat = redund::platform;
+namespace sim = redund::sim;
+
+namespace {
+
+core::RealizedPlan small_balanced_plan(std::int64_t n, double eps) {
+  return core::realize(
+      core::make_balanced(static_cast<double>(n), eps,
+                          {.truncate_below = 1e-9}),
+      n, eps);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, EnrollAssignsSequentialIdsAndNames) {
+  plat::Registry registry;
+  const auto a = registry.enroll(plat::Principal::kHonest);
+  const auto b = registry.enroll(plat::Principal::kHonest, "alice");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(registry.record(a).name, "user0");
+  EXPECT_EQ(registry.record(b).name, "alice");
+  EXPECT_EQ(registry.size(), 2);
+}
+
+TEST(Registry, SybilEnrollmentIsBulkAndContiguous) {
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  const auto first = registry.enroll_sybils(50);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(registry.size(), 51);
+  EXPECT_EQ(registry.adversary_count(), 50);
+  EXPECT_THROW(registry.enroll_sybils(0), std::invalid_argument);
+}
+
+TEST(Registry, BlacklistAffectsActiveCount) {
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  registry.blacklist(0);
+  EXPECT_EQ(registry.active_count(), 1);
+  EXPECT_EQ(registry.blacklisted_count(), 1);
+  EXPECT_TRUE(registry.record(0).blacklisted);
+  EXPECT_THROW((void)registry.record(99), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(Scheduler, MaterializesPlanExactly) {
+  const auto plan = small_balanced_plan(500, 0.5);
+  plat::Scheduler scheduler(plan);
+  EXPECT_EQ(scheduler.task_count(), 500 + plan.ringer_count);
+  EXPECT_EQ(scheduler.unit_count(), plan.total_assignments());
+  std::int64_t ringers = 0;
+  for (const auto& task : scheduler.tasks()) ringers += task.is_ringer ? 1 : 0;
+  EXPECT_EQ(ringers, plan.ringer_count);
+}
+
+TEST(Scheduler, DealHonoursOneCopyPerIdentity) {
+  const auto plan = small_balanced_plan(500, 0.5);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  for (int i = 0; i < 40; ++i) registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(5, 0);
+  scheduler.deal(registry, engine);
+
+  std::set<std::pair<std::int64_t, plat::ParticipantId>> seen;
+  for (const auto& unit : scheduler.units()) {
+    const bool inserted = seen.insert({unit.task, unit.assignee}).second;
+    EXPECT_TRUE(inserted) << "identity " << unit.assignee
+                          << " holds two copies of task " << unit.task;
+  }
+}
+
+TEST(Scheduler, DealRequiresEnoughIdentities) {
+  const auto plan = small_balanced_plan(200, 0.5);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);  // One identity: too few.
+  auto engine = redund::rng::make_stream(6, 0);
+  EXPECT_THROW(scheduler.deal(registry, engine), std::invalid_argument);
+}
+
+TEST(Scheduler, SybilsDefeatTheOneCopyRule) {
+  // With enough Sybil identities, one principal ends up holding multiple
+  // copies of some task even though no single *identity* does — the paper's
+  // core threat.
+  const auto plan = small_balanced_plan(300, 0.5);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  for (int i = 0; i < 20; ++i) registry.enroll(plat::Principal::kHonest);
+  registry.enroll_sybils(20);  // Principal controls half the identities.
+  auto engine = redund::rng::make_stream(7, 0);
+  scheduler.deal(registry, engine);
+
+  std::vector<int> adversary_copies(
+      static_cast<std::size_t>(scheduler.task_count()), 0);
+  for (const auto& unit : scheduler.units()) {
+    if (registry.record(unit.assignee).principal ==
+        plat::Principal::kAdversary) {
+      ++adversary_copies[static_cast<std::size_t>(unit.task)];
+    }
+  }
+  int fully_held_multicopy = 0;
+  for (std::size_t t = 0; t < adversary_copies.size(); ++t) {
+    if (adversary_copies[t] >= 2 &&
+        adversary_copies[t] == scheduler.tasks()[t].multiplicity) {
+      ++fully_held_multicopy;
+    }
+  }
+  EXPECT_GT(fully_held_multicopy, 0);
+}
+
+TEST(Scheduler, ReassignMovesEveryUnitOffTheIdentity) {
+  const auto plan = small_balanced_plan(300, 0.5);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  for (int i = 0; i < 30; ++i) registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(8, 0);
+  scheduler.deal(registry, engine);
+
+  std::int64_t held_before = 0;
+  for (const auto& unit : scheduler.units()) held_before += unit.assignee == 3;
+  ASSERT_GT(held_before, 0);
+
+  registry.blacklist(3);
+  const auto moved = scheduler.reassign_from(3, registry, engine);
+  EXPECT_EQ(static_cast<std::int64_t>(moved.size()), held_before);
+  for (const auto& unit : scheduler.units()) {
+    EXPECT_NE(unit.assignee, 3u);
+  }
+  // One-copy rule still intact after the reshuffle.
+  std::set<std::pair<std::int64_t, plat::ParticipantId>> seen;
+  for (const auto& unit : scheduler.units()) {
+    EXPECT_TRUE(seen.insert({unit.task, unit.assignee}).second);
+  }
+}
+
+// ----------------------------------------------------------------- campaign
+
+TEST(Campaign, AllHonestNoErrorsIsClean) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(400, 0.5);
+  config.honest_participants = 30;
+  const auto report = plat::run_campaign(config);
+  EXPECT_EQ(report.final_corrupt_tasks, 0);
+  EXPECT_EQ(report.mismatches_detected, 0);
+  EXPECT_EQ(report.ringer_catches, 0);
+  EXPECT_FALSE(report.alarm_fired());
+  EXPECT_EQ(report.final_correct_tasks, report.tasks);
+  EXPECT_EQ(report.blacklisted_identities, 0);
+}
+
+TEST(Campaign, CollusionTriggersAlarmOnBalancedPlan) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(2000, 0.5);
+  config.honest_participants = 60;
+  config.sybil_identities = 15;  // ~20% of identities.
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  const auto report = plat::run_campaign(config);
+  EXPECT_GT(report.adversary_cheat_attempts, 0);
+  EXPECT_TRUE(report.alarm_fired());
+  EXPECT_GT(report.blacklisted_identities, 0);
+}
+
+TEST(Campaign, ReactionRestoresIntegrityWithRecompute) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(2000, 0.75);  // Strong protection.
+  config.honest_participants = 60;
+  config.sybil_identities = 15;
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.resolution = plat::Resolution::kRecompute;
+  config.reactive = true;
+  const auto report = plat::run_campaign(config);
+  ASSERT_TRUE(report.alarm_fired());
+  // Reaction requeues the caught identities' work; most corruption gets
+  // cleaned (fully-held tasks by *uncaught* identities may survive).
+  EXPECT_LT(report.corruption_rate(), 0.05);
+  EXPECT_GT(report.requeued_units, 0);
+}
+
+TEST(Campaign, NonReactiveLeavesCorruption) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(2000, 0.5);
+  config.honest_participants = 60;
+  config.sybil_identities = 15;
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.reactive = false;
+
+  const auto passive = plat::run_campaign(config);
+  config.reactive = true;
+  const auto reactive = plat::run_campaign(config);
+  EXPECT_GT(passive.final_corrupt_tasks, reactive.final_corrupt_tasks);
+  EXPECT_EQ(passive.blacklisted_identities, 0);
+}
+
+TEST(Campaign, MajorityVoteCanBeFooledRecomputeCannot) {
+  // With a large colluding share, plurality can crown the wrong value and
+  // even blacklist honest truth-tellers; recompute never accepts a wrong
+  // value on a contested task.
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(2000, 0.5);
+  config.honest_participants = 40;
+  config.sybil_identities = 40;  // Half the identities collude.
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.reactive = false;
+
+  config.resolution = plat::Resolution::kRecompute;
+  const auto recompute = plat::run_campaign(config);
+  config.resolution = plat::Resolution::kMajorityVote;
+  const auto majority = plat::run_campaign(config);
+
+  EXPECT_GT(majority.final_corrupt_tasks, recompute.final_corrupt_tasks);
+  EXPECT_EQ(recompute.false_accusations, 0);
+  EXPECT_GT(majority.false_accusations, 0);
+}
+
+TEST(Campaign, BenignErrorsSurfaceAsMismatchesWithMultiplicityFloor) {
+  // Section-7 motivation: with a multiplicity floor of 2, benign errors are
+  // caught as mismatches; with singletons (plain Balanced), some corrupt
+  // the output silently.
+  plat::CampaignConfig config;
+  config.honest_participants = 50;
+  config.benign_error_rate = 0.02;
+  config.reactive = false;
+
+  config.plan = small_balanced_plan(2000, 0.5);  // ~57% singletons.
+  const auto singletons = plat::run_campaign(config);
+
+  const auto floored = core::realize(
+      core::make_min_multiplicity(2000.0, 0.5, 2, {.truncate_below = 1e-9}),
+      2000, 0.5);
+  config.plan = floored;
+  const auto with_floor = plat::run_campaign(config);
+
+  EXPECT_GT(singletons.final_corrupt_tasks, 0);
+  EXPECT_EQ(with_floor.final_corrupt_tasks, 0);
+  EXPECT_GT(with_floor.mismatches_detected, 0);
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(1000, 0.5);
+  config.honest_participants = 40;
+  config.sybil_identities = 10;
+  config.seed = 77;
+  const auto a = plat::run_campaign(config);
+  const auto b = plat::run_campaign(config);
+  EXPECT_EQ(a.final_corrupt_tasks, b.final_corrupt_tasks);
+  EXPECT_EQ(a.mismatches_detected, b.mismatches_detected);
+  EXPECT_EQ(a.blacklisted_identities, b.blacklisted_identities);
+  EXPECT_EQ(a.requeued_units, b.requeued_units);
+}
+
+TEST(CampaignSeries, BlacklistAccumulatesAcrossRounds) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(1500, 0.5);
+  config.honest_participants = 60;
+  config.sybil_identities = 10;
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.reactive = true;
+
+  const auto reports = plat::run_campaign_series(config, 4, 10);
+  ASSERT_EQ(reports.size(), 4u);
+  // Every round's fresh Sybils cheat and get caught; with replenishment 10,
+  // cumulative blacklisting keeps pace with enrollment.
+  std::int64_t blacklisted_total = 0;
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.alarm_fired());
+    blacklisted_total += report.blacklisted_identities;
+    // Reaction holds residual corruption very low every round.
+    EXPECT_LT(report.corruption_rate(), 0.05);
+  }
+  EXPECT_GE(blacklisted_total, 30);  // ~10 per round across 4 rounds.
+}
+
+TEST(CampaignSeries, PassiveSupervisorBleedsEveryRound) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(1500, 0.5);
+  config.honest_participants = 60;
+  config.sybil_identities = 10;
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.reactive = false;
+
+  const auto reports = plat::run_campaign_series(config, 3, 0);
+  for (const auto& report : reports) {
+    EXPECT_GT(report.final_corrupt_tasks, 0);
+    EXPECT_EQ(report.blacklisted_identities, 0);
+  }
+}
+
+TEST(CampaignSeries, RoundsAreIndependentlySeeded) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(800, 0.5);
+  config.honest_participants = 40;
+  config.sybil_identities = 8;
+  config.reactive = false;
+  const auto reports = plat::run_campaign_series(config, 3, 0);
+  // Same plan, same population; different seeds should give (almost surely)
+  // different cheat-attempt counts.
+  EXPECT_FALSE(reports[0].adversary_cheat_attempts ==
+                   reports[1].adversary_cheat_attempts &&
+               reports[1].adversary_cheat_attempts ==
+                   reports[2].adversary_cheat_attempts);
+}
+
+TEST(CampaignSeries, RejectsBadArguments) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(100, 0.5);
+  config.honest_participants = 20;
+  EXPECT_THROW((void)plat::run_campaign_series(config, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)plat::run_campaign_series(config, 2, -1),
+               std::invalid_argument);
+}
+
+TEST(Campaign, RejectsBadConfig) {
+  plat::CampaignConfig config;
+  config.plan = small_balanced_plan(100, 0.5);
+  config.honest_participants = 0;
+  EXPECT_THROW((void)plat::run_campaign(config), std::invalid_argument);
+  config.honest_participants = 10;
+  config.benign_error_rate = 1.5;
+  EXPECT_THROW((void)plat::run_campaign(config), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the Section-6 realization layer: integer rounding, the tail
+// partition at i_f, ringer sizing, and the paper's two worked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "core/schemes/golle_stubblebine.hpp"
+
+namespace core = redund::core;
+
+namespace {
+
+core::BalancedOptions long_tail() {
+  return {.truncate_below = 1e-12, .max_dimension = 512};
+}
+
+TEST(RingerRequirement, PaperTypicalExample) {
+  // N = 1e6, eps = 0.75: i_f = 11, tail x_{i_f} = 5 => 2 ringers.
+  EXPECT_EQ(core::ringer_requirement(5.0, 11, 0.75), 2);
+}
+
+TEST(RingerRequirement, PaperExtremeExample) {
+  // N = 1e7, eps = 0.99: i_f = 20, tail 12 tasks => 57 ringers.
+  EXPECT_EQ(core::ringer_requirement(12.0, 20, 0.99), 57);
+}
+
+TEST(RingerRequirement, ZeroTasksNeedNoRingers) {
+  EXPECT_EQ(core::ringer_requirement(0.0, 5, 0.5), 0);
+}
+
+TEST(RingerRequirement, GuaranteeHolds) {
+  // Property: the returned r always achieves (M+1)r/(x + (M+1)r) >= eps,
+  // and r-1 does not (minimality), across a parameter sweep.
+  for (const double eps : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    for (const std::int64_t top : {2, 5, 11, 20, 40}) {
+      for (const double x : {1.0, 5.0, 12.0, 100.0, 1234.0}) {
+        const std::int64_t r = core::ringer_requirement(x, top, eps);
+        const auto detection = [&](std::int64_t count) {
+          const double protection =
+              static_cast<double>(top + 1) * static_cast<double>(count);
+          return protection / (x + protection);
+        };
+        EXPECT_GE(detection(r) + 1e-12, eps)
+            << "eps=" << eps << " top=" << top << " x=" << x;
+        if (r > 1) {
+          EXPECT_LT(detection(r - 1), eps)
+              << "eps=" << eps << " top=" << top << " x=" << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(Realize, PaperTypicalExampleEndToEnd) {
+  // N = 1e6, eps = 0.75: i_f = 11, ~5-task tail, 2 ringers.
+  constexpr std::int64_t kN = 1000000;
+  const auto theoretical = core::make_balanced(kN, 0.75, long_tail());
+  const auto plan = core::realize(theoretical, kN, 0.75);
+
+  EXPECT_EQ(plan.tail_multiplicity, 11);
+  EXPECT_GE(plan.tail_tasks, 1);
+  EXPECT_LE(plan.tail_tasks, 16);  // Paper bound: i_f + 1/(1-eps) = 15.
+  EXPECT_EQ(plan.ringer_multiplicity, 12);
+  EXPECT_LE(plan.ringer_count, 6);
+  EXPECT_GE(plan.ringer_count, 1);
+
+  // Every task covered exactly.
+  std::int64_t covered = 0;
+  for (const auto count : plan.counts) covered += count;
+  EXPECT_EQ(covered, kN);
+
+  // Total cost within a whisker of the theoretical (N/eps) ln(1/(1-eps)).
+  const double expected = kN * core::balanced_redundancy_factor(0.75);
+  EXPECT_NEAR(static_cast<double>(plan.total_assignments()), expected,
+              0.001 * expected);
+}
+
+TEST(Realize, PaperExtremeExampleEndToEnd) {
+  // N = 1e7, eps = 0.99: i_f = 20, tail of ~12 tasks (240 assignments of
+  // ~46.5M), ~57 ringers.
+  constexpr std::int64_t kN = 10000000;
+  const auto theoretical = core::make_balanced(kN, 0.99, long_tail());
+  const auto plan = core::realize(theoretical, kN, 0.99);
+
+  EXPECT_EQ(plan.tail_multiplicity, 20);
+  EXPECT_NEAR(static_cast<double>(plan.tail_tasks), 12.0, 6.0);
+  EXPECT_EQ(plan.ringer_multiplicity, 21);
+  EXPECT_NEAR(static_cast<double>(plan.ringer_count), 57.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(plan.total_assignments()),
+              kN * core::balanced_redundancy_factor(0.99), 1e5);
+}
+
+TEST(Realize, DeployedPlanMeetsAllConstraintsIncludingTop) {
+  // With ringers the *top* constraint holds too — the whole point of §6.
+  constexpr std::int64_t kN = 100000;
+  const double eps = 0.5;
+  const auto plan = core::realize(core::make_balanced(kN, eps, long_tail()),
+                                  kN, eps);
+  // The ringers sit at the deployed distribution's top multiplicity; they
+  // are supervisor-precomputed, so the constraint to verify is the one on
+  // the real top (the tail band, k = i_f) — i.e. check_validity on the
+  // ringer-extended distribution, which scans k = 1 .. i_f.
+  const core::Distribution deployed = plan.as_distribution(true);
+  const auto report = core::check_validity(deployed, kN, eps, 5e-3);
+  EXPECT_TRUE(report.valid) << (report.violations.empty()
+                                    ? ""
+                                    : report.violations[0].description);
+  // Without ringers, the top constraint fails.
+  const core::Distribution naked = plan.as_distribution(false);
+  EXPECT_FALSE(core::check_validity_all(naked, kN, eps, 5e-3).valid);
+}
+
+TEST(Realize, RingersImproveEveryTupleSize) {
+  // "the use of ringers increases the probability an adversary is caught
+  // for all values of i."
+  constexpr std::int64_t kN = 100000;
+  const double eps = 0.5;
+  const auto plan = core::realize(core::make_balanced(kN, eps, long_tail()),
+                                  kN, eps);
+  const core::Distribution with = plan.as_distribution(true);
+  const core::Distribution without = plan.as_distribution(false);
+  for (std::int64_t k = 1; k <= without.dimension(); ++k) {
+    EXPECT_GE(core::asymptotic_detection(with, k) + 1e-12,
+              core::asymptotic_detection(without, k))
+        << "k=" << k;
+  }
+}
+
+TEST(Realize, GolleStubblebineRealizesToo) {
+  constexpr std::int64_t kN = 1000000;
+  const double eps = 0.5;
+  const auto theoretical = core::make_golle_stubblebine_for_level(
+      kN, eps, {.truncate_below = 1e-12, .max_dimension = 512});
+  const auto plan = core::realize(theoretical, kN, eps);
+  std::int64_t covered = 0;
+  for (const auto count : plan.counts) covered += count;
+  EXPECT_EQ(covered, kN);
+  EXPECT_TRUE(core::check_validity(plan.as_distribution(true), kN, eps, 5e-3)
+                  .valid);
+}
+
+TEST(Realize, ExactIntegerDistributionNeedsNoTail) {
+  // Simple redundancy is already integral: no tail partition, but the top
+  // is guarded by ringers at multiplicity 3.
+  const core::Distribution simple = core::make_simple_redundancy(1000.0, 2);
+  const auto plan = core::realize(simple, 1000, 0.5);
+  EXPECT_EQ(plan.tail_tasks, 0);
+  EXPECT_EQ(plan.tail_multiplicity, 0);
+  EXPECT_EQ(plan.tasks_at(2), 1000);
+  EXPECT_EQ(plan.ringer_multiplicity, 3);
+  // r >= eps x/( (1-eps)(m+1) ) = 1000/3 => 334.
+  EXPECT_EQ(plan.ringer_count, 334);
+}
+
+TEST(Realize, NoRingersOptionHonoured) {
+  const core::Distribution simple = core::make_simple_redundancy(100.0, 2);
+  const auto plan = core::realize(simple, 100, 0.5, {.add_ringers = false});
+  EXPECT_EQ(plan.ringer_count, 0);
+  EXPECT_EQ(plan.ringer_assignments, 0);
+  EXPECT_EQ(plan.total_assignments(), 200);
+}
+
+TEST(Realize, AccessorsAndEdges) {
+  const core::Distribution simple = core::make_simple_redundancy(10.0, 2);
+  const auto plan = core::realize(simple, 10, 0.5);
+  EXPECT_EQ(plan.tasks_at(0), 0);
+  EXPECT_EQ(plan.tasks_at(99), 0);
+  EXPECT_GT(plan.redundancy_factor(), 2.0);  // Ringers add cost.
+}
+
+TEST(Realize, RejectsBadArguments) {
+  const core::Distribution d = core::make_simple_redundancy(100.0, 2);
+  EXPECT_THROW((void)core::realize(d, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)core::realize(d, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::realize(core::Distribution{}, 100, 0.5),
+               std::invalid_argument);
+  // Mass mismatch: distribution covers 100 tasks, caller claims 50000.
+  EXPECT_THROW((void)core::realize(d, 50000, 0.5), std::invalid_argument);
+}
+
+}  // namespace

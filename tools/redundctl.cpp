@@ -1,0 +1,265 @@
+// redundctl — command-line front-end to the redundancy library.
+//
+//   redundctl plan     --tasks N --epsilon E [--scheme NAME] [--min-mult M]
+//                      [--lp-dim D] [--no-ringers] [--out FILE]
+//   redundctl analyze  --plan FILE --epsilon E
+//   redundctl simulate --plan FILE --adversary P [--replicas R] [--seed S]
+//                      [--strategy NAME] [--threads T]
+//   redundctl budget   --tasks N --budget B [--adversary P]
+//   redundctl help
+//
+// plan     builds and realizes a distribution and (optionally) writes the
+//          portable plan file consumed by the other subcommands.
+// analyze  loads a plan file and reports its detection profile/validity.
+// simulate runs the Monte Carlo adversary simulation against a plan file.
+// budget   answers "what level can I afford", including a robustness margin
+//          against an adversary share p (inverts Prop. 3).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/detection.hpp"
+#include "core/plan_io.hpp"
+#include "core/planner.hpp"
+#include "core/schemes/balanced.hpp"
+#include "parallel/thread_pool.hpp"
+#include "report/table.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace core = redund::core;
+namespace sim = redund::sim;
+namespace rep = redund::report;
+
+namespace {
+
+/// Minimal --key value argument parser; flags take "true".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + key + "'");
+      }
+      key.erase(0, 2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value) throw std::invalid_argument("missing required --" + key);
+    return *value;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    return value ? std::stod(*value) : fallback;
+  }
+  [[nodiscard]] std::int64_t integer(const std::string& key,
+                                     std::int64_t fallback) const {
+    const auto value = get(key);
+    return value ? std::stoll(*value) : fallback;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return get(key).has_value();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::Scheme parse_scheme(const std::string& name) {
+  if (name == "simple") return core::Scheme::kSimple;
+  if (name == "gs" || name == "golle-stubblebine") {
+    return core::Scheme::kGolleStubblebine;
+  }
+  if (name == "balanced") return core::Scheme::kBalanced;
+  if (name == "min-assign") return core::Scheme::kMinAssignment;
+  if (name == "min-mult") return core::Scheme::kMinMultiplicity;
+  throw std::invalid_argument("unknown scheme '" + name + "'");
+}
+
+sim::CheatStrategy parse_strategy(const std::string& name) {
+  if (name == "honest") return sim::CheatStrategy::kHonest;
+  if (name == "always") return sim::CheatStrategy::kAlwaysCheat;
+  if (name == "singletons") return sim::CheatStrategy::kSingletons;
+  if (name == "pairs") return sim::CheatStrategy::kExactTuple;
+  throw std::invalid_argument("unknown strategy '" + name + "'");
+}
+
+core::RealizedPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open plan file '" + path + "'");
+  return core::read_plan(in);
+}
+
+int cmd_plan(const Args& args) {
+  core::PlanRequest request;
+  request.task_count = static_cast<std::int64_t>(std::stoll(args.require("tasks")));
+  request.epsilon = std::stod(args.require("epsilon"));
+  request.scheme = parse_scheme(args.get("scheme").value_or("balanced"));
+  request.minimum_multiplicity = args.integer("min-mult", 2);
+  request.lp_dimension = args.integer("lp-dim", 12);
+  request.add_ringers = !args.flag("no-ringers");
+
+  const core::Plan plan = core::make_plan(request);
+  std::cout << "scheme:            " << plan.theoretical.label() << "\n"
+            << "tasks:             " << rep::with_commas(plan.realized.task_count) << "\n"
+            << "total assignments: "
+            << rep::with_commas(plan.realized.total_assignments()) << "\n"
+            << "redundancy factor: "
+            << rep::fixed(plan.realized.redundancy_factor(), 4) << "\n"
+            << "tail:              " << plan.realized.tail_tasks
+            << " task(s) at multiplicity " << plan.realized.tail_multiplicity
+            << "\n"
+            << "ringers:           " << plan.realized.ringer_count
+            << " at multiplicity " << plan.realized.ringer_multiplicity << "\n"
+            << "guaranteed level:  " << rep::fixed(plan.achieved_level, 4)
+            << "   (at p=0.10: " << rep::fixed(plan.achieved_level_p10, 4)
+            << ")\n";
+  if (const auto out = args.get("out")) {
+    std::ofstream file(*out);
+    if (!file) throw std::invalid_argument("cannot write '" + *out + "'");
+    core::write_plan(file, plan.realized);
+    std::cout << "plan written to:   " << *out << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const core::RealizedPlan plan = load_plan(args.require("plan"));
+  const double epsilon = std::stod(args.require("epsilon"));
+  const bool has_ringers = plan.ringer_count > 0;
+  const core::Distribution deployed = plan.as_distribution(has_ringers);
+
+  std::cout << "tasks " << rep::with_commas(plan.task_count) << ", assignments "
+            << rep::with_commas(plan.total_assignments()) << ", RF "
+            << rep::fixed(plan.redundancy_factor(), 4) << "\n\n";
+
+  rep::Table table({"k", "P_k (p->0)", "P_k (p=0.05)", "P_k (p=0.15)"});
+  const std::int64_t top = deployed.dimension() - (has_ringers ? 1 : 0);
+  for (std::int64_t k = 1; k <= top; ++k) {
+    table.add_row({std::to_string(k),
+                   rep::fixed(core::detection_probability(deployed, k, 0.0), 4),
+                   rep::fixed(core::detection_probability(deployed, k, 0.05), 4),
+                   rep::fixed(core::detection_probability(deployed, k, 0.15), 4)});
+  }
+  table.print(std::cout);
+
+  const auto report = core::check_validity(
+      deployed, static_cast<double>(plan.task_count), epsilon, 5e-3);
+  std::cout << "\nvalidity at eps=" << epsilon << ": "
+            << (report.valid ? "OK" : "VIOLATED") << "\n";
+  for (const auto& violation : report.violations) {
+    std::cout << "  " << violation.description << "\n";
+  }
+  return report.valid ? 0 : 2;
+}
+
+int cmd_simulate(const Args& args) {
+  const core::RealizedPlan plan = load_plan(args.require("plan"));
+  sim::AdversaryConfig adversary;
+  adversary.proportion = std::stod(args.require("adversary"));
+  adversary.strategy = parse_strategy(args.get("strategy").value_or("always"));
+  if (adversary.strategy == sim::CheatStrategy::kExactTuple) {
+    adversary.tuple_size = 2;
+  }
+  sim::MonteCarloConfig config;
+  config.replicas = args.integer("replicas", 100);
+  config.master_seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+  redund::parallel::ThreadPool pool(
+      static_cast<std::size_t>(args.integer("threads", 0)));
+  const sim::Workload workload(plan);
+  const auto result = sim::run_monte_carlo(pool, workload, adversary, config);
+
+  std::cout << "replicas:            " << result.replicas << "\n"
+            << "adversary share:     " << adversary.proportion << " ("
+            << to_string(adversary.strategy) << ")\n"
+            << "cheat attempts/run:  "
+            << result.cheat_attempts / std::max<std::int64_t>(1, result.replicas)
+            << "\n"
+            << "detection rate:      "
+            << rep::fixed(result.detection_rate(), 4) << "\n"
+            << "alarm probability:   "
+            << rep::fixed(result.alarm_probability(), 4) << "\n"
+            << "corruption prob.:    "
+            << rep::fixed(result.corruption_probability(), 4) << "\n";
+  return 0;
+}
+
+int cmd_budget(const Args& args) {
+  const auto tasks = std::stod(args.require("tasks"));
+  const auto budget = std::stod(args.require("budget"));
+  const double p = args.number("adversary", 0.0);
+
+  const double affordable = core::balanced_level_for_budget(tasks, budget);
+  std::cout << "affordable asymptotic level: " << rep::fixed(affordable, 4)
+            << "\n";
+  if (affordable <= 0.0) {
+    std::cout << "budget is below one assignment per task — unworkable\n";
+    return 2;
+  }
+  if (p > 0.0) {
+    const double effective = core::balanced_detection(affordable, p);
+    std::cout << "effective level at p=" << p << ": "
+              << rep::fixed(effective, 4) << "\n";
+    const double design = core::balanced_level_for_robustness(affordable, p);
+    std::cout << "to guarantee " << rep::fixed(affordable, 4) << " at p=" << p
+              << ", design for eps=" << rep::fixed(design, 4) << " costing "
+              << rep::with_commas(tasks *
+                                  core::balanced_redundancy_factor(design))
+              << " assignments\n";
+  }
+  return 0;
+}
+
+int cmd_help() {
+  std::cout <<
+      R"(redundctl — collusion-resistant redundancy planning (CLUSTER 2005)
+
+subcommands:
+  plan     --tasks N --epsilon E [--scheme simple|gs|balanced|min-assign|min-mult]
+           [--min-mult M] [--lp-dim D] [--no-ringers] [--out FILE]
+  analyze  --plan FILE --epsilon E
+  simulate --plan FILE --adversary P [--replicas R] [--seed S]
+           [--strategy honest|always|singletons|pairs] [--threads T]
+  budget   --tasks N --budget B [--adversary P]
+  help
+)";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string command = argc > 1 ? argv[1] : "help";
+    if (command == "help" || command == "--help" || command == "-h") {
+      return cmd_help();
+    }
+    const Args args(argc, argv);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "budget") return cmd_budget(args);
+    std::cerr << "unknown subcommand '" << command << "' (try: help)\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "redundctl: " << error.what() << "\n";
+    return 1;
+  }
+}
