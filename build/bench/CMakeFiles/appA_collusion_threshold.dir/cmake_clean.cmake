@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appA_collusion_threshold.dir/appA_collusion_threshold.cpp.o"
+  "CMakeFiles/appA_collusion_threshold.dir/appA_collusion_threshold.cpp.o.d"
+  "appA_collusion_threshold"
+  "appA_collusion_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appA_collusion_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

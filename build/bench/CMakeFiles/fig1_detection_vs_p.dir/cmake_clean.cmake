@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_detection_vs_p.dir/fig1_detection_vs_p.cpp.o"
+  "CMakeFiles/fig1_detection_vs_p.dir/fig1_detection_vs_p.cpp.o.d"
+  "fig1_detection_vs_p"
+  "fig1_detection_vs_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_detection_vs_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

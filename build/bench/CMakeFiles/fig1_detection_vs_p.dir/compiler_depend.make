@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_detection_vs_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_min_assign_table.dir/fig2_min_assign_table.cpp.o"
+  "CMakeFiles/fig2_min_assign_table.dir/fig2_min_assign_table.cpp.o.d"
+  "fig2_min_assign_table"
+  "fig2_min_assign_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_min_assign_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

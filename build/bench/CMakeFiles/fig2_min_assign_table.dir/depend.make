@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_min_assign_table.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_redundancy_factors.dir/fig3_redundancy_factors.cpp.o"
+  "CMakeFiles/fig3_redundancy_factors.dir/fig3_redundancy_factors.cpp.o.d"
+  "fig3_redundancy_factors"
+  "fig3_redundancy_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_redundancy_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_distribution_table.dir/fig4_distribution_table.cpp.o"
+  "CMakeFiles/fig4_distribution_table.dir/fig4_distribution_table.cpp.o.d"
+  "fig4_distribution_table"
+  "fig4_distribution_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_distribution_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

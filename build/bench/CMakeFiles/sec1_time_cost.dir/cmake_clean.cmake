@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec1_time_cost.dir/sec1_time_cost.cpp.o"
+  "CMakeFiles/sec1_time_cost.dir/sec1_time_cost.cpp.o.d"
+  "sec1_time_cost"
+  "sec1_time_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec1_time_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

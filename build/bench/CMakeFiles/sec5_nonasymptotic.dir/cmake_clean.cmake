@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_nonasymptotic.dir/sec5_nonasymptotic.cpp.o"
+  "CMakeFiles/sec5_nonasymptotic.dir/sec5_nonasymptotic.cpp.o.d"
+  "sec5_nonasymptotic"
+  "sec5_nonasymptotic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_nonasymptotic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

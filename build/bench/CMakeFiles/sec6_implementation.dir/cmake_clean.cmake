@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_implementation.dir/sec6_implementation.cpp.o"
+  "CMakeFiles/sec6_implementation.dir/sec6_implementation.cpp.o.d"
+  "sec6_implementation"
+  "sec6_implementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

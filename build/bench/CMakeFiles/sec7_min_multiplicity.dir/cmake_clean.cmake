@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_min_multiplicity.dir/sec7_min_multiplicity.cpp.o"
+  "CMakeFiles/sec7_min_multiplicity.dir/sec7_min_multiplicity.cpp.o.d"
+  "sec7_min_multiplicity"
+  "sec7_min_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_min_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_sec1_time_cost "/root/repo/build/bench/sec1_time_cost")
+set_tests_properties(bench_smoke_sec1_time_cost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;17;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig1_detection_vs_p "/root/repo/build/bench/fig1_detection_vs_p")
+set_tests_properties(bench_smoke_fig1_detection_vs_p PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;18;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_min_assign_table "/root/repo/build/bench/fig2_min_assign_table")
+set_tests_properties(bench_smoke_fig2_min_assign_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;19;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3_redundancy_factors "/root/repo/build/bench/fig3_redundancy_factors")
+set_tests_properties(bench_smoke_fig3_redundancy_factors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;20;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4_distribution_table "/root/repo/build/bench/fig4_distribution_table")
+set_tests_properties(bench_smoke_fig4_distribution_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;21;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec5_nonasymptotic "/root/repo/build/bench/sec5_nonasymptotic")
+set_tests_properties(bench_smoke_sec5_nonasymptotic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;22;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec6_implementation "/root/repo/build/bench/sec6_implementation")
+set_tests_properties(bench_smoke_sec6_implementation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;23;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec7_min_multiplicity "/root/repo/build/bench/sec7_min_multiplicity")
+set_tests_properties(bench_smoke_sec7_min_multiplicity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;24;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_appA_collusion_threshold "/root/repo/build/bench/appA_collusion_threshold")
+set_tests_properties(bench_smoke_appA_collusion_threshold PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;25;redund_add_bench;/root/repo/bench/CMakeLists.txt;0;")

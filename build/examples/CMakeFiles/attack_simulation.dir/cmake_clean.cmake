@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_simulation.dir/attack_simulation.cpp.o"
+  "CMakeFiles/attack_simulation.dir/attack_simulation.cpp.o.d"
+  "attack_simulation"
+  "attack_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

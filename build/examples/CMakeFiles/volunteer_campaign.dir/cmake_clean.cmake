@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_campaign.dir/volunteer_campaign.cpp.o"
+  "CMakeFiles/volunteer_campaign.dir/volunteer_campaign.cpp.o.d"
+  "volunteer_campaign"
+  "volunteer_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/redund_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/redund_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/redund_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/redund_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/redund_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/realize.cpp" "src/core/CMakeFiles/redund_core.dir/realize.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/realize.cpp.o.d"
+  "/root/repo/src/core/schemes/balanced.cpp" "src/core/CMakeFiles/redund_core.dir/schemes/balanced.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/schemes/balanced.cpp.o.d"
+  "/root/repo/src/core/schemes/golle_stubblebine.cpp" "src/core/CMakeFiles/redund_core.dir/schemes/golle_stubblebine.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/schemes/golle_stubblebine.cpp.o.d"
+  "/root/repo/src/core/schemes/lower_bound.cpp" "src/core/CMakeFiles/redund_core.dir/schemes/lower_bound.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/schemes/lower_bound.cpp.o.d"
+  "/root/repo/src/core/schemes/min_assignment.cpp" "src/core/CMakeFiles/redund_core.dir/schemes/min_assignment.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/schemes/min_assignment.cpp.o.d"
+  "/root/repo/src/core/schemes/min_multiplicity.cpp" "src/core/CMakeFiles/redund_core.dir/schemes/min_multiplicity.cpp.o" "gcc" "src/core/CMakeFiles/redund_core.dir/schemes/min_multiplicity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/redund_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/redund_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

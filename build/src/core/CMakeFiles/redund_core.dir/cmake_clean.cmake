@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_core.dir/constraints.cpp.o"
+  "CMakeFiles/redund_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/redund_core.dir/detection.cpp.o"
+  "CMakeFiles/redund_core.dir/detection.cpp.o.d"
+  "CMakeFiles/redund_core.dir/distribution.cpp.o"
+  "CMakeFiles/redund_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/redund_core.dir/plan_io.cpp.o"
+  "CMakeFiles/redund_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/redund_core.dir/planner.cpp.o"
+  "CMakeFiles/redund_core.dir/planner.cpp.o.d"
+  "CMakeFiles/redund_core.dir/realize.cpp.o"
+  "CMakeFiles/redund_core.dir/realize.cpp.o.d"
+  "CMakeFiles/redund_core.dir/schemes/balanced.cpp.o"
+  "CMakeFiles/redund_core.dir/schemes/balanced.cpp.o.d"
+  "CMakeFiles/redund_core.dir/schemes/golle_stubblebine.cpp.o"
+  "CMakeFiles/redund_core.dir/schemes/golle_stubblebine.cpp.o.d"
+  "CMakeFiles/redund_core.dir/schemes/lower_bound.cpp.o"
+  "CMakeFiles/redund_core.dir/schemes/lower_bound.cpp.o.d"
+  "CMakeFiles/redund_core.dir/schemes/min_assignment.cpp.o"
+  "CMakeFiles/redund_core.dir/schemes/min_assignment.cpp.o.d"
+  "CMakeFiles/redund_core.dir/schemes/min_multiplicity.cpp.o"
+  "CMakeFiles/redund_core.dir/schemes/min_multiplicity.cpp.o.d"
+  "libredund_core.a"
+  "libredund_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_lp.dir/model.cpp.o"
+  "CMakeFiles/redund_lp.dir/model.cpp.o.d"
+  "CMakeFiles/redund_lp.dir/simplex.cpp.o"
+  "CMakeFiles/redund_lp.dir/simplex.cpp.o.d"
+  "libredund_lp.a"
+  "libredund_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

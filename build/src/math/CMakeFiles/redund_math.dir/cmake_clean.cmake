@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_math.dir/binomial.cpp.o"
+  "CMakeFiles/redund_math.dir/binomial.cpp.o.d"
+  "CMakeFiles/redund_math.dir/poisson.cpp.o"
+  "CMakeFiles/redund_math.dir/poisson.cpp.o.d"
+  "CMakeFiles/redund_math.dir/roots.cpp.o"
+  "CMakeFiles/redund_math.dir/roots.cpp.o.d"
+  "libredund_math.a"
+  "libredund_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/redund_parallel.dir/thread_pool.cpp.o.d"
+  "libredund_parallel.a"
+  "libredund_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

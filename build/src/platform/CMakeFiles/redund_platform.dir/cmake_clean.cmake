@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_platform.dir/campaign.cpp.o"
+  "CMakeFiles/redund_platform.dir/campaign.cpp.o.d"
+  "CMakeFiles/redund_platform.dir/registry.cpp.o"
+  "CMakeFiles/redund_platform.dir/registry.cpp.o.d"
+  "CMakeFiles/redund_platform.dir/scheduler.cpp.o"
+  "CMakeFiles/redund_platform.dir/scheduler.cpp.o.d"
+  "libredund_platform.a"
+  "libredund_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

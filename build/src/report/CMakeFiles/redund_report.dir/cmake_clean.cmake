@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_report.dir/csv_export.cpp.o"
+  "CMakeFiles/redund_report.dir/csv_export.cpp.o.d"
+  "CMakeFiles/redund_report.dir/table.cpp.o"
+  "CMakeFiles/redund_report.dir/table.cpp.o.d"
+  "libredund_report.a"
+  "libredund_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for redund_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/sim/CMakeFiles/redund_sim.dir/adversary.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/adversary.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/redund_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/redund_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/monte_carlo.cpp" "src/sim/CMakeFiles/redund_sim.dir/monte_carlo.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sim/two_phase.cpp" "src/sim/CMakeFiles/redund_sim.dir/two_phase.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/two_phase.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/redund_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/redund_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/redund_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/redund_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/redund_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/redund_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redund_sim.dir/adversary.cpp.o"
+  "CMakeFiles/redund_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/redund_sim.dir/des.cpp.o"
+  "CMakeFiles/redund_sim.dir/des.cpp.o.d"
+  "CMakeFiles/redund_sim.dir/engine.cpp.o"
+  "CMakeFiles/redund_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/redund_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/redund_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/redund_sim.dir/two_phase.cpp.o"
+  "CMakeFiles/redund_sim.dir/two_phase.cpp.o.d"
+  "CMakeFiles/redund_sim.dir/workload.cpp.o"
+  "CMakeFiles/redund_sim.dir/workload.cpp.o.d"
+  "libredund_sim.a"
+  "libredund_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redund_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golle_stubblebine.dir/test_golle_stubblebine.cpp.o"
+  "CMakeFiles/test_golle_stubblebine.dir/test_golle_stubblebine.cpp.o.d"
+  "test_golle_stubblebine"
+  "test_golle_stubblebine.pdb"
+  "test_golle_stubblebine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golle_stubblebine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

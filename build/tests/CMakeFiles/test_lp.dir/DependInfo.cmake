@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/test_lp.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/test_lp.dir/test_lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/redund_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/redund_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/redund_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/redund_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redund_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/redund_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/redund_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_assignment.dir/test_min_assignment.cpp.o"
+  "CMakeFiles/test_min_assignment.dir/test_min_assignment.cpp.o.d"
+  "test_min_assignment"
+  "test_min_assignment.pdb"
+  "test_min_assignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

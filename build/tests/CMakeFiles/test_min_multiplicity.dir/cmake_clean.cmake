@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_multiplicity.dir/test_min_multiplicity.cpp.o"
+  "CMakeFiles/test_min_multiplicity.dir/test_min_multiplicity.cpp.o.d"
+  "test_min_multiplicity"
+  "test_min_multiplicity.pdb"
+  "test_min_multiplicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_io.dir/test_plan_io.cpp.o"
+  "CMakeFiles/test_plan_io.dir/test_plan_io.cpp.o.d"
+  "test_plan_io"
+  "test_plan_io.pdb"
+  "test_plan_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realize.dir/test_realize.cpp.o"
+  "CMakeFiles/test_realize.dir/test_realize.cpp.o.d"
+  "test_realize"
+  "test_realize.pdb"
+  "test_realize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_phase.dir/test_two_phase.cpp.o"
+  "CMakeFiles/test_two_phase.dir/test_two_phase.cpp.o.d"
+  "test_two_phase"
+  "test_two_phase.pdb"
+  "test_two_phase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

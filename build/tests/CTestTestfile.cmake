@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_rational[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_detection[1]_include.cmake")
+include("/root/repo/build/tests/test_balanced[1]_include.cmake")
+include("/root/repo/build/tests/test_golle_stubblebine[1]_include.cmake")
+include("/root/repo/build/tests/test_min_assignment[1]_include.cmake")
+include("/root/repo/build/tests/test_min_multiplicity[1]_include.cmake")
+include("/root/repo/build/tests/test_realize[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_plan_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_two_phase[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_des[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

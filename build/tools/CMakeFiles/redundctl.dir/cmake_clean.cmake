@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundctl.dir/redundctl.cpp.o"
+  "CMakeFiles/redundctl.dir/redundctl.cpp.o.d"
+  "redundctl"
+  "redundctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for redundctl.
+# This may be replaced when dependencies are built.
