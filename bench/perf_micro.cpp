@@ -19,6 +19,7 @@
 #include "parallel/thread_pool.hpp"
 #include "platform/campaign.hpp"
 #include "rng/distributions.hpp"
+#include "runtime/supervisor.hpp"
 #include "sim/des.hpp"
 #include "sim/engine.hpp"
 #include "sim/two_phase.hpp"
@@ -205,6 +206,34 @@ void BM_DesSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DesSchedule)->Arg(10000)->Arg(50000);
+
+// Asynchronous supervisor event loop at 10^5..10^6 units: a double-redundant
+// plan over a large honest fleet with mild dropouts, so the loop exercises
+// completions, deadlines, and the retry path. Items = events processed, so
+// the reported rate is event-loop throughput (events/sec).
+void BM_RuntimeEventLoop(benchmark::State& state) {
+  const auto units = state.range(0);
+  core::RealizedPlan plan;
+  plan.counts = {0, units / 2};  // units/2 tasks at multiplicity 2.
+  plan.task_count = units / 2;
+  plan.work_assignments = units;
+
+  redund::runtime::RuntimeConfig config;
+  config.plan = plan;
+  config.honest_participants = 512;
+  config.latency.dropout_probability = 0.01;
+  config.latency.speed_sigma = 0.25;
+  config.adaptive.enabled = false;  // Isolate the issue/complete/retry loop.
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    const auto report = redund::runtime::run_async_campaign(config);
+    events += report.events_processed;
+    benchmark::DoNotOptimize(report.makespan);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_RuntimeEventLoop)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CampaignRound(benchmark::State& state) {
   redund::platform::CampaignConfig config;

@@ -85,8 +85,58 @@ void Scheduler::deal(Registry& registry, rng::Xoshiro256StarStar& engine) {
   }
 }
 
+std::optional<ParticipantId> Scheduler::try_reassign_unit(
+    std::size_t unit_index, Registry& registry,
+    rng::Xoshiro256StarStar& engine) {
+  if (unit_index >= units_.size()) {
+    throw std::out_of_range("Scheduler::try_reassign_unit: bad unit index");
+  }
+  // deal() may have run against a smaller registry; later enrollments start
+  // with no holds.
+  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
+
+  WorkUnit& unit = units_[unit_index];
+  std::vector<ParticipantId> eligible;
+  for (const auto& record : registry.records()) {
+    if (record.blacklisted || record.id == unit.assignee) continue;
+    if (!holds_(record.id, unit.task)) eligible.push_back(record.id);
+  }
+  if (eligible.empty()) return std::nullopt;
+  const ParticipantId next = eligible[static_cast<std::size_t>(
+      rng::uniform_below(eligible.size(), engine))];
+  drop_hold_(unit.assignee, unit.task);
+  unit.assignee = next;
+  record_hold_(next, unit.task);
+  registry.record(next).assignments_completed += 1;
+  return next;
+}
+
+std::optional<std::size_t> Scheduler::try_add_replica(
+    std::int64_t task, Registry& registry, rng::Xoshiro256StarStar& engine) {
+  if (task < 0 || task >= task_count()) {
+    throw std::out_of_range("Scheduler::try_add_replica: bad task index");
+  }
+  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
+
+  std::vector<ParticipantId> eligible;
+  for (const auto& record : registry.records()) {
+    if (record.blacklisted || holds_(record.id, task)) continue;
+    eligible.push_back(record.id);
+  }
+  if (eligible.empty()) return std::nullopt;
+  const ParticipantId assignee = eligible[static_cast<std::size_t>(
+      rng::uniform_below(eligible.size(), engine))];
+  units_.push_back({task, assignee});
+  record_hold_(assignee, task);
+  registry.record(assignee).assignments_completed += 1;
+  return units_.size() - 1;
+}
+
 std::vector<std::size_t> Scheduler::reassign_from(
     ParticipantId from, Registry& registry, rng::Xoshiro256StarStar& engine) {
+  // Identities enrolled after deal() start with no holds.
+  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
+
   std::vector<ParticipantId> active;
   for (const auto& record : registry.records()) {
     if (!record.blacklisted) active.push_back(record.id);

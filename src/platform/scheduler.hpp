@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/realize.hpp"
@@ -51,6 +52,24 @@ class Scheduler {
   std::vector<std::size_t> reassign_from(ParticipantId from,
                                          Registry& registry,
                                          rng::Xoshiro256StarStar& engine);
+
+  /// Moves the single unit `unit_index` to an active identity other than
+  /// its current holder, honouring the one-copy rule (used by the async
+  /// runtime's timeout re-issue path). The replacement is drawn uniformly
+  /// among eligible identities. Returns the new assignee, or nullopt —
+  /// leaving the unit untouched — when no active identity can take it.
+  std::optional<ParticipantId> try_reassign_unit(
+      std::size_t unit_index, Registry& registry,
+      rng::Xoshiro256StarStar& engine);
+
+  /// Appends one extra copy (replica) of `task` and deals it to an active
+  /// identity not already holding a copy, drawn uniformly among eligible
+  /// identities (the async runtime's adaptive/INCONCLUSIVE replication).
+  /// Returns the new unit's index, or nullopt when every active identity
+  /// already holds the task.
+  std::optional<std::size_t> try_add_replica(std::int64_t task,
+                                             Registry& registry,
+                                             rng::Xoshiro256StarStar& engine);
 
   [[nodiscard]] const std::vector<TaskInfo>& tasks() const noexcept {
     return tasks_;

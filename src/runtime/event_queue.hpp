@@ -1,0 +1,70 @@
+// Deterministic pending-event heap for the asynchronous supervisor runtime.
+//
+// Generalizes the completion min-heap inside sim/des.cpp into a reusable
+// queue carrying typed events. Two properties matter for reproducibility:
+//
+//   * Ties in simulated time are broken by schedule order (a monotonically
+//     increasing sequence number), so the processing order is a pure
+//     function of the event schedule — never of heap internals.
+//   * Events are never cancelled. A timer that became irrelevant (its unit
+//     completed, or was re-issued under a new epoch) drains as a stale
+//     no-op; producers stamp events with the subject's epoch and consumers
+//     drop mismatches. This keeps the queue allocation-free on the cancel
+//     path and makes replay trivially deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace redund::runtime {
+
+/// What a pending event means when it fires.
+enum class EventKind : std::uint8_t {
+  kCompletion,     ///< A participant returns the result of a unit.
+  kDeadline,       ///< A unit's report deadline elapses.
+  kReissue,        ///< A timed-out unit's backoff elapses; re-deal it.
+  kAdaptiveCheck,  ///< Periodic reliability review of a straggling task.
+};
+
+/// One scheduled event. `subject` is a unit index (task index for
+/// kAdaptiveCheck); `epoch` invalidates stale unit timers.
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kCompletion;
+  std::int64_t subject = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Min-heap over (time, seq).
+class EventQueue {
+ public:
+  void schedule(double time, EventKind kind, std::int64_t subject,
+                std::uint64_t epoch = 0) {
+    heap_.push(Event{time, next_seq_++, kind, subject, epoch});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event (schedule order on time ties).
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct After {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace redund::runtime

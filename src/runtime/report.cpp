@@ -1,0 +1,75 @@
+#include "runtime/report.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace redund::runtime {
+
+namespace rep = redund::report;
+
+rep::Table to_table(const RuntimeReport& report) {
+  rep::Table table({"metric", "value"});
+  const auto add_count = [&](const char* name, std::int64_t value) {
+    table.add_row({name, rep::with_commas(value)});
+  };
+  const auto add_time = [&](const char* name, double value) {
+    table.add_row({name, rep::fixed(value, 4)});
+  };
+  add_count("tasks", report.tasks);
+  add_count("units_planned", report.units_planned);
+  add_count("participants", report.participants);
+  add_count("stragglers", report.stragglers);
+  table.add_separator();
+  add_count("units_issued", report.units_issued);
+  add_count("units_completed", report.units_completed);
+  add_count("units_timed_out", report.units_timed_out);
+  add_count("units_reissued", report.units_reissued);
+  add_count("units_dropped", report.units_dropped);
+  add_count("late_results", report.late_results);
+  table.add_separator();
+  add_count("adaptive_replicas", report.adaptive_replicas);
+  add_count("quorum_replicas", report.quorum_replicas);
+  add_count("supervisor_recomputes", report.supervisor_recomputes);
+  add_count("tasks_valid", report.tasks_valid);
+  add_count("tasks_inconclusive", report.tasks_inconclusive);
+  add_count("mismatches_detected", report.mismatches_detected);
+  add_count("ringer_catches", report.ringer_catches);
+  add_count("blacklisted_identities", report.blacklisted_identities);
+  table.add_separator();
+  add_count("adversary_cheat_attempts", report.adversary_cheat_attempts);
+  add_count("false_accusations", report.false_accusations);
+  add_count("final_correct_tasks", report.final_correct_tasks);
+  add_count("final_corrupt_tasks", report.final_corrupt_tasks);
+  table.add_separator();
+  add_time("makespan", report.makespan);
+  add_time("first_detection_time", report.first_detection_time);
+  add_time("mean_detection_latency", report.mean_detection_latency);
+  add_count("detections", report.detections);
+  add_count("events_processed", report.events_processed);
+  return table;
+}
+
+rep::Table series_table(const RuntimeReport& report) {
+  rep::Table table({"time", "issued", "completed", "timed_out", "reissued",
+                    "valid"});
+  for (const RuntimeSample& sample : report.series) {
+    table.add_row({rep::fixed(sample.time, 4),
+                   std::to_string(sample.units_issued),
+                   std::to_string(sample.units_completed),
+                   std::to_string(sample.units_timed_out),
+                   std::to_string(sample.units_reissued),
+                   std::to_string(sample.tasks_valid)});
+  }
+  return table;
+}
+
+void print(std::ostream& out, const RuntimeReport& report) {
+  out << "asynchronous campaign report\n";
+  to_table(report).print(out);
+  if (!report.series.empty()) {
+    out << "\ntime series (" << report.series.size() << " samples)\n";
+    series_table(report).print(out);
+  }
+}
+
+}  // namespace redund::runtime

@@ -1,0 +1,87 @@
+// Outcome record of one asynchronous campaign: totals, time-domain metrics,
+// and an optional time series of the supervisor's counters.
+//
+// Everything here is a pure function of the RuntimeConfig (including its
+// seed): print() renders with fixed formatting so two runs with the same
+// seed produce byte-identical output — the reproducibility contract the
+// tests and `redundctl run-async` rely on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "report/table.hpp"
+
+namespace redund::runtime {
+
+/// One sampled point of the supervisor's counters (cumulative values).
+struct RuntimeSample {
+  double time = 0.0;
+  std::int64_t units_issued = 0;
+  std::int64_t units_completed = 0;
+  std::int64_t units_timed_out = 0;
+  std::int64_t units_reissued = 0;
+  std::int64_t tasks_valid = 0;
+};
+
+/// What happened, from the supervisor's books and from ground truth.
+struct RuntimeReport {
+  // Shape of the campaign.
+  std::int64_t tasks = 0;
+  std::int64_t units_planned = 0;    ///< Copies in the realized plan.
+  std::int64_t participants = 0;
+  std::int64_t stragglers = 0;       ///< Ground truth (model injection).
+
+  // Work-issue loop.
+  std::int64_t units_issued = 0;     ///< Issues incl. retries and replicas.
+  std::int64_t units_completed = 0;  ///< Results arriving before deadline.
+  std::int64_t units_timed_out = 0;  ///< Deadline fired first.
+  std::int64_t units_reissued = 0;   ///< Successful re-deals after timeout.
+  std::int64_t units_dropped = 0;    ///< No-reply faults (ground truth).
+  std::int64_t late_results = 0;     ///< Arrived after their timeout; ignored.
+
+  // Replication and validation.
+  std::int64_t adaptive_replicas = 0;   ///< Reliability-gated extra copies.
+  std::int64_t quorum_replicas = 0;     ///< INCONCLUSIVE-path extra copies.
+  std::int64_t supervisor_recomputes = 0;
+  std::int64_t tasks_valid = 0;
+  std::int64_t tasks_inconclusive = 0;  ///< Ever entered INCONCLUSIVE.
+  std::int64_t mismatches_detected = 0;
+  std::int64_t ringer_catches = 0;
+  std::int64_t blacklisted_identities = 0;
+
+  // Ground truth.
+  std::int64_t adversary_cheat_attempts = 0;
+  std::int64_t false_accusations = 0;
+  std::int64_t final_correct_tasks = 0;
+  std::int64_t final_corrupt_tasks = 0;
+
+  // Time domain.
+  double makespan = 0.0;               ///< Last task validation time.
+  double first_detection_time = 0.0;   ///< 0 when nothing was detected.
+  double mean_detection_latency = 0.0; ///< Mean detection-event time.
+  std::int64_t detections = 0;         ///< Detection events (tasks+ringers).
+  std::int64_t events_processed = 0;   ///< Event-loop throughput accounting.
+
+  std::vector<RuntimeSample> series;   ///< Empty when sampling disabled.
+
+  [[nodiscard]] bool alarm_fired() const noexcept { return detections > 0; }
+  [[nodiscard]] double corruption_rate() const noexcept {
+    return tasks > 0 ? static_cast<double>(final_corrupt_tasks) /
+                           static_cast<double>(tasks)
+                     : 0.0;
+  }
+};
+
+/// Two-column (metric, value) summary table.
+[[nodiscard]] report::Table to_table(const RuntimeReport& report);
+
+/// Time-series table (one row per sample); empty-bodied when disabled.
+[[nodiscard]] report::Table series_table(const RuntimeReport& report);
+
+/// Renders the full report with fixed formatting (byte-identical for
+/// identical reports).
+void print(std::ostream& out, const RuntimeReport& report);
+
+}  // namespace redund::runtime

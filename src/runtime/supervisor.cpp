@@ -1,0 +1,610 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "platform/registry.hpp"
+#include "platform/scheduler.hpp"
+#include "rng/distributions.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/task_state.hpp"
+
+namespace redund::runtime {
+
+namespace {
+
+using platform::ParticipantId;
+using platform::Principal;
+
+constexpr std::uint64_t kDealSalt = 0xDEA1ULL;
+constexpr std::uint64_t kDemandSalt = 0xDE34A4DULL;
+constexpr std::uint64_t kBenignSalt = 0xE44EULL;
+
+/// Ground-truth result of a task — the same keyed-hash construction as
+/// platform/campaign.cpp, so honest computation is deterministic and the
+/// supervisor can recompute it at will.
+std::uint64_t truth_value(std::uint64_t seed, std::int64_t task) {
+  rng::SplitMix64 mixer(seed ^ (0x9E3779B97F4A7C15ULL *
+                                static_cast<std::uint64_t>(task + 1)));
+  return mixer();
+}
+
+/// The colluders' agreed wrong value: identical across all their copies.
+std::uint64_t collusion_value(std::uint64_t seed, std::int64_t task) {
+  return truth_value(seed, task) ^ 0xBAD0BEEFCAFEF00DULL;
+}
+
+/// Mutable per-unit runtime record (parallel to Scheduler::units()).
+struct UnitRuntime {
+  UnitState state = UnitState::kUnsent;
+  std::int64_t attempts = 0;   ///< Issues so far (1 = initial deal).
+  std::uint64_t epoch = 0;     ///< Bumped to invalidate in-flight timers.
+  std::uint64_t value = 0;
+  bool has_value = false;
+};
+
+/// Mutable per-task runtime record (parallel to Scheduler::tasks()).
+struct TaskRuntime {
+  TaskState state = TaskState::kUnsent;
+  std::int64_t target_copies = 0;  ///< Planned multiplicity + replicas.
+  std::int64_t arrived = 0;        ///< Completed or recomputed copies.
+  std::int64_t extra_replicas = 0;
+  bool adversary_committed = false;
+  bool adversary_cheats = false;
+  bool mismatch_counted = false;
+  bool ringer_counted = false;
+  bool inconclusive_counted = false;
+  bool detected = false;
+  std::uint64_t accepted = 0;
+};
+
+void validate_config(const RuntimeConfig& config) {
+  if (config.honest_participants < 1) {
+    throw std::invalid_argument(
+        "run_async_campaign: need at least one honest participant");
+  }
+  if (config.sybil_identities < 0 || config.benign_error_rate < 0.0 ||
+      config.benign_error_rate >= 1.0) {
+    throw std::invalid_argument(
+        "run_async_campaign: bad adversary/error settings");
+  }
+  if (config.retry.max_retries < 0 || config.retry.backoff_base < 0.0 ||
+      !(config.retry.backoff_factor >= 1.0)) {
+    throw std::invalid_argument("run_async_campaign: bad retry policy");
+  }
+  if (config.adaptive.max_extra_replicas < 0 ||
+      config.adaptive.reliability_floor < 0.0 ||
+      config.adaptive.reliability_floor > 1.0 ||
+      config.adaptive.score_init < 0.0 || config.adaptive.score_init > 1.0 ||
+      config.adaptive.score_gain < 0.0 || config.adaptive.score_gain > 1.0 ||
+      config.adaptive.score_loss < 0.0 || config.adaptive.score_loss > 1.0) {
+    throw std::invalid_argument("run_async_campaign: bad adaptive settings");
+  }
+  if (config.sample_interval < 0.0) {
+    throw std::invalid_argument("run_async_campaign: sample_interval >= 0");
+  }
+}
+
+/// The whole asynchronous campaign: owns the registry, scheduler, pool,
+/// event queue, and all per-task / per-unit runtime state.
+class Runner {
+ public:
+  explicit Runner(const RuntimeConfig& config)
+      : config_(config),
+        scheduler_(config.plan),
+        deal_engine_(rng::make_stream(config.seed ^ kDealSalt, 0)),
+        decision_{.proportion = 0.0,
+                  .strategy = config.strategy,
+                  .tuple_size = config.tuple_size} {
+    validate_config(config);
+
+    for (std::int64_t i = 0; i < config.honest_participants; ++i) {
+      registry_.enroll(Principal::kHonest);
+    }
+    if (config.sybil_identities > 0) {
+      registry_.enroll_sybils(config.sybil_identities);
+    }
+    pool_.emplace(config.latency, registry_.size(), config.seed);
+    scheduler_.deal(registry_, deal_engine_);
+
+    const auto task_count = static_cast<std::size_t>(scheduler_.task_count());
+    const auto unit_count = static_cast<std::size_t>(scheduler_.unit_count());
+
+    // Per-task service demands, shared by all copies of a task.
+    demand_.resize(task_count);
+    auto demand_engine = rng::make_stream(config.seed ^ kDemandSalt, 0);
+    for (double& d : demand_) {
+      d = config.latency.deterministic_service
+              ? config.latency.mean_service
+              : rng::exponential(config.latency.mean_service, demand_engine);
+    }
+
+    units_rt_.resize(unit_count);
+    tasks_rt_.resize(task_count);
+    units_by_task_.resize(task_count);
+    adversary_held_.assign(task_count, 0);
+    for (std::size_t u = 0; u < unit_count; ++u) {
+      const auto& wu = scheduler_.units()[u];
+      units_by_task_[static_cast<std::size_t>(wu.task)].push_back(u);
+      if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
+        ++adversary_held_[static_cast<std::size_t>(wu.task)];
+      }
+    }
+    for (std::size_t t = 0; t < task_count; ++t) {
+      tasks_rt_[t].target_copies = scheduler_.tasks()[t].multiplicity;
+    }
+    score_.assign(static_cast<std::size_t>(registry_.size()),
+                  config.adaptive.score_init);
+
+    // Effective deadline: explicit, or scaled to the expected FCFS queue
+    // depth so back-of-queue units are not spuriously timed out.
+    const double queue_depth =
+        std::max(1.0, static_cast<double>(unit_count) /
+                          static_cast<double>(registry_.size()));
+    effective_deadline_ =
+        config.retry.deadline > 0.0
+            ? config.retry.deadline
+            : config.latency.network_delay +
+                  4.0 * config.latency.mean_service * queue_depth;
+    check_interval_ = config.adaptive.check_interval > 0.0
+                          ? config.adaptive.check_interval
+                          : 0.5 * effective_deadline_;
+
+    report_.tasks = scheduler_.task_count();
+    report_.units_planned = scheduler_.unit_count();
+    report_.participants = registry_.size();
+    report_.stragglers = pool_->straggler_count();
+  }
+
+  RuntimeReport run() {
+    // t = 0: issue every dealt unit; arm the per-task reliability reviews.
+    for (std::size_t u = 0; u < units_rt_.size(); ++u) issue_unit(u, 0.0);
+    if (config_.adaptive.enabled) {
+      for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
+        queue_.schedule(check_interval_, EventKind::kAdaptiveCheck,
+                        static_cast<std::int64_t>(t));
+      }
+    }
+
+    double next_sample = 0.0;
+    while (!queue_.empty()) {
+      const Event event = queue_.pop();
+      // Sample only until the campaign is fully valid: later events are
+      // stale-timer drains, and the closing sample at the makespan below
+      // must stay the last (and latest) row of the series.
+      if (config_.sample_interval > 0.0 &&
+          report_.tasks_valid < report_.tasks) {
+        while (next_sample <= event.time) {
+          record_sample(next_sample);
+          next_sample += config_.sample_interval;
+        }
+      }
+      ++report_.events_processed;
+      switch (event.kind) {
+        case EventKind::kCompletion: on_completion(event); break;
+        case EventKind::kDeadline: on_deadline(event); break;
+        case EventKind::kReissue: on_reissue(event); break;
+        case EventKind::kAdaptiveCheck: on_adaptive_check(event); break;
+      }
+    }
+
+    for (const TaskRuntime& tr : tasks_rt_) {
+      if (tr.state != TaskState::kValid) {
+        throw std::logic_error(
+            "run_async_campaign: event queue drained with unfinished tasks");
+      }
+    }
+    if (config_.sample_interval > 0.0 &&
+        (report_.series.empty() ||
+         report_.series.back().time < report_.makespan)) {
+      record_sample(report_.makespan);
+    }
+
+    // Ground-truth audit of the accepted output.
+    for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
+      if (tasks_rt_[t].accepted ==
+          truth_value(config_.seed, static_cast<std::int64_t>(t))) {
+        ++report_.final_correct_tasks;
+      } else {
+        ++report_.final_corrupt_tasks;
+      }
+    }
+    if (report_.detections > 0) {
+      report_.mean_detection_latency =
+          detection_time_total_ / static_cast<double>(report_.detections);
+      report_.first_detection_time = first_detection_;
+    }
+    return report_;
+  }
+
+ private:
+  // ------------------------------------------------------------- issue loop
+
+  void issue_unit(std::size_t u, double now) {
+    UnitRuntime& ur = units_rt_[u];
+    const auto& wu = scheduler_.units()[u];
+    ur.state = UnitState::kInProgress;
+    ur.attempts += 1;
+    ur.epoch += 1;
+    ++report_.units_issued;
+
+    const auto outcome = pool_->issue(
+        wu.assignee, now, demand_[static_cast<std::size_t>(wu.task)],
+        static_cast<std::uint64_t>(u), ur.attempts);
+    if (outcome.replies) {
+      queue_.schedule(outcome.completion_time, EventKind::kCompletion,
+                      static_cast<std::int64_t>(u), ur.epoch);
+    } else {
+      ++report_.units_dropped;
+    }
+    queue_.schedule(now + effective_deadline_, EventKind::kDeadline,
+                    static_cast<std::int64_t>(u), ur.epoch);
+
+    TaskRuntime& tr = tasks_rt_[static_cast<std::size_t>(wu.task)];
+    if (tr.state == TaskState::kUnsent ||
+        tr.state == TaskState::kInconclusive) {
+      tr.state = TaskState::kInProgress;
+    }
+  }
+
+  void on_completion(const Event& event) {
+    const auto u = static_cast<std::size_t>(event.subject);
+    UnitRuntime& ur = units_rt_[u];
+    if (ur.state != UnitState::kInProgress || ur.epoch != event.epoch) {
+      ++report_.late_results;  // Timed out (or requeued) before arriving.
+      return;
+    }
+    ur.state = UnitState::kCompleted;
+    ++report_.units_completed;
+    compute_value(u);
+    on_result(u, event.time);
+  }
+
+  void on_deadline(const Event& event) {
+    const auto u = static_cast<std::size_t>(event.subject);
+    UnitRuntime& ur = units_rt_[u];
+    if (ur.state != UnitState::kInProgress || ur.epoch != event.epoch) return;
+    ur.state = UnitState::kTimedOut;
+    ur.epoch += 1;  // A straggling completion now lands as a late result.
+    ++report_.units_timed_out;
+    score_down(scheduler_.units()[u].assignee);
+
+    const std::int64_t retries_used = ur.attempts - 1;
+    if (retries_used < config_.retry.max_retries) {
+      const double backoff =
+          config_.retry.backoff_base *
+          std::pow(config_.retry.backoff_factor,
+                   static_cast<double>(retries_used));
+      queue_.schedule(event.time + backoff, EventKind::kReissue,
+                      static_cast<std::int64_t>(u), ur.epoch);
+    } else {
+      recompute_unit(u, event.time);
+    }
+  }
+
+  void on_reissue(const Event& event) {
+    const auto u = static_cast<std::size_t>(event.subject);
+    UnitRuntime& ur = units_rt_[u];
+    if (ur.state != UnitState::kTimedOut || ur.epoch != event.epoch) return;
+    const ParticipantId old_assignee = scheduler_.units()[u].assignee;
+    const auto next =
+        scheduler_.try_reassign_unit(u, registry_, deal_engine_);
+    if (!next) {
+      // Nobody eligible is left; the supervisor does the work itself.
+      recompute_unit(u, event.time);
+      return;
+    }
+    ++report_.units_reissued;
+    const auto task = static_cast<std::size_t>(scheduler_.units()[u].task);
+    if (registry_.record(old_assignee).principal == Principal::kAdversary) {
+      --adversary_held_[task];
+    }
+    if (registry_.record(*next).principal == Principal::kAdversary) {
+      ++adversary_held_[task];
+    }
+    issue_unit(u, event.time);
+  }
+
+  /// Supervisor computes the unit itself (trusted, costly) — the terminal
+  /// fallback that guarantees every task reaches VALID.
+  void recompute_unit(std::size_t u, double now) {
+    UnitRuntime& ur = units_rt_[u];
+    ur.state = UnitState::kRecomputed;
+    ur.epoch += 1;
+    ur.value = truth_value(config_.seed, scheduler_.units()[u].task);
+    ur.has_value = true;
+    ++report_.supervisor_recomputes;
+    on_result(u, now);
+  }
+
+  // ------------------------------------------------------------ result path
+
+  void compute_value(std::size_t u) {
+    const auto& wu = scheduler_.units()[u];
+    UnitRuntime& ur = units_rt_[u];
+    const std::uint64_t truth = truth_value(config_.seed, wu.task);
+    platform::ParticipantRecord& record = registry_.record(wu.assignee);
+    std::uint64_t value = truth;
+    if (record.principal == Principal::kAdversary) {
+      TaskRuntime& tr = tasks_rt_[static_cast<std::size_t>(wu.task)];
+      // The principal commits to a per-task plan the first time any of her
+      // identities reports a copy, based on how many copies she holds then.
+      if (!tr.adversary_committed) {
+        tr.adversary_committed = true;
+        tr.adversary_cheats = decision_.should_cheat(
+            adversary_held_[static_cast<std::size_t>(wu.task)]);
+        if (tr.adversary_cheats) ++report_.adversary_cheat_attempts;
+      }
+      if (tr.adversary_cheats) value = collusion_value(config_.seed, wu.task);
+    } else if (config_.benign_error_rate > 0.0) {
+      // Per-(unit, attempt) stream so replay stays deterministic.
+      auto unit_engine = rng::make_stream(
+          config_.seed ^ kBenignSalt,
+          static_cast<std::uint64_t>(u) * 64 +
+              static_cast<std::uint64_t>(ur.attempts & 63));
+      if (rng::bernoulli(config_.benign_error_rate, unit_engine)) {
+        value = truth ^ (0x1ULL + (unit_engine() | 0x2ULL));
+      }
+    }
+    if (value != truth) ++record.wrong_results;
+    ur.value = value;
+    ur.has_value = true;
+  }
+
+  void on_result(std::size_t u, double now) {
+    const auto& wu = scheduler_.units()[u];
+    const auto t = static_cast<std::size_t>(wu.task);
+    TaskRuntime& tr = tasks_rt_[t];
+    ++tr.arrived;
+
+    // Ringer copies are checked the moment they arrive: the supervisor
+    // knows the answer outright, so a wrong value is an immediate catch.
+    if (scheduler_.tasks()[t].is_ringer &&
+        units_rt_[u].state == UnitState::kCompleted &&
+        units_rt_[u].value != truth_value(config_.seed, wu.task)) {
+      if (!tr.ringer_counted) {
+        tr.ringer_counted = true;
+        ++report_.ringer_catches;
+      }
+      record_detection(tr, now);
+      flag(wu.assignee, now);
+    }
+
+    if (tr.arrived >= tr.target_copies) validate(t, now);
+  }
+
+  // ---------------------------------------------------------- transitioner
+
+  void validate(std::size_t t, double now) {
+    TaskRuntime& tr = tasks_rt_[t];
+    tr.state = TaskState::kPendingValidation;
+    const std::uint64_t truth =
+        truth_value(config_.seed, static_cast<std::int64_t>(t));
+
+    if (scheduler_.tasks()[t].is_ringer) {
+      accept(t, truth, now);
+      return;
+    }
+
+    bool all_equal = true;
+    std::uint64_t first_value = 0;
+    bool have_first = false;
+    for (const std::size_t u : units_by_task_[t]) {
+      if (!units_rt_[u].has_value) continue;
+      if (!have_first) {
+        first_value = units_rt_[u].value;
+        have_first = true;
+      } else if (units_rt_[u].value != first_value) {
+        all_equal = false;
+      }
+    }
+    if (all_equal) {
+      accept(t, first_value, now);
+      return;
+    }
+
+    // Copies disagree: the alarm condition of the paper's model.
+    record_detection(tr, now);
+    if (!tr.mismatch_counted) {
+      tr.mismatch_counted = true;
+      ++report_.mismatches_detected;
+    }
+    if (!tr.inconclusive_counted) {
+      tr.inconclusive_counted = true;
+      ++report_.tasks_inconclusive;
+    }
+
+    // BOINC-style INCONCLUSIVE: buy information with an extra replica
+    // before spending a trusted recompute.
+    if (tr.extra_replicas < config_.adaptive.max_extra_replicas) {
+      if (const auto nu =
+              scheduler_.try_add_replica(static_cast<std::int64_t>(t),
+                                         registry_, deal_engine_)) {
+        tr.state = TaskState::kInconclusive;
+        ++tr.extra_replicas;
+        ++tr.target_copies;
+        ++report_.quorum_replicas;
+        register_replica(*nu);
+        issue_unit(*nu, now);
+        return;
+      }
+    }
+
+    // Replicas exhausted: resolve by policy.
+    std::uint64_t resolved = 0;
+    if (config_.resolution == platform::Resolution::kRecompute) {
+      ++report_.supervisor_recomputes;
+      resolved = truth;
+    } else {
+      std::map<std::uint64_t, int> votes;
+      for (const std::size_t u : units_by_task_[t]) {
+        if (units_rt_[u].has_value) ++votes[units_rt_[u].value];
+      }
+      int best = 0;
+      bool tie = false;
+      for (const auto& [value, count] : votes) {
+        if (count > best) {
+          best = count;
+          resolved = value;
+          tie = false;
+        } else if (count == best) {
+          tie = true;
+        }
+      }
+      if (tie) {
+        ++report_.supervisor_recomputes;
+        resolved = truth;
+      }
+    }
+    accept(t, resolved, now);
+  }
+
+  void accept(std::size_t t, std::uint64_t value, double now) {
+    TaskRuntime& tr = tasks_rt_[t];
+    tr.accepted = value;
+    tr.state = TaskState::kValid;
+    ++report_.tasks_valid;
+    report_.makespan = std::max(report_.makespan, now);
+
+    const std::uint64_t truth =
+        truth_value(config_.seed, static_cast<std::int64_t>(t));
+    for (const std::size_t u : units_by_task_[t]) {
+      const UnitRuntime& ur = units_rt_[u];
+      if (ur.state != UnitState::kCompleted) continue;  // Not a submission.
+      const ParticipantId submitter = scheduler_.units()[u].assignee;
+      if (ur.value == value) {
+        score_up(submitter);
+      } else {
+        score_down(submitter);
+        if (ur.value == truth) ++report_.false_accusations;
+        flag(submitter, now);
+      }
+    }
+  }
+
+  // -------------------------------------------------- reaction & adaptivity
+
+  /// Blacklists a caught identity and requeues its outstanding units.
+  void flag(ParticipantId id, double now) {
+    if (!config_.reactive) return;
+    if (!flagged_.insert(id).second) return;
+    registry_.blacklist(id);
+    ++report_.blacklisted_identities;
+    for (std::size_t u = 0; u < units_rt_.size(); ++u) {
+      if (scheduler_.units()[u].assignee != id) continue;
+      UnitRuntime& ur = units_rt_[u];
+      if (ur.state != UnitState::kInProgress) continue;
+      ur.state = UnitState::kTimedOut;
+      ur.epoch += 1;  // Invalidate its completion and deadline timers.
+      queue_.schedule(now, EventKind::kReissue, static_cast<std::int64_t>(u),
+                      ur.epoch);
+    }
+  }
+
+  void on_adaptive_check(const Event& event) {
+    const auto t = static_cast<std::size_t>(event.subject);
+    TaskRuntime& tr = tasks_rt_[t];
+    if (tr.state == TaskState::kValid) return;  // Timer drains, no re-arm.
+
+    // Straggling by construction (still unfinished after a full review
+    // period); replicate when the holders look unreliable too.
+    double score_total = 0.0;
+    std::int64_t outstanding = 0;
+    for (const std::size_t u : units_by_task_[t]) {
+      const UnitState state = units_rt_[u].state;
+      if (state != UnitState::kInProgress && state != UnitState::kTimedOut) {
+        continue;
+      }
+      score_total += score_[scheduler_.units()[u].assignee];
+      ++outstanding;
+    }
+    if (outstanding > 0 &&
+        score_total / static_cast<double>(outstanding) <
+            config_.adaptive.reliability_floor &&
+        tr.extra_replicas < config_.adaptive.max_extra_replicas) {
+      if (const auto nu =
+              scheduler_.try_add_replica(static_cast<std::int64_t>(t),
+                                         registry_, deal_engine_)) {
+        ++tr.extra_replicas;
+        ++tr.target_copies;
+        ++report_.adaptive_replicas;
+        register_replica(*nu);
+        issue_unit(*nu, event.time);
+      }
+    }
+    queue_.schedule(event.time + check_interval_, EventKind::kAdaptiveCheck,
+                    event.subject);
+  }
+
+  // -------------------------------------------------------------- plumbing
+
+  /// Extends the runtime bookkeeping for a unit just appended by
+  /// Scheduler::try_add_replica.
+  void register_replica(std::size_t u) {
+    units_rt_.emplace_back();
+    const auto& wu = scheduler_.units()[u];
+    units_by_task_[static_cast<std::size_t>(wu.task)].push_back(u);
+    if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
+      ++adversary_held_[static_cast<std::size_t>(wu.task)];
+    }
+  }
+
+  void record_detection(TaskRuntime& tr, double now) {
+    if (tr.detected) return;
+    tr.detected = true;
+    ++report_.detections;
+    detection_time_total_ += now;
+    first_detection_ = report_.detections == 1
+                           ? now
+                           : std::min(first_detection_, now);
+  }
+
+  void score_up(ParticipantId id) {
+    score_[id] += config_.adaptive.score_gain * (1.0 - score_[id]);
+  }
+  void score_down(ParticipantId id) {
+    score_[id] *= 1.0 - config_.adaptive.score_loss;
+  }
+
+  void record_sample(double time) {
+    report_.series.push_back({time, report_.units_issued,
+                              report_.units_completed, report_.units_timed_out,
+                              report_.units_reissued, report_.tasks_valid});
+  }
+
+  const RuntimeConfig& config_;
+  platform::Registry registry_;
+  platform::Scheduler scheduler_;
+  rng::Xoshiro256StarStar deal_engine_;
+  sim::AdversaryConfig decision_;
+  std::optional<ParticipantPool> pool_;
+  EventQueue queue_;
+  RuntimeReport report_;
+
+  std::vector<double> demand_;              ///< Per task.
+  std::vector<UnitRuntime> units_rt_;
+  std::vector<TaskRuntime> tasks_rt_;
+  std::vector<std::vector<std::size_t>> units_by_task_;
+  std::vector<std::int64_t> adversary_held_;  ///< Copies per task.
+  std::vector<double> score_;               ///< Per identity.
+  std::set<ParticipantId> flagged_;
+
+  double effective_deadline_ = 0.0;
+  double check_interval_ = 0.0;
+  double detection_time_total_ = 0.0;
+  double first_detection_ = 0.0;
+};
+
+}  // namespace
+
+RuntimeReport run_async_campaign(const RuntimeConfig& config) {
+  Runner runner(config);
+  return runner.run();
+}
+
+}  // namespace redund::runtime

@@ -1,0 +1,97 @@
+// Asynchronous supervisor runtime: executes a realized redundancy plan over
+// simulated time (event-driven), instead of platform::Campaign's single
+// synchronous enroll->deal->verify pass.
+//
+// The paper's Section 1 caveat — detection "alerts the supervisor to the
+// presence of an active adversary, allowing for potential reactive
+// measures" — presumes an operational substrate with *time* in it: copies
+// straggle, results get lost, deadlines fire, the supervisor re-issues work
+// and only then can it react. This module provides that substrate, modelled
+// on the BOINC scheduler/transitioner/validator loop:
+//
+//   * per-participant latency/availability model (runtime/latency_model.hpp):
+//     heterogeneous speeds, stragglers, no-reply dropouts;
+//   * a work-issue loop with per-unit deadlines, bounded retries under
+//     exponential backoff, and re-issue through
+//     platform::Scheduler::try_reassign_unit (so the one-copy-per-identity
+//     rule keeps holding across re-deals);
+//   * a per-task transitioner/validator state machine
+//     (runtime/task_state.hpp) with quorum agreement, ringer ground-truth
+//     checks, and the resolution policies of platform::Campaign;
+//   * adaptive replication: per-identity reliability scores (EWMA over
+//     timeouts and validated results) gate delayed extra replicas for
+//     straggling tasks held by unreliable identities;
+//   * a RuntimeReport (runtime/report.hpp) with totals, makespan, detection
+//     latency, and an optional counter time series.
+//
+// Deterministic for a fixed RuntimeConfig::seed: every random draw comes
+// from a SplitMix64-derived stream keyed by purpose and subject, and event
+// ties resolve by schedule order (runtime/event_queue.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "core/realize.hpp"
+#include "platform/campaign.hpp"
+#include "runtime/latency_model.hpp"
+#include "runtime/report.hpp"
+#include "sim/adversary.hpp"
+
+namespace redund::runtime {
+
+/// Deadline / retry policy of the work-issue loop.
+struct RetryPolicy {
+  /// Per-unit report deadline measured from issue time. <= 0 selects the
+  /// automatic deadline: network_delay + 4 * mean_service * expected
+  /// queue depth (units / participants, at least 1).
+  double deadline = 0.0;
+  /// Re-issues allowed per unit before the supervisor recomputes it itself.
+  std::int64_t max_retries = 3;
+  /// First re-issue delay after a timeout; grows by backoff_factor each
+  /// further attempt (exponential backoff).
+  double backoff_base = 0.5;
+  double backoff_factor = 2.0;
+};
+
+/// Reliability-score-gated adaptive replication.
+struct AdaptiveConfig {
+  bool enabled = true;
+  /// Review period for straggling tasks. <= 0 selects half the effective
+  /// deadline.
+  double check_interval = 0.0;
+  /// Replicate a straggling task when the mean reliability score of the
+  /// identities holding its outstanding copies falls below this floor.
+  double reliability_floor = 0.4;
+  /// Cap on extra replicas per task (adaptive + INCONCLUSIVE combined).
+  std::int64_t max_extra_replicas = 2;
+  /// Score dynamics: start value, gain toward 1 on a validated-correct
+  /// result, multiplicative decay on a timeout or rejected result.
+  double score_init = 0.7;
+  double score_gain = 0.1;
+  double score_loss = 0.3;
+};
+
+/// Full configuration of one asynchronous campaign.
+struct RuntimeConfig {
+  core::RealizedPlan plan;               ///< What to distribute.
+  std::int64_t honest_participants = 0;  ///< Honest identities to enroll.
+  std::int64_t sybil_identities = 0;     ///< Adversary identities to enroll.
+  sim::CheatStrategy strategy = sim::CheatStrategy::kAlwaysCheat;
+  std::int64_t tuple_size = 1;           ///< For the tuple strategies.
+  double benign_error_rate = 0.0;        ///< Honest per-unit error prob.
+  platform::Resolution resolution = platform::Resolution::kRecompute;
+  bool reactive = true;                  ///< Blacklist + requeue on catch.
+  LatencyModel latency;
+  RetryPolicy retry;
+  AdaptiveConfig adaptive;
+  /// Counter sampling period for RuntimeReport::series (0 disables).
+  double sample_interval = 0.0;
+  std::uint64_t seed = 0xA57C0DEULL;
+};
+
+/// Runs one asynchronous campaign to completion (every task VALID).
+/// Deterministic given config.seed; throws std::invalid_argument on bad
+/// parameters.
+[[nodiscard]] RuntimeReport run_async_campaign(const RuntimeConfig& config);
+
+}  // namespace redund::runtime

@@ -1,0 +1,61 @@
+// Per-task and per-unit lifecycle states of the asynchronous supervisor.
+//
+// The task machine follows the BOINC transitioner/validator shape
+// (sched/transitioner.cpp in the BOINC source tree):
+//
+//   UNSENT --issue--> IN_PROGRESS --quorum reached--> PENDING_VALIDATION
+//     PENDING_VALIDATION --copies agree (or ringer)--> VALID
+//     PENDING_VALIDATION --copies disagree--> INCONCLUSIVE
+//       INCONCLUSIVE --extra replica issued--> IN_PROGRESS
+//       INCONCLUSIVE --replicas exhausted, policy resolves--> VALID
+//
+// VALID is the only terminal state: the runtime guarantees every task gets
+// there because a unit that exhausts its retries is recomputed by the
+// supervisor, and the resolution policies always produce an accepted value.
+#pragma once
+
+#include <cstdint>
+
+namespace redund::runtime {
+
+/// Validator state of one task.
+enum class TaskState : std::uint8_t {
+  kUnsent,             ///< No copy issued yet.
+  kInProgress,         ///< Copies outstanding, quorum not reached.
+  kPendingValidation,  ///< All issued copies accounted for; comparing.
+  kInconclusive,       ///< Copies disagreed; awaiting an extra replica.
+  kValid,              ///< Accepted value recorded (terminal).
+};
+
+/// Lifecycle of one work unit (one issued copy of a task).
+enum class UnitState : std::uint8_t {
+  kUnsent,      ///< Dealt but not yet issued.
+  kInProgress,  ///< Issued; completion or deadline pending.
+  kCompleted,   ///< Result arrived before the deadline.
+  kTimedOut,    ///< Deadline fired first; awaiting re-issue or recompute.
+  kRecomputed,  ///< Supervisor computed it after retries ran out.
+};
+
+[[nodiscard]] constexpr const char* to_string(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::kUnsent: return "UNSENT";
+    case TaskState::kInProgress: return "IN_PROGRESS";
+    case TaskState::kPendingValidation: return "PENDING_VALIDATION";
+    case TaskState::kInconclusive: return "INCONCLUSIVE";
+    case TaskState::kValid: return "VALID";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(UnitState state) noexcept {
+  switch (state) {
+    case UnitState::kUnsent: return "UNSENT";
+    case UnitState::kInProgress: return "IN_PROGRESS";
+    case UnitState::kCompleted: return "COMPLETED";
+    case UnitState::kTimedOut: return "TIMED_OUT";
+    case UnitState::kRecomputed: return "RECOMPUTED";
+  }
+  return "?";
+}
+
+}  // namespace redund::runtime

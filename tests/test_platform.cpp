@@ -3,6 +3,7 @@
 // verification, resolution policies, and the reactive supervisor loop.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 
 #include "core/realize.hpp"
@@ -145,6 +146,122 @@ TEST(Scheduler, ReassignMovesEveryUnitOffTheIdentity) {
     EXPECT_NE(unit.assignee, 3u);
   }
   // One-copy rule still intact after the reshuffle.
+  std::set<std::pair<std::int64_t, plat::ParticipantId>> seen;
+  for (const auto& unit : scheduler.units()) {
+    EXPECT_TRUE(seen.insert({unit.task, unit.assignee}).second);
+  }
+}
+
+// A saturated fixture for the reassignment edge cases: with exactly as many
+// identities as the multiplicity, deal() gives every identity one copy of
+// every task, so there is never an eligible non-holder to move a unit to.
+core::RealizedPlan saturated_plan(std::int64_t tasks,
+                                  std::int64_t multiplicity) {
+  core::RealizedPlan plan;
+  plan.counts.assign(static_cast<std::size_t>(multiplicity), 0);
+  plan.counts.back() = tasks;
+  plan.task_count = tasks;
+  plan.work_assignments = tasks * multiplicity;
+  return plan;
+}
+
+TEST(Scheduler, ReassignThrowsWhenRemainingIdentitiesHoldEverything) {
+  // Two identities, multiplicity-2 tasks: each identity holds every task.
+  // Blacklisting one leaves a survivor who already holds a copy of each
+  // task the dead identity held, so reassign_from cannot place anything.
+  const auto plan = saturated_plan(5, 2);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(41, 0);
+  scheduler.deal(registry, engine);
+
+  registry.blacklist(1);
+  EXPECT_THROW(scheduler.reassign_from(1, registry, engine),
+               std::runtime_error);
+}
+
+TEST(Scheduler, ReassignThrowsWhenNobodyIsLeft) {
+  const auto plan = saturated_plan(4, 2);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(42, 0);
+  scheduler.deal(registry, engine);
+
+  registry.blacklist(0);
+  registry.blacklist(1);
+  EXPECT_THROW(scheduler.reassign_from(0, registry, engine),
+               std::runtime_error);
+}
+
+TEST(Scheduler, ReassignFromSurvivesWhenALateEnrolleeCanAbsorb) {
+  // Same saturated start, but a fresh identity enrolled after the deal can
+  // absorb every unit of the blacklisted one.
+  const auto plan = saturated_plan(5, 2);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(43, 0);
+  scheduler.deal(registry, engine);
+
+  const auto fresh = registry.enroll(plat::Principal::kHonest);
+  registry.blacklist(1);
+  const auto moved = scheduler.reassign_from(1, registry, engine);
+  EXPECT_EQ(moved.size(), 5u);
+  for (const auto& unit : scheduler.units()) {
+    EXPECT_NE(unit.assignee, 1u);
+  }
+  std::int64_t absorbed = 0;
+  for (const auto& unit : scheduler.units()) absorbed += unit.assignee == fresh;
+  EXPECT_EQ(absorbed, 5);
+}
+
+TEST(Scheduler, TryReassignUnitReturnsNulloptWhenSaturated) {
+  const auto plan = saturated_plan(3, 2);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(44, 0);
+  scheduler.deal(registry, engine);
+
+  // Every other identity already holds the unit's task, so the unit must
+  // stay put — and its holder must keep the hold (a later replica attempt
+  // still sees the task as fully covered).
+  const auto before = scheduler.units()[0];
+  EXPECT_EQ(scheduler.try_reassign_unit(0, registry, engine), std::nullopt);
+  EXPECT_EQ(scheduler.units()[0].assignee, before.assignee);
+  EXPECT_EQ(scheduler.try_add_replica(before.task, registry, engine),
+            std::nullopt);
+  EXPECT_THROW((void)scheduler.try_reassign_unit(999, registry, engine),
+               std::out_of_range);
+}
+
+TEST(Scheduler, TryAddReplicaUsesLateEnrolleeAndKeepsOneCopyRule) {
+  const auto plan = saturated_plan(3, 2);
+  plat::Scheduler scheduler(plan);
+  plat::Registry registry;
+  registry.enroll(plat::Principal::kHonest);
+  registry.enroll(plat::Principal::kHonest);
+  auto engine = redund::rng::make_stream(45, 0);
+  scheduler.deal(registry, engine);
+
+  const auto fresh = registry.enroll(plat::Principal::kHonest);
+  const auto replica = scheduler.try_add_replica(0, registry, engine);
+  ASSERT_TRUE(replica.has_value());
+  EXPECT_EQ(*replica, 6u);  // Appended after the 3x2 dealt units.
+  EXPECT_EQ(scheduler.units()[*replica].task, 0);
+  EXPECT_EQ(scheduler.units()[*replica].assignee, fresh);
+  // The fresh identity now holds task 0; a second replica of the same task
+  // has nowhere to go again.
+  EXPECT_EQ(scheduler.try_add_replica(0, registry, engine), std::nullopt);
+  EXPECT_THROW((void)scheduler.try_add_replica(99, registry, engine),
+               std::out_of_range);
+
   std::set<std::pair<std::int64_t, plat::ParticipantId>> seen;
   for (const auto& unit : scheduler.units()) {
     EXPECT_TRUE(seen.insert({unit.task, unit.assignee}).second);

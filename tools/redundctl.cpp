@@ -5,15 +5,24 @@
 //   redundctl analyze  --plan FILE --epsilon E
 //   redundctl simulate --plan FILE --adversary P [--replicas R] [--seed S]
 //                      [--strategy NAME] [--threads T]
+//   redundctl run-async [--plan FILE | --tasks N --epsilon E [--scheme NAME]]
+//                      [--participants P] [--sybils K] [--strategy NAME]
+//                      [--stragglers F] [--slowdown X] [--dropout D]
+//                      [--deadline T] [--retries R] [--benign-rate B]
+//                      [--sample-interval T] [--no-adaptive] [--no-reactive]
+//                      [--seed S]
 //   redundctl budget   --tasks N --budget B [--adversary P]
 //   redundctl help
 //
-// plan     builds and realizes a distribution and (optionally) writes the
-//          portable plan file consumed by the other subcommands.
-// analyze  loads a plan file and reports its detection profile/validity.
-// simulate runs the Monte Carlo adversary simulation against a plan file.
-// budget   answers "what level can I afford", including a robustness margin
-//          against an adversary share p (inverts Prop. 3).
+// plan      builds and realizes a distribution and (optionally) writes the
+//           portable plan file consumed by the other subcommands.
+// analyze   loads a plan file and reports its detection profile/validity.
+// simulate  runs the Monte Carlo adversary simulation against a plan file.
+// run-async executes a campaign on the asynchronous supervisor runtime
+//           (event-driven: stragglers, dropouts, deadlines, retries, quorum
+//           validation, adaptive replication) and prints a RuntimeReport.
+// budget    answers "what level can I afford", including a robustness margin
+//           against an adversary share p (inverts Prop. 3).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,6 +37,7 @@
 #include "core/schemes/balanced.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "runtime/supervisor.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace core = redund::core;
@@ -201,6 +211,41 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_run_async(const Args& args) {
+  namespace runtime = redund::runtime;
+  runtime::RuntimeConfig config;
+  if (const auto plan_path = args.get("plan")) {
+    config.plan = load_plan(*plan_path);
+  } else {
+    core::PlanRequest request;
+    request.task_count = args.integer("tasks", 2000);
+    request.epsilon = args.number("epsilon", 0.5);
+    request.scheme = parse_scheme(args.get("scheme").value_or("balanced"));
+    config.plan = core::make_plan(request).realized;
+  }
+  config.honest_participants = args.integer("participants", 120);
+  config.sybil_identities = args.integer("sybils", 30);
+  config.strategy = parse_strategy(args.get("strategy").value_or("always"));
+  if (config.strategy == sim::CheatStrategy::kExactTuple) {
+    config.tuple_size = 2;
+  }
+  config.benign_error_rate = args.number("benign-rate", 0.0);
+  config.reactive = !args.flag("no-reactive");
+  config.latency.straggler_fraction = args.number("stragglers", 0.15);
+  config.latency.straggler_slowdown = args.number("slowdown", 8.0);
+  config.latency.dropout_probability = args.number("dropout", 0.02);
+  config.latency.speed_sigma = args.number("speed-sigma", 0.25);
+  config.retry.deadline = args.number("deadline", 0.0);
+  config.retry.max_retries = args.integer("retries", 3);
+  config.adaptive.enabled = !args.flag("no-adaptive");
+  config.sample_interval = args.number("sample-interval", 0.0);
+  config.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+
+  const runtime::RuntimeReport report = runtime::run_async_campaign(config);
+  runtime::print(std::cout, report);
+  return 0;
+}
+
 int cmd_budget(const Args& args) {
   const auto tasks = std::stod(args.require("tasks"));
   const auto budget = std::stod(args.require("budget"));
@@ -237,6 +282,11 @@ subcommands:
   analyze  --plan FILE --epsilon E
   simulate --plan FILE --adversary P [--replicas R] [--seed S]
            [--strategy honest|always|singletons|pairs] [--threads T]
+  run-async [--plan FILE | --tasks N --epsilon E [--scheme NAME]]
+           [--participants P] [--sybils K] [--strategy NAME]
+           [--stragglers F] [--slowdown X] [--dropout D] [--speed-sigma S]
+           [--deadline T] [--retries R] [--benign-rate B]
+           [--sample-interval T] [--no-adaptive] [--no-reactive] [--seed S]
   budget   --tasks N --budget B [--adversary P]
   help
 )";
@@ -255,6 +305,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "run-async") return cmd_run_async(args);
     if (command == "budget") return cmd_budget(args);
     std::cerr << "unknown subcommand '" << command << "' (try: help)\n";
     return 2;
