@@ -120,6 +120,27 @@ void BM_ReplicaPoolShuffle(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplicaPoolShuffle)->Arg(10000)->Arg(100000);
 
+void BM_ReplicaClassAggregated(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto plan = core::realize(
+      core::make_balanced(static_cast<double>(n), 0.5,
+                          {.truncate_below = 1e-9}),
+      n, 0.5);
+  const sim::Workload workload(plan);
+  sim::AdversaryConfig adversary{.proportion = 0.1,
+                                 .strategy = sim::CheatStrategy::kAlwaysCheat};
+  auto engine = redund::rng::make_stream(7, 2);
+  sim::ReplicaResult result;
+  sim::ReplicaScratch scratch;
+  for (auto _ : state) {
+    sim::run_replica_into(result, workload, adversary, engine,
+                          sim::Allocation::kClassAggregated, scratch);
+    benchmark::DoNotOptimize(result.cheat_attempts);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReplicaClassAggregated)->Arg(10000)->Arg(100000)->Arg(1000000);
+
 void BM_TwoPhaseRound(benchmark::State& state) {
   auto engine = redund::rng::make_stream(8, 0);
   for (auto _ : state) {

@@ -1,0 +1,50 @@
+// Perf-regression report generator.
+//
+// Runs the headline suite (perf/suite.hpp) and writes the records as
+// BENCH_PR2.json (override with --out). Diff two reports with
+// tools/bench_compare. --quick shrinks sizes/budgets ~10x for smoke tests.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "perf/json.hpp"
+#include "perf/suite.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_PR2.json";
+  redund::perf::SuiteOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: perf_report [--quick] [--out FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "perf_report: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const auto records = redund::perf::run_suite(options);
+    std::printf("%-28s %10s %8s %14s %10s\n", "bench", "n", "threads",
+                "items/sec", "wall_ms");
+    for (const auto& r : records) {
+      std::printf("%-28s %10lld %8d %14.3e %10.1f\n", r.bench.c_str(),
+                  static_cast<long long>(r.n), r.threads, r.items_per_sec,
+                  r.wall_ms);
+    }
+    redund::perf::write_report(out_path, records);
+    std::printf("wrote %s (%zu records, rev %s)\n", out_path.c_str(),
+                records.size(),
+                records.empty() ? "?" : records.front().git_rev.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "perf_report: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

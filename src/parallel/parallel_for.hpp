@@ -2,14 +2,27 @@
 // ThreadPool.
 //
 // The key property for this library is *schedule-independent determinism*:
-// parallel_reduce assigns work by static block decomposition and combines
-// per-block partial results in block order on the calling thread, so the
-// floating-point result is identical for any thread count — a requirement
-// for reproducing the paper's Monte Carlo numbers exactly across machines.
+// work is decomposed into blocks whose layout depends only on the iteration
+// count — never on the pool size — and parallel_reduce combines per-block
+// partial results in ascending block order on the calling thread. The
+// floating-point (and byte-level) result is therefore identical for any
+// thread count — a requirement for reproducing the paper's Monte Carlo
+// numbers exactly across machines.
+//
+// Scheduling is dynamic: blocks are claimed from an atomic ticket counter,
+// so a slow block (straggler replica, NUMA miss) never idles the other
+// workers the way the old static per-thread decomposition did. The calling
+// thread participates in the block loop itself, so these entry points never
+// deadlock even on a saturated pool.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <future>
+#include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -35,20 +48,98 @@ namespace redund::parallel {
   return blocks;
 }
 
-/// Runs body(i) for every i in [0, count), distributing contiguous blocks
-/// over the pool. Blocks until all iterations complete. `body` must be
-/// callable concurrently from multiple threads.
+/// Number of scheduling blocks for an iteration count. Depends ONLY on
+/// `count` (never on the pool size): the block layout is part of the
+/// determinism contract. 256 blocks keep dynamic load balancing effective
+/// up to large machines while costing one relaxed fetch_add each.
+[[nodiscard]] inline std::size_t schedule_blocks(std::size_t count) noexcept {
+  constexpr std::size_t kMaxBlocks = 256;
+  return std::min(count, kMaxBlocks);
+}
+
+/// Runs body(block_index, begin, end) for every block, claiming blocks
+/// dynamically from an atomic ticket counter across the pool plus the
+/// calling thread. Blocks until all blocks complete; rethrows the first
+/// exception a block threw (remaining unclaimed blocks are abandoned).
+template <typename BlockBody>
+void parallel_for_blocks(
+    ThreadPool& pool,
+    const std::vector<std::pair<std::size_t, std::size_t>>& blocks,
+    BlockBody&& body) {
+  if (blocks.empty()) return;
+  if (blocks.size() == 1) {  // Fast path: no scheduling, no futures.
+    body(std::size_t{0}, blocks[0].first, blocks[0].second);
+    return;
+  }
+  std::atomic<std::size_t> ticket{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto drain = [&] {
+    while (!failed.load(std::memory_order_acquire)) {
+      const std::size_t b = ticket.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks.size()) return;
+      try {
+        body(b, blocks[b].first, blocks[b].second);
+      } catch (...) {
+        {
+          const std::scoped_lock lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(pool.size(), blocks.size() - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    futures.push_back(pool.submit(drain));
+  }
+  drain();  // The calling thread works too; never idles on a busy pool.
+  for (auto& future : futures) future.get();
+  if (error) std::rethrow_exception(error);
+}
+
+/// Runs body(i) for every i in [0, count), distributing blocks over the
+/// pool. Blocks until all iterations complete. `body` must be callable
+/// concurrently from multiple threads.
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t count, Body&& body) {
-  const auto blocks = decompose(count, pool.size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(blocks.size());
-  for (const auto& [begin, end] : blocks) {
-    futures.push_back(pool.submit([begin = begin, end = end, &body] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    }));
+  const auto blocks = decompose(count, schedule_blocks(count));
+  parallel_for_blocks(pool, blocks,
+                      [&body](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+/// Deterministic block-level map-reduce: map_block(begin, end) returns one
+/// partial of type T per block; partials are folded with combine(T, T) in
+/// ascending block order on the calling thread. Because the block layout is
+/// a pure function of `count`, the result is byte-identical for any pool
+/// size. This is the zero-per-item-overhead entry point for kernels that
+/// carry per-thread scratch state across a whole block (see
+/// sim::run_monte_carlo).
+template <typename T, typename MapBlock, typename Combine>
+[[nodiscard]] T parallel_reduce_blocks(ThreadPool& pool, std::size_t count,
+                                       T identity, MapBlock&& map_block,
+                                       Combine&& combine) {
+  const auto blocks = decompose(count, schedule_blocks(count));
+  if (blocks.empty()) return identity;
+  std::vector<std::optional<T>> partials(blocks.size());
+  parallel_for_blocks(
+      pool, blocks,
+      [&partials, &map_block](std::size_t b, std::size_t begin,
+                              std::size_t end) {
+        partials[b].emplace(map_block(begin, end));
+      });
+  T result = std::move(identity);
+  for (auto& partial : partials) {
+    result = combine(std::move(result), std::move(*partial));
   }
-  for (auto& future : futures) future.get();  // Propagates exceptions.
+  return result;
 }
 
 /// Deterministic map-reduce: computes combine(..., map(i), ...) over
@@ -58,23 +149,16 @@ void parallel_for(ThreadPool& pool, std::size_t count, Body&& body) {
 template <typename T, typename Map, typename Combine>
 [[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t count, T identity,
                                 Map&& map, Combine&& combine) {
-  const auto blocks = decompose(count, pool.size());
-  std::vector<std::future<T>> futures;
-  futures.reserve(blocks.size());
-  for (const auto& [begin, end] : blocks) {
-    futures.push_back(pool.submit([begin = begin, end = end, identity, &map, &combine] {
-      T partial = identity;
-      for (std::size_t i = begin; i < end; ++i) {
-        partial = combine(std::move(partial), map(i));
-      }
-      return partial;
-    }));
-  }
-  T result = std::move(identity);
-  for (auto& future : futures) {
-    result = combine(std::move(result), future.get());
-  }
-  return result;
+  return parallel_reduce_blocks<T>(
+      pool, count, identity,
+      [identity, &map, &combine](std::size_t begin, std::size_t end) {
+        T partial = identity;
+        for (std::size_t i = begin; i < end; ++i) {
+          partial = combine(std::move(partial), map(i));
+        }
+        return partial;
+      },
+      combine);
 }
 
 }  // namespace redund::parallel

@@ -10,40 +10,104 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
   }
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop_(); });
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop_(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_seq_cst);
   {
-    const std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    // Taking the sleep mutex orders the flag against any worker that is
+    // between its predicate check and the actual sleep.
+    const std::scoped_lock lock(sleep_mutex_);
   }
   wake_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::unique_lock lock(sleep_mutex_);
+  idle_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
-void ThreadPool::worker_loop_() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained.
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+void ThreadPool::push_(TaskFunction task) {
+  const std::size_t index =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(workers_[index]->mutex);
+    workers_[index]->queue.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake a sleeper only when one exists: the common steady-state submit
+  // (all workers busy) never touches the global mutex. The seq_cst pair
+  // (queued_ store above / sleepers_ load here vs. sleepers_ store /
+  // queued_ load in worker_loop_) guarantees at least one side sees the
+  // other, so no wakeup is lost.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    { const std::scoped_lock lock(sleep_mutex_); }
+    wake_.notify_one();
+  }
+}
+
+bool ThreadPool::try_pop_(std::size_t self, TaskFunction& out) {
+  const std::size_t n = workers_.size();
+  // Own queue first (FIFO), then steal (from the victim's back, LIFO).
+  {
+    Worker& own = *workers_[self];
+    const std::scoped_lock lock(own.mutex);
+    if (!own.queue.empty()) {
+      out = std::move(own.queue.front());
+      own.queue.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
     }
-    task();
-    {
-      const std::scoped_lock lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    // try_lock: a contended victim means somebody is already working that
+    // queue; skip instead of convoying.
+    std::unique_lock lock(victim.mutex, std::try_to_lock);
+    if (!lock.owns_lock() || victim.queue.empty()) continue;
+    out = std::move(victim.queue.back());
+    victim.queue.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_(TaskFunction task) {
+  task();
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { const std::scoped_lock lock(sleep_mutex_); }
+    idle_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop_(std::size_t self) {
+  while (true) {
+    TaskFunction task;
+    if (try_pop_(self, task)) {
+      run_(std::move(task));
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    wake_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_seq_cst) ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_.load(std::memory_order_seq_cst) &&
+        queued_.load(std::memory_order_seq_cst) == 0) {
+      return;
     }
   }
 }

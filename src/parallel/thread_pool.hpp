@@ -1,18 +1,28 @@
 // A task-based thread pool (C++ Core Guidelines CP.4: think in terms of
 // tasks, not threads; CP.41: minimize thread creation/destruction).
 //
-// The pool is the execution substrate for the Monte Carlo simulation driver:
-// replicas are submitted as tasks and joined through futures. Worker threads
-// are created once, never detached (CP.26), and joined in the destructor
-// (CP.23/CP.25 — the pool behaves as a scoped container of joining threads).
+// The pool is the execution substrate for the Monte Carlo simulation driver.
+// Worker threads are created once, never detached (CP.26), and joined in the
+// destructor (CP.23/CP.25 — the pool behaves as a scoped container of
+// joining threads).
+//
+// Dispatch is lock-light: every worker owns its own deque and takes only
+// that deque's mutex on the fast path; an idle worker steals from the other
+// queues (FIFO from its own front, LIFO from a victim's back, the classic
+// work-stealing discipline). Tasks are carried by TaskFunction, a move-only
+// callable wrapper with inline small-buffer storage, so a submit() costs one
+// allocation (the future's shared state) instead of the three forced by the
+// old std::function + shared_ptr<packaged_task> encoding.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -20,19 +30,137 @@
 
 namespace redund::parallel {
 
-/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+/// Move-only type-erased nullary callable with small-buffer optimization.
+///
+/// Replaces std::function<void()> as the pool's task carrier: std::function
+/// requires copyable targets, which forced move-only payloads (futures,
+/// packaged_task) behind an extra shared_ptr. Targets up to kInlineSize
+/// bytes that are nothrow-move-constructible live inline; larger ones fall
+/// back to a single heap cell.
+class TaskFunction {
+ public:
+  TaskFunction() noexcept = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, TaskFunction>>>
+  TaskFunction(Fn&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<Fn>;
+    if constexpr (fits_inline_<Decayed>()) {
+      target_ = ::new (static_cast<void*>(storage_))
+          Decayed(std::forward<Fn>(fn));
+      vtable_ = inline_vtable_<Decayed>();
+    } else {
+      target_ = new Decayed(std::forward<Fn>(fn));
+      vtable_ = heap_vtable_<Decayed>();
+    }
+  }
+
+  TaskFunction(TaskFunction&& other) noexcept { move_from_(other); }
+
+  TaskFunction& operator=(TaskFunction&& other) noexcept {
+    if (this != &other) {
+      reset_();
+      move_from_(other);
+    }
+    return *this;
+  }
+
+  TaskFunction(const TaskFunction&) = delete;
+  TaskFunction& operator=(const TaskFunction&) = delete;
+
+  ~TaskFunction() { reset_(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  void operator()() { vtable_->invoke(target_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs the target into `to` and destroys the source; null
+    /// for heap targets (the pointer itself is stolen instead).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  template <typename Fn>
+  static constexpr bool fits_inline_() noexcept {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const VTable* inline_vtable_() noexcept {
+    static constexpr VTable table = {
+        [](void* target) { (*static_cast<Fn*>(target))(); },
+        [](void* from, void* to) noexcept {
+          ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+          static_cast<Fn*>(from)->~Fn();
+        },
+        [](void* target) noexcept { static_cast<Fn*>(target)->~Fn(); },
+    };
+    return &table;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable_() noexcept {
+    static constexpr VTable table = {
+        [](void* target) { (*static_cast<Fn*>(target))(); },
+        nullptr,
+        [](void* target) noexcept { delete static_cast<Fn*>(target); },
+    };
+    return &table;
+  }
+
+  void move_from_(TaskFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ == nullptr) return;
+    if (vtable_->relocate != nullptr) {  // Inline target.
+      vtable_->relocate(other.target_, storage_);
+      target_ = storage_;
+    } else {  // Heap target: steal the pointer.
+      target_ = other.target_;
+    }
+    other.vtable_ = nullptr;
+    other.target_ = nullptr;
+  }
+
+  void reset_() noexcept {
+    if (vtable_ != nullptr) vtable_->destroy(target_);
+    vtable_ = nullptr;
+    target_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  void* target_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
+/// Fixed-size pool of worker threads with per-worker queues + work stealing.
 ///
 /// Thread-safe: submit() may be called concurrently from any thread,
-/// including from inside a running task (tasks must not *block* on tasks
-/// they submitted unless workers remain to run them — the pool does not
-/// implement work stealing or fibers).
+/// including from inside a running task. A task must not *block* on tasks it
+/// submitted unless workers remain to run them (no fibers) — but note that
+/// parallel_for / parallel_reduce never block this way: the calling thread
+/// participates in the chunk loop itself.
+///
+/// Ordering: submissions are distributed round-robin over the per-worker
+/// queues and each queue is FIFO for its owner, so overall order is
+/// near-FIFO but not globally total — callers needing strict sequencing
+/// must chain futures.
 class ThreadPool {
  public:
   /// Creates `thread_count` workers; 0 means std::thread::hardware_concurrency()
   /// (minimum 1).
   explicit ThreadPool(std::size_t thread_count = 0);
 
-  /// Drains nothing: outstanding tasks are completed, then workers join.
+  /// Outstanding tasks are completed, then workers join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -47,16 +175,9 @@ class ThreadPool {
   template <typename Fn>
   [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
-    // shared_ptr because std::function requires copyable targets and
-    // std::packaged_task is move-only.
-    auto task =
-        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
-    std::future<Result> future = task->get_future();
-    {
-      const std::scoped_lock lock(mutex_);
-      queue_.emplace_back([task = std::move(task)] { (*task)(); });
-    }
-    wake_.notify_one();
+    std::packaged_task<Result()> task(std::forward<Fn>(fn));
+    std::future<Result> future = task.get_future();
+    push_(TaskFunction(std::move(task)));
     return future;
   }
 
@@ -64,15 +185,28 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop_();
+  /// One worker's queue; heap-allocated so the vector of workers can be
+  /// built without moving mutexes.
+  struct Worker {
+    std::mutex mutex;
+    std::deque<TaskFunction> queue;
+  };
 
-  std::mutex mutex_;
+  void push_(TaskFunction task);
+  bool try_pop_(std::size_t self, TaskFunction& out);
+  void run_(TaskFunction task);
+  void worker_loop_(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> next_queue_{0};  ///< Round-robin submit cursor.
+  std::atomic<std::int64_t> queued_{0};     ///< Tasks sitting in queues.
+  std::atomic<std::int64_t> in_flight_{0};  ///< Queued + executing.
+  std::atomic<std::int64_t> sleepers_{0};   ///< Workers inside wake_.wait.
+  std::atomic<bool> stopping_{false};
+  std::mutex sleep_mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
 };
 
 }  // namespace redund::parallel

@@ -1,0 +1,87 @@
+// Perf-regression report records and their JSON wire format.
+//
+// One BenchRecord is one headline measurement; a report file is
+//
+//   {
+//     "schema": "redund-bench-v1",
+//     "records": [
+//       {"bench": "replica_class_aggregated", "n": 10000,
+//        "items_per_sec": 1.5e6, "wall_ms": 250.0, "threads": 1,
+//        "git_rev": "80b1b61"},
+//       ...
+//     ]
+//   }
+//
+// The schema is deliberately flat and stable: CI stores one BENCH_*.json
+// per revision and compare_reports() diffs any two of them, keyed on
+// (bench, n, threads). The parser here is a self-contained subset-JSON
+// reader (objects, arrays, strings, numbers, bools, null) so the tools
+// need no external dependency; it throws std::runtime_error on malformed
+// input rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redund::perf {
+
+/// One headline measurement.
+struct BenchRecord {
+  std::string bench;          ///< Stable benchmark identifier.
+  std::int64_t n = 0;         ///< Problem size (tasks, units, items...).
+  double items_per_sec = 0.0; ///< Headline throughput.
+  double wall_ms = 0.0;       ///< Wall time spent measuring.
+  int threads = 1;            ///< Worker threads used (1 = serial kernel).
+  std::string git_rev;        ///< Revision the numbers belong to.
+};
+
+/// Serializes records to the report JSON text (schema above).
+[[nodiscard]] std::string to_json(const std::vector<BenchRecord>& records);
+
+/// Writes `to_json(records)` to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_report(const std::string& path,
+                  const std::vector<BenchRecord>& records);
+
+/// Parses report JSON text. Unknown keys are ignored (forward
+/// compatibility); malformed JSON or a wrong shape throws
+/// std::runtime_error.
+[[nodiscard]] std::vector<BenchRecord> parse_report_text(
+    const std::string& json);
+
+/// Reads and parses a report file. Throws std::runtime_error if the file
+/// cannot be read or parsed.
+[[nodiscard]] std::vector<BenchRecord> read_report(const std::string& path);
+
+/// One baseline/current pair matched on (bench, n, threads).
+struct Comparison {
+  std::string bench;
+  std::int64_t n = 0;
+  int threads = 1;
+  double baseline_items_per_sec = 0.0;
+  double current_items_per_sec = 0.0;
+  /// current / baseline; > 1 is a speedup.
+  double ratio = 0.0;
+  bool regressed = false;
+};
+
+/// Outcome of diffing two reports.
+struct CompareResult {
+  std::vector<Comparison> rows;
+  /// Benchmarks present in only one of the two reports (informational).
+  std::vector<std::string> unmatched;
+  bool any_regression = false;
+};
+
+/// Diffs `current` against `baseline`: a row regresses when its throughput
+/// falls below (1 - tolerance) x baseline. Default tolerance 0.15 per the
+/// regression-gate policy.
+[[nodiscard]] CompareResult compare_reports(
+    const std::vector<BenchRecord>& baseline,
+    const std::vector<BenchRecord>& current, double tolerance = 0.15);
+
+/// Short git revision of the working tree, or "unknown" outside a checkout.
+[[nodiscard]] std::string current_git_rev();
+
+}  // namespace redund::perf

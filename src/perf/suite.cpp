@@ -1,0 +1,165 @@
+#include "perf/suite.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/engines.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/engine.hpp"
+
+namespace redund::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Repeats `iteration` (which reports how many items it processed) until
+/// `budget_seconds` of wall time is spent, with at least one call. Returns
+/// the finished record, throughput computed over the whole run.
+template <typename Iteration>
+BenchRecord measure(std::string bench, std::int64_t n, int threads,
+                    double budget_seconds, Iteration&& iteration) {
+  BenchRecord record;
+  record.bench = std::move(bench);
+  record.n = n;
+  record.threads = threads;
+  record.git_rev = current_git_rev();
+  std::int64_t items = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    items += iteration();
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_seconds);
+  record.wall_ms = elapsed * 1e3;
+  record.items_per_sec = elapsed > 0.0 ? static_cast<double>(items) / elapsed
+                                       : 0.0;
+  return record;
+}
+
+const char* allocation_name(sim::Allocation allocation) {
+  switch (allocation) {
+    case sim::Allocation::kClassAggregated: return "replica_class_aggregated";
+    case sim::Allocation::kSequentialHypergeometric:
+      return "replica_hypergeometric";
+    case sim::Allocation::kPoolShuffle: return "replica_pool_shuffle";
+  }
+  return "replica_unknown";
+}
+
+/// One record per (allocation kernel, task count): replicas of a balanced
+/// eps=0.5 workload against a 10% always-cheat adversary — the same
+/// configuration perf_micro's BM_Replica* ablations use, so numbers are
+/// comparable across harnesses. Items = tasks simulated (replicas x n).
+void bench_replica_kernels(std::vector<BenchRecord>& records,
+                           const SuiteOptions& options) {
+  const std::vector<std::int64_t> sizes =
+      options.quick ? std::vector<std::int64_t>{1000, 10000}
+                    : std::vector<std::int64_t>{10000, 1000000};
+  const double budget = options.quick ? 0.02 : 0.25;
+  constexpr sim::Allocation kAllocations[] = {
+      sim::Allocation::kClassAggregated,
+      sim::Allocation::kSequentialHypergeometric,
+      sim::Allocation::kPoolShuffle,
+  };
+  for (const std::int64_t n : sizes) {
+    const auto plan = core::realize(
+        core::make_balanced(static_cast<double>(n), 0.5,
+                            {.truncate_below = 1e-9}),
+        n, 0.5);
+    const sim::Workload workload(plan);
+    const sim::AdversaryConfig adversary{
+        .proportion = 0.1, .strategy = sim::CheatStrategy::kAlwaysCheat};
+    for (const sim::Allocation allocation : kAllocations) {
+      auto engine = rng::make_stream(7, static_cast<std::uint64_t>(n));
+      sim::ReplicaResult result;
+      sim::ReplicaScratch scratch;
+      records.push_back(measure(
+          allocation_name(allocation), n, 1, budget, [&]() -> std::int64_t {
+            sim::run_replica_into(result, workload, adversary, engine,
+                                  allocation, scratch);
+            return n;
+          }));
+    }
+  }
+}
+
+/// Asynchronous supervisor event loop: double-redundant plan over a large
+/// honest fleet with mild dropouts (perf_micro's BM_RuntimeEventLoop
+/// configuration). Items = events processed.
+void bench_event_loop(std::vector<BenchRecord>& records,
+                      const SuiteOptions& options) {
+  const std::int64_t units = options.quick ? 20000 : 200000;
+  core::RealizedPlan plan;
+  plan.counts = {0, units / 2};
+  plan.task_count = units / 2;
+  plan.work_assignments = units;
+
+  runtime::RuntimeConfig config;
+  config.plan = plan;
+  config.honest_participants = 512;
+  config.latency.dropout_probability = 0.01;
+  config.latency.speed_sigma = 0.25;
+  config.adaptive.enabled = false;
+  records.push_back(measure("event_loop", units, 1,
+                            options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+                              const auto report =
+                                  runtime::run_async_campaign(config);
+                              return report.events_processed;
+                            }));
+}
+
+/// parallel_reduce over a compute-bound map at pool sizes 1, 2, and the
+/// machine's hardware concurrency: the scaling row of the report. Items =
+/// map invocations.
+void bench_parallel_reduce(std::vector<BenchRecord>& records,
+                           const SuiteOptions& options) {
+  const std::size_t count = options.quick ? 1u << 12 : 1u << 16;
+  const double budget = options.quick ? 0.02 : 0.25;
+  std::vector<std::size_t> pool_sizes = {1, 2};
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  if (hw != 1 && hw != 2) pool_sizes.push_back(hw);
+  for (const std::size_t pool_size : pool_sizes) {
+    parallel::ThreadPool pool(pool_size);
+    records.push_back(measure(
+        "parallel_reduce", static_cast<std::int64_t>(count),
+        static_cast<int>(pool_size), budget, [&]() -> std::int64_t {
+          const double total = parallel::parallel_reduce<double>(
+              pool, count, 0.0,
+              [](std::size_t i) {
+                // ~100 flops per item: enough that scheduling overhead is
+                // visible but not dominant.
+                double x = static_cast<double>(i) * 1e-9 + 1.0;
+                for (int r = 0; r < 50; ++r) x = x * 1.0000001 + 1e-12;
+                return x;
+              },
+              [](double a, double b) { return a + b; });
+          if (total < 0.0) return 0;  // Defeats over-eager optimization.
+          return static_cast<std::int64_t>(count);
+        }));
+  }
+}
+
+}  // namespace
+
+std::vector<BenchRecord> run_suite(const SuiteOptions& options) {
+  std::vector<BenchRecord> records;
+  bench_replica_kernels(records, options);
+  bench_event_loop(records, options);
+  bench_parallel_reduce(records, options);
+  return records;
+}
+
+}  // namespace redund::perf

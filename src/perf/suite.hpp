@@ -1,0 +1,32 @@
+// Headline perf suite: the fixed set of kernels the regression gate tracks.
+//
+// Each entry measures one throughput number the paper reproduction lives
+// on: the three replica-allocation kernels (class-aggregated default plus
+// both exactness ablations) at small and large task counts, the
+// asynchronous supervisor's event-loop rate, and parallel_reduce scaling
+// across pool sizes. Every benchmark self-calibrates: it repeats its kernel
+// until a minimum wall-time budget is spent, so the items/sec figures are
+// stable without hand-tuned iteration counts.
+//
+// bench/perf_report and `redundctl bench` both run this suite and write
+// the records via perf/json.hpp; tools/bench_compare diffs two such files.
+#pragma once
+
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace redund::perf {
+
+/// Suite knobs.
+struct SuiteOptions {
+  /// Shrinks problem sizes and time budgets ~10x: for smoke tests and CI
+  /// sanity, not for numbers worth comparing.
+  bool quick = false;
+};
+
+/// Runs every headline benchmark and returns one record each, git_rev
+/// already stamped.
+[[nodiscard]] std::vector<BenchRecord> run_suite(const SuiteOptions& options);
+
+}  // namespace redund::perf

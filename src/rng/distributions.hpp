@@ -126,7 +126,11 @@ template <typename Engine>
 
 /// Hypergeometric sampler: number of "marked" items in a draw of `sample`
 /// items without replacement from a population of `population` items of
-/// which `marked` are marked. Exact inversion on the pmf recurrence.
+/// which `marked` are marked. Exact inversion on the pmf recurrence,
+/// expanding outward from the mode — pmf(lo) underflows to zero for large
+/// parameters (the class-aggregated simulation kernel draws with
+/// marked/sample in the thousands), so a lo-anchored walk would silently
+/// degenerate. pmf(mode) never underflows. One uniform per call.
 template <typename Engine>
 [[nodiscard]] std::int64_t hypergeometric(std::int64_t population, std::int64_t marked,
                                           std::int64_t sample, Engine& engine) noexcept {
@@ -136,32 +140,49 @@ template <typename Engine>
   const std::int64_t hi = std::min(marked, sample);
   if (lo >= hi) return lo;
 
-  // pmf(k) ratio: pmf(k+1)/pmf(k) = (marked-k)(sample-k) / ((k+1)(population-marked-sample+k+1)).
-  // Start the inversion at the mode-ish lower end; ranges here are small.
-  // Compute pmf(lo) in the log domain for robustness.
-  auto log_pmf_lo = [&]() noexcept {
-    auto lchoose = [](std::int64_t n, std::int64_t k) noexcept {
-      return std::lgamma(static_cast<double>(n) + 1.0) -
-             std::lgamma(static_cast<double>(k) + 1.0) -
-             std::lgamma(static_cast<double>(n - k) + 1.0);
-    };
-    return lchoose(marked, lo) + lchoose(population - marked, sample - lo) -
-           lchoose(population, sample);
+  // pmf(k+1)/pmf(k) = (marked-k)(sample-k) / ((k+1)(population-marked-sample+k+1)).
+  const auto step_ratio = [&](std::int64_t k) noexcept {
+    return (static_cast<double>(marked - k) * static_cast<double>(sample - k)) /
+           (static_cast<double>(k + 1) *
+            static_cast<double>(population - marked - sample + k + 1));
   };
-  double pmf = std::exp(log_pmf_lo());
-  double cdf = pmf;
-  std::int64_t k = lo;
-  const double u = uniform01(engine);
-  while (cdf < u && k < hi) {
-    const double ratio =
-        (static_cast<double>(marked - k) * static_cast<double>(sample - k)) /
-        (static_cast<double>(k + 1) *
-         static_cast<double>(population - marked - sample + k + 1));
-    pmf *= ratio;
-    cdf += pmf;
-    ++k;
+  const auto lchoose = [](std::int64_t n, std::int64_t k) noexcept {
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+  };
+  const std::int64_t mode = std::clamp(
+      (sample + 1) * (marked + 1) / (population + 2), lo, hi);
+  const double pmf_mode =
+      std::exp(lchoose(marked, mode) + lchoose(population - marked, sample - mode) -
+               lchoose(population, sample));
+
+  // Two-sided inversion: peel probability mass off alternating sides of the
+  // mode until the uniform is exhausted. O(spread) steps — the pmf decays
+  // geometrically away from the mode, so this is ~O(sqrt) of the range.
+  double u = uniform01(engine);
+  if (u <= pmf_mode) return mode;
+  u -= pmf_mode;
+  double pmf_up = pmf_mode;
+  double pmf_down = pmf_mode;
+  std::int64_t ku = mode;
+  std::int64_t kd = mode;
+  while (ku < hi || kd > lo) {
+    if (ku < hi) {
+      pmf_up *= step_ratio(ku);
+      ++ku;
+      if (u <= pmf_up) return ku;
+      u -= pmf_up;
+    }
+    if (kd > lo) {
+      --kd;
+      pmf_down /= step_ratio(kd);
+      if (u <= pmf_down) return kd;
+      u -= pmf_down;
+    }
   }
-  return k;
+  // Rounding left a sliver of unclaimed mass; the mode is the safe answer.
+  return mode;
 }
 
 /// Poisson(gamma) sampler. Knuth multiplication below gamma = 30, else the

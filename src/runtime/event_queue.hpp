@@ -11,10 +11,15 @@
 //     no-op; producers stamp events with the subject's epoch and consumers
 //     drop mismatches. This keeps the queue allocation-free on the cancel
 //     path and makes replay trivially deterministic.
+//
+// The heap is a plain std::vector driven by std::push_heap/pop_heap (rather
+// than std::priority_queue) so callers that know the campaign size can
+// reserve() the backing storage up front and run the whole event loop
+// without heap reallocation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace redund::runtime {
@@ -40,22 +45,33 @@ struct Event {
 /// Min-heap over (time, seq).
 class EventQueue {
  public:
+  /// Pre-sizes the backing storage for `capacity` simultaneously pending
+  /// events; the event loop then never reallocates while its high-water
+  /// mark stays below this.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
   void schedule(double time, EventKind kind, std::int64_t subject,
                 std::uint64_t epoch = 0) {
-    heap_.push(Event{time, next_seq_++, kind, subject, epoch});
+    heap_.push_back(Event{time, next_seq_++, kind, subject, epoch});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
 
   /// Removes and returns the earliest event (schedule order on time ties).
   Event pop() {
-    Event event = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    Event event = heap_.back();
+    heap_.pop_back();
     return event;
   }
 
  private:
+  // "a fires after b" — makes the max-heap algorithms yield a min-heap.
   struct After {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -63,7 +79,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -124,6 +124,11 @@ class Runner {
               : rng::exponential(config.latency.mean_service, demand_engine);
     }
 
+    // Pre-size the event heap and unit table from the plan: every live unit
+    // carries at most one completion and one deadline timer, each task one
+    // adaptive check, plus slack for replication units added mid-campaign.
+    queue_.reserve(2 * unit_count + task_count + 16);
+    units_rt_.reserve(unit_count + 16);
     units_rt_.resize(unit_count);
     tasks_rt_.resize(task_count);
     units_by_task_.resize(task_count);

@@ -8,13 +8,25 @@
 // the supervisor precomputed. A cheat that survives verification is a
 // *successful* cheat: the computation's integrity is broken.
 //
-// Two allocation algorithms produce the identical joint distribution of
-// held-copy counts and are cross-checked in the tests:
+// Three allocation algorithms produce the identical joint distribution of
+// detection-relevant statistics and are cross-checked in the tests:
 //  * kPoolShuffle — materializes the assignment multiset and samples the
 //    adversary's subset by partial Fisher-Yates; O(total assignments).
+//    Exactness ablation.
 //  * kSequentialHypergeometric — walks the task list drawing each task's
 //    held count from the exact conditional hypergeometric law;
-//    O(task count), no pool materialization. Default.
+//    O(task count), no pool materialization. Exactness ablation.
+//  * kClassAggregated — tasks with identical (multiplicity, is_ringer) are
+//    exchangeable, so the kernel samples per *class*: an outer multivariate
+//    hypergeometric deals the adversary's picks across classes, and a
+//    nested one builds the held-count histogram within each class.
+//    O(#classes x max_multiplicity^2) per replica — independent of the
+//    task count N. Default.
+//
+// The hot-path entry point is run_replica_into + ReplicaScratch: counters
+// accumulate into a caller-owned ReplicaResult and all working vectors live
+// in a reusable scratch workspace, so no kernel allocates inside the
+// replica loop.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +39,11 @@
 namespace redund::sim {
 
 /// How the adversary's assignment subset is sampled.
-enum class Allocation { kSequentialHypergeometric, kPoolShuffle };
+enum class Allocation {
+  kSequentialHypergeometric,
+  kPoolShuffle,
+  kClassAggregated,
+};
 
 /// Outcome counters of one (or many merged) replica(s).
 struct ReplicaResult {
@@ -73,14 +89,34 @@ struct ReplicaResult {
   }
 
   /// Merges another result into this one (counters add; vectors extend).
+  /// Both histograms are resized to the common maximum width first, so a
+  /// malformed input cannot desynchronize attempts from detections.
   void merge(const ReplicaResult& other);
 };
 
+/// Reusable per-thread working memory for run_replica_into. Buffers grow to
+/// the workload's high-water mark on first use and are then reused: with a
+/// scratch held across a replica loop, no kernel allocates per replica.
+struct ReplicaScratch {
+  std::vector<std::int64_t> held;       ///< Per-task held counts (per-task kernels).
+  std::vector<std::uint32_t> pool;      ///< Assignment pool (kPoolShuffle).
+  std::vector<std::int64_t> histogram;  ///< Tasks per held level (kClassAggregated).
+};
+
 /// Runs one replica of the computation described by `workload` against
-/// `adversary`, drawing randomness from `engine`.
+/// `adversary`, accumulating counters into `result` (histograms are widened
+/// to the workload's max multiplicity if needed) and drawing working memory
+/// from `scratch`. This is the allocation-free hot path.
+void run_replica_into(ReplicaResult& result, const Workload& workload,
+                      const AdversaryConfig& adversary,
+                      rng::Xoshiro256StarStar& engine,
+                      Allocation allocation, ReplicaScratch& scratch);
+
+/// Convenience wrapper: runs one replica into a fresh result with its own
+/// scratch. Prefer run_replica_into inside loops.
 [[nodiscard]] ReplicaResult run_replica(
     const Workload& workload, const AdversaryConfig& adversary,
     rng::Xoshiro256StarStar& engine,
-    Allocation allocation = Allocation::kSequentialHypergeometric);
+    Allocation allocation = Allocation::kClassAggregated);
 
 }  // namespace redund::sim

@@ -7,12 +7,21 @@ ReplicaResult run_monte_carlo(parallel::ThreadPool& pool,
                               const AdversaryConfig& adversary,
                               const MonteCarloConfig& config,
                               Allocation allocation) {
-  return parallel::parallel_reduce<ReplicaResult>(
+  return parallel::parallel_reduce_blocks<ReplicaResult>(
       pool, static_cast<std::size_t>(config.replicas), ReplicaResult{},
-      [&](std::size_t replica) {
-        rng::Xoshiro256StarStar engine =
-            rng::make_stream(config.master_seed, replica);
-        return run_replica(workload, adversary, engine, allocation);
+      [&](std::size_t begin, std::size_t end) {
+        // One scratch workspace per worker thread, reused across every block
+        // that thread claims: the replica loop is allocation-free once each
+        // buffer hits its high-water mark.
+        thread_local ReplicaScratch scratch;
+        ReplicaResult partial;
+        for (std::size_t replica = begin; replica < end; ++replica) {
+          rng::Xoshiro256StarStar engine =
+              rng::make_stream(config.master_seed, replica);
+          run_replica_into(partial, workload, adversary, engine, allocation,
+                           scratch);
+        }
+        return partial;
       },
       [](ReplicaResult merged, const ReplicaResult& next) {
         merged.merge(next);

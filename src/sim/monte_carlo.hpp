@@ -28,7 +28,7 @@ struct MonteCarloConfig {
 [[nodiscard]] ReplicaResult run_monte_carlo(
     parallel::ThreadPool& pool, const Workload& workload,
     const AdversaryConfig& adversary, const MonteCarloConfig& config,
-    Allocation allocation = Allocation::kSequentialHypergeometric);
+    Allocation allocation = Allocation::kClassAggregated);
 
 /// Aggregated two-phase results (Appendix A).
 struct TwoPhaseAggregate {

@@ -1,5 +1,6 @@
 #include "sim/workload.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace redund::sim {
@@ -25,10 +26,20 @@ Workload::Workload(const std::vector<std::int64_t>& counts,
       tasks_.push_back({multiplicity, false});
       total_assignments_ += multiplicity;
     }
+    if (counts[i] > 0) {
+      classes_.push_back(
+          {multiplicity, false, counts[i], counts[i] * multiplicity});
+      max_multiplicity_ = std::max(max_multiplicity_, multiplicity);
+    }
   }
   for (std::int64_t t = 0; t < ringer_count; ++t) {
     tasks_.push_back({ringer_multiplicity, true});
     total_assignments_ += ringer_multiplicity;
+  }
+  if (ringer_count > 0) {
+    classes_.push_back({ringer_multiplicity, true, ringer_count,
+                        ringer_count * ringer_multiplicity});
+    max_multiplicity_ = std::max(max_multiplicity_, ringer_multiplicity);
   }
   ringer_count_ = ringer_count;
 }

@@ -19,6 +19,17 @@ struct TaskSpec {
   bool is_ringer = false;         ///< Supervisor precomputed the answer.
 };
 
+/// One equivalence class of tasks: all tasks sharing (multiplicity,
+/// is_ringer) are exchangeable under the adversary's uniform pick of
+/// assignments, so per-replica sampling can work on classes instead of
+/// tasks (Allocation::kClassAggregated — O(#classes), not O(N)).
+struct TaskClass {
+  std::int64_t multiplicity = 0;
+  bool is_ringer = false;
+  std::int64_t count = 0;        ///< Tasks in this class.
+  std::int64_t assignments = 0;  ///< count * multiplicity.
+};
+
 /// The full task multiset plus cached totals.
 class Workload {
  public:
@@ -45,11 +56,22 @@ class Workload {
   [[nodiscard]] std::int64_t ringer_count() const noexcept {
     return ringer_count_;
   }
+  /// Exchangeability classes, in ascending multiplicity with the ringer
+  /// class (if any) last. Their counts sum to task_count().
+  [[nodiscard]] const std::vector<TaskClass>& classes() const noexcept {
+    return classes_;
+  }
+  /// Largest multiplicity of any task (0 for an empty workload).
+  [[nodiscard]] std::int64_t max_multiplicity() const noexcept {
+    return max_multiplicity_;
+  }
 
  private:
   std::vector<TaskSpec> tasks_;
+  std::vector<TaskClass> classes_;
   std::int64_t total_assignments_ = 0;
   std::int64_t ringer_count_ = 0;
+  std::int64_t max_multiplicity_ = 0;
 };
 
 }  // namespace redund::sim

@@ -4,8 +4,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -160,13 +164,13 @@ TEST(ParallelReduce, DeterministicAcrossPoolSizes) {
         [](double a, double b) { return a + b; });
   };
   const double reference = run(1);
-  // Note: identical block decomposition requires identical pool sizes; the
-  // guarantee is "same pool size => bit-identical", and "different pool
-  // size => equal within summation noise".
+  // The block layout is a pure function of the iteration count (never the
+  // pool size) and partials combine in ascending block order, so the result
+  // is bit-identical for ANY thread count — not merely close.
   EXPECT_EQ(run(1), reference);
-  EXPECT_NEAR(run(2), reference, 1e-9);
-  EXPECT_NEAR(run(4), reference, 1e-9);
-  EXPECT_EQ(run(4), run(4));
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(4), reference);
+  EXPECT_EQ(run(7), reference);
 }
 
 TEST(ParallelReduce, IdentityReturnedForZeroCount) {
@@ -185,6 +189,81 @@ TEST(ParallelReduce, NonCommutativeCombinePreservesOrder) {
       [](std::size_t i) { return std::to_string(i); },
       [](std::string a, const std::string& b) { return a + b; });
   EXPECT_EQ(result, "0123456789");
+}
+
+TEST(ParallelReduceBlocks, MapBlockSeesContiguousDisjointRanges) {
+  p::ThreadPool pool(3);
+  constexpr std::size_t kCount = 5000;
+  const auto total = p::parallel_reduce_blocks<std::uint64_t>(
+      pool, kCount, std::uint64_t{0},
+      [](std::size_t begin, std::size_t end) {
+        EXPECT_LT(begin, end);
+        std::uint64_t sum = 0;
+        for (std::size_t i = begin; i < end; ++i) sum += i;
+        return sum;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(ParallelReduceBlocks, BlockStateStaysWithinOneBlock) {
+  // A block-local accumulator (the ReplicaScratch pattern) must never leak
+  // between blocks through the combine: string concatenation per block keeps
+  // ascending order overall.
+  p::ThreadPool pool(4);
+  const auto result = p::parallel_reduce_blocks<std::string>(
+      pool, 12, std::string{},
+      [](std::size_t begin, std::size_t end) {
+        std::string partial;
+        for (std::size_t i = begin; i < end; ++i) partial += std::to_string(i);
+        return partial;
+      },
+      [](std::string a, const std::string& b) { return a + b; });
+  EXPECT_EQ(result, "01234567891011");
+}
+
+TEST(ThreadPool, MoveOnlyTasksAndResults) {
+  // The task wrapper is move-only type erasure: submitting a lambda that
+  // owns a unique_ptr (non-copyable) must compile and run.
+  p::ThreadPool pool(2);
+  auto payload = std::make_unique<int>(41);
+  auto future = pool.submit(
+      [owned = std::move(payload)]() mutable { return *owned + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, StressManySmallTasksAcrossQueues) {
+  // Round-robin submission plus work stealing: a burst of tiny tasks far
+  // exceeding the queue count must all run exactly once.
+  p::ThreadPool pool(4);
+  constexpr int kTasks = 5000;
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit(
+        [&executed] { executed.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPool, UnbalancedBlocksFinishViaStealing) {
+  // One long block plus many short ones: dynamic ticket scheduling must let
+  // the other workers drain the short blocks while one chews the long one,
+  // and every index must still be visited exactly once.
+  p::ThreadPool pool(4);
+  constexpr std::size_t kCount = 400;
+  std::vector<std::atomic<int>> visits(kCount);
+  p::parallel_for(pool, kCount, [&visits](std::size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
 }
 
 }  // namespace

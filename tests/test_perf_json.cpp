@@ -1,0 +1,129 @@
+// Tests for the perf-regression report format: JSON round-trip, the
+// regression comparator, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "perf/suite.hpp"
+
+namespace perf = redund::perf;
+
+namespace {
+
+std::vector<perf::BenchRecord> sample_records() {
+  return {
+      {"replica_class_aggregated", 10000, 1.5e9, 250.0, 1, "abc1234"},
+      {"replica_pool_shuffle", 10000, 1.4e8, 250.0, 1, "abc1234"},
+      {"parallel_reduce", 65536, 1.7e7, 250.0, 2, "abc1234"},
+  };
+}
+
+TEST(PerfJson, RoundTripPreservesEveryField) {
+  const auto records = sample_records();
+  const auto parsed = perf::parse_report_text(perf::to_json(records));
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].bench, records[i].bench);
+    EXPECT_EQ(parsed[i].n, records[i].n);
+    EXPECT_DOUBLE_EQ(parsed[i].items_per_sec, records[i].items_per_sec);
+    EXPECT_DOUBLE_EQ(parsed[i].wall_ms, records[i].wall_ms);
+    EXPECT_EQ(parsed[i].threads, records[i].threads);
+    EXPECT_EQ(parsed[i].git_rev, records[i].git_rev);
+  }
+}
+
+TEST(PerfJson, FileRoundTrip) {
+  const std::string path = "perf_json_roundtrip_test.json";
+  perf::write_report(path, sample_records());
+  const auto parsed = perf::read_report(path);
+  EXPECT_EQ(parsed.size(), sample_records().size());
+  EXPECT_EQ(parsed[0].bench, "replica_class_aggregated");
+  std::remove(path.c_str());
+}
+
+TEST(PerfJson, ParserIgnoresUnknownKeysAndEscapes) {
+  const std::string text = R"({
+    "schema": "redund-bench-v1",
+    "host": {"os": "linux", "cores": 1},
+    "records": [
+      {"bench": "a\"b", "n": 5, "items_per_sec": 1e3, "wall_ms": 2.5,
+       "threads": 4, "git_rev": "deadA", "future_key": [1, {"x": true}]}
+    ]
+  })";
+  const auto parsed = perf::parse_report_text(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].bench, "a\"b");
+  EXPECT_EQ(parsed[0].n, 5);
+  EXPECT_EQ(parsed[0].threads, 4);
+  EXPECT_EQ(parsed[0].git_rev, "deadA");
+}
+
+TEST(PerfJson, MalformedInputThrows) {
+  EXPECT_THROW((void)perf::parse_report_text(""), std::runtime_error);
+  EXPECT_THROW((void)perf::parse_report_text("not json"), std::runtime_error);
+  EXPECT_THROW((void)perf::parse_report_text("{\"records\": ["),
+               std::runtime_error);
+  EXPECT_THROW((void)perf::parse_report_text("{\"schema\": \"x\"}"),
+               std::runtime_error);  // Missing records array.
+  EXPECT_THROW((void)perf::parse_report_text(
+                   "{\"records\": [{\"n\": 3}]}"),
+               std::runtime_error);  // Record without a bench name.
+  EXPECT_THROW((void)perf::read_report("definitely_missing_file.json"),
+               std::runtime_error);
+}
+
+TEST(PerfCompare, FlagsRegressionBeyondTolerance) {
+  auto baseline = sample_records();
+  auto current = sample_records();
+  current[0].items_per_sec = baseline[0].items_per_sec * 0.80;  // -20%.
+  current[1].items_per_sec = baseline[1].items_per_sec * 0.90;  // -10%.
+
+  const auto result = perf::compare_reports(baseline, current, 0.15);
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_TRUE(result.any_regression);
+  EXPECT_TRUE(result.rows[0].regressed);
+  EXPECT_FALSE(result.rows[1].regressed);  // Within tolerance.
+  EXPECT_FALSE(result.rows[2].regressed);
+  EXPECT_NEAR(result.rows[0].ratio, 0.80, 1e-12);
+
+  // Tightening the tolerance flags the second row too.
+  EXPECT_TRUE(perf::compare_reports(baseline, current, 0.05)
+                  .rows[1]
+                  .regressed);
+}
+
+TEST(PerfCompare, MatchesOnBenchSizeAndThreads) {
+  auto baseline = sample_records();
+  auto current = sample_records();
+  current[2].threads = 8;  // No longer matches baseline's threads=2 row.
+  const auto result = perf::compare_reports(baseline, current, 0.15);
+  EXPECT_EQ(result.rows.size(), 2u);
+  ASSERT_EQ(result.unmatched.size(), 2u);
+  EXPECT_FALSE(result.any_regression);
+}
+
+TEST(PerfSuite, QuickRunProducesParseableReport) {
+  const auto records = perf::run_suite({.quick = true});
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.bench.empty());
+    EXPECT_GT(record.n, 0);
+    EXPECT_GT(record.items_per_sec, 0.0) << record.bench;
+    EXPECT_GT(record.wall_ms, 0.0) << record.bench;
+    EXPECT_GE(record.threads, 1);
+  }
+  // And the full pipeline: serialize -> parse -> self-compare -> no
+  // regression.
+  const auto parsed = perf::parse_report_text(perf::to_json(records));
+  const auto diff = perf::compare_reports(parsed, parsed, 0.15);
+  EXPECT_EQ(diff.rows.size(), records.size());
+  EXPECT_FALSE(diff.any_regression);
+  EXPECT_TRUE(diff.unmatched.empty());
+}
+
+}  // namespace

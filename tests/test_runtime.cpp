@@ -61,6 +61,37 @@ TEST(EventQueue, OrdersByTimeThenScheduleOrder) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, ReservePreventsReallocationAndPreservesOrder) {
+  runtime::EventQueue queue;
+  queue.reserve(64);
+  const std::size_t reserved = queue.capacity();
+  EXPECT_GE(reserved, 64u);
+
+  // Fill below the reservation in scrambled time order; capacity must not
+  // move and events must still drain in (time, seq) order.
+  for (int i = 0; i < 60; ++i) {
+    queue.schedule(static_cast<double>((i * 37) % 50),
+                   runtime::EventKind::kCompletion, i);
+  }
+  EXPECT_EQ(queue.capacity(), reserved);
+  EXPECT_EQ(queue.size(), 60u);
+
+  double last_time = -1.0;
+  std::uint64_t last_seq = 0;
+  bool first = true;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    if (!first && event.time == last_time) {
+      EXPECT_GT(event.seq, last_seq);  // FIFO within a timestamp.
+    } else if (!first) {
+      EXPECT_GT(event.time, last_time);
+    }
+    last_time = event.time;
+    last_seq = event.seq;
+    first = false;
+  }
+}
+
 TEST(TaskStateNames, RoundTrip) {
   EXPECT_STREQ(runtime::to_string(runtime::TaskState::kUnsent), "UNSENT");
   EXPECT_STREQ(runtime::to_string(runtime::TaskState::kValid), "VALID");

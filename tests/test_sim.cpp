@@ -268,6 +268,36 @@ TEST(ReplicaResult, MergeAddsEverything) {
   EXPECT_EQ(a.detection_rate_at(99), 0.0);
 }
 
+TEST(ReplicaResult, MergeResizesBothHistogramsToCommonWidth) {
+  // A result whose histograms disagree in length (hand-built or from a
+  // corrupted snapshot) must not leave the target desynchronized: both
+  // vectors grow to the common maximum and every cell lands where its index
+  // says.
+  sim::ReplicaResult a;
+  a.attempts_by_held = {0, 2};
+  a.detected_by_held = {0, 1, 0, 4};  // Longer than attempts_by_held.
+
+  sim::ReplicaResult b;
+  b.attempts_by_held = {0, 1, 7};
+  b.detected_by_held = {0, 1};  // Shorter than attempts_by_held.
+
+  a.merge(b);
+  ASSERT_EQ(a.attempts_by_held.size(), 4u);
+  ASSERT_EQ(a.detected_by_held.size(), 4u);
+  EXPECT_EQ(a.attempts_by_held[1], 3);
+  EXPECT_EQ(a.attempts_by_held[2], 7);
+  EXPECT_EQ(a.attempts_by_held[3], 0);
+  EXPECT_EQ(a.detected_by_held[1], 2);
+  EXPECT_EQ(a.detected_by_held[3], 4);
+
+  // Merging into a default (empty-histogram) result keeps both in sync too.
+  sim::ReplicaResult fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.attempts_by_held.size(), fresh.detected_by_held.size());
+  EXPECT_EQ(fresh.attempts_by_held, a.attempts_by_held);
+  EXPECT_EQ(fresh.detected_by_held, a.detected_by_held);
+}
+
 // ------------------------------------------------- closed-form validation
 
 TEST(MonteCarlo, BalancedDetectionMatchesProposition3) {

@@ -1,0 +1,75 @@
+// Diffs two perf reports (BENCH_*.json written by bench/perf_report or
+// `redundctl bench`) and fails when any benchmark's throughput regressed
+// beyond the tolerance.
+//
+//   bench_compare BASELINE.json CURRENT.json [--tolerance 0.15]
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "perf/json.hpp"
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_compare BASELINE.json CURRENT.json "
+          "[--tolerance 0.15]\n");
+      return 0;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CURRENT.json "
+                 "[--tolerance 0.15]\n");
+    return 2;
+  }
+
+  try {
+    const auto baseline = redund::perf::read_report(baseline_path);
+    const auto current = redund::perf::read_report(current_path);
+    const auto result =
+        redund::perf::compare_reports(baseline, current, tolerance);
+
+    std::printf("%-28s %10s %8s %14s %14s %8s\n", "bench", "n", "threads",
+                "baseline", "current", "ratio");
+    for (const auto& row : result.rows) {
+      std::printf("%-28s %10lld %8d %14.3e %14.3e %7.2fx%s\n",
+                  row.bench.c_str(), static_cast<long long>(row.n),
+                  row.threads, row.baseline_items_per_sec,
+                  row.current_items_per_sec, row.ratio,
+                  row.regressed ? "  REGRESSED" : "");
+    }
+    for (const auto& name : result.unmatched) {
+      std::printf("unmatched: %s\n", name.c_str());
+    }
+    if (result.any_regression) {
+      std::fprintf(stderr,
+                   "bench_compare: regression beyond %.0f%% tolerance\n",
+                   tolerance * 100.0);
+      return 1;
+    }
+    std::printf("no regression (tolerance %.0f%%)\n", tolerance * 100.0);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.what());
+    return 2;
+  }
+  return 0;
+}

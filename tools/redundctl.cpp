@@ -12,6 +12,7 @@
 //                      [--sample-interval T] [--no-adaptive] [--no-reactive]
 //                      [--seed S]
 //   redundctl budget   --tasks N --budget B [--adversary P]
+//   redundctl bench    [--quick] [--out FILE]
 //   redundctl help
 //
 // plan      builds and realizes a distribution and (optionally) writes the
@@ -23,6 +24,8 @@
 //           validation, adaptive replication) and prints a RuntimeReport.
 // budget    answers "what level can I afford", including a robustness margin
 //           against an adversary share p (inverts Prop. 3).
+// bench     runs the headline perf suite and writes a BENCH_*.json report
+//           (diff two reports with the bench_compare tool).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -31,6 +34,8 @@
 #include <vector>
 
 #include "core/constraints.hpp"
+#include "perf/json.hpp"
+#include "perf/suite.hpp"
 #include "core/detection.hpp"
 #include "core/plan_io.hpp"
 #include "core/planner.hpp"
@@ -272,6 +277,24 @@ int cmd_budget(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  redund::perf::SuiteOptions options;
+  options.quick = args.flag("quick");
+  const std::string out = args.get("out").value_or("BENCH_PR2.json");
+
+  const auto records = redund::perf::run_suite(options);
+  rep::Table table({"bench", "n", "threads", "items/sec", "wall_ms"});
+  for (const auto& r : records) {
+    table.add_row({r.bench, rep::with_commas(static_cast<double>(r.n)),
+                   std::to_string(r.threads), rep::scientific(r.items_per_sec, 3),
+                   rep::fixed(r.wall_ms, 1)});
+  }
+  table.print(std::cout);
+  redund::perf::write_report(out, records);
+  std::cout << "wrote " << out << " (" << records.size() << " records)\n";
+  return 0;
+}
+
 int cmd_help() {
   std::cout <<
       R"(redundctl — collusion-resistant redundancy planning (CLUSTER 2005)
@@ -288,6 +311,7 @@ subcommands:
            [--deadline T] [--retries R] [--benign-rate B]
            [--sample-interval T] [--no-adaptive] [--no-reactive] [--seed S]
   budget   --tasks N --budget B [--adversary P]
+  bench    [--quick] [--out FILE]
   help
 )";
   return 0;
@@ -307,6 +331,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "run-async") return cmd_run_async(args);
     if (command == "budget") return cmd_budget(args);
+    if (command == "bench") return cmd_bench(args);
     std::cerr << "unknown subcommand '" << command << "' (try: help)\n";
     return 2;
   } catch (const std::exception& error) {
