@@ -12,18 +12,37 @@ namespace {
 
 /// sum_{i > k} C(i,k) * w^{i-k} * x_i with compensated summation.
 /// w = 1 gives the asymptotic numerator; w = 1-p the non-asymptotic one.
-/// Terms are built in the log domain so C(i,k) for large i never overflows
-/// before being damped by w^{i-k} or a tiny x_i.
+///
+/// The coefficient c_i = C(i,k) w^{i-k} advances by the recurrence
+/// c_{i+1} = c_i * w * (i+1)/(i+1-k) — one multiply per term instead of a
+/// log_binomial + two transcendentals. If the coefficient ever nears the
+/// overflow edge (huge i at w ~ 1), the remaining terms fall back to the
+/// log domain, where C(i,k) is damped by w^{i-k} or a tiny x_i before
+/// exponentiation.
 double weighted_mass_above(const Distribution& distribution, std::int64_t k,
                            double w) noexcept {
+  if (w <= 0.0) return 0.0;  // w^(i-k) kills every term (i > k).
   math::NeumaierSum sum;
-  const double log_w = w > 0.0 ? std::log(w) : -std::numeric_limits<double>::infinity();
+  double c = static_cast<double>(k + 1) * w;  // C(k+1,k) * w^1.
+  double log_c = 0.0;
+  bool log_mode = false;
+  const double log_w = std::log(w);
   for (std::int64_t i = k + 1; i <= distribution.dimension(); ++i) {
+    if (!log_mode && c > 1e280) {
+      log_mode = true;
+      log_c = math::log_binomial(i, k) + static_cast<double>(i - k) * log_w;
+    }
     const double x_i = distribution.tasks_at(i);
-    if (x_i <= 0.0) continue;
-    const double log_term = math::log_binomial(i, k) +
-                            static_cast<double>(i - k) * log_w + std::log(x_i);
-    sum.add(std::exp(log_term));
+    if (x_i > 0.0) {
+      sum.add(log_mode ? std::exp(log_c + std::log(x_i)) : c * x_i);
+    }
+    const double ratio =
+        static_cast<double>(i + 1) / static_cast<double>(i + 1 - k);
+    if (log_mode) {
+      log_c += log_w + std::log(ratio);
+    } else {
+      c *= w * ratio;
+    }
   }
   return sum.value();
 }
@@ -50,15 +69,13 @@ double min_detection(const Distribution& distribution, double p,
   const std::int64_t top =
       include_top ? distribution.dimension() : distribution.dimension() - 1;
   double minimum = 1.0;
-  bool any = false;
   for (std::int64_t k = 1; k <= top; ++k) {
     // A k-tuple exists iff some mass lies at or above k; since the stored
     // dimension's component is non-zero, all k in range qualify.
     const double p_k = detection_probability(distribution, k, p);
-    any = true;
     if (p_k < minimum) minimum = p_k;
   }
-  return any ? minimum : 0.0;
+  return top >= 1 ? minimum : 0.0;
 }
 
 std::int64_t weakest_tuple(const Distribution& distribution, double p,

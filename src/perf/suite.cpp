@@ -11,6 +11,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/engines.hpp"
+#include "runtime/sharded.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/engine.hpp"
 
@@ -118,6 +119,32 @@ void bench_event_loop(std::vector<BenchRecord>& records,
                                   runtime::run_async_campaign(config);
                               return report.events_processed;
                             }));
+
+  // Same campaign on the reference binary-heap queue: the row that shows
+  // what the calendar queue is worth, and a canary if it ever regresses.
+  runtime::RuntimeConfig heap_config = config;
+  heap_config.queue = runtime::QueueKind::kBinaryHeap;
+  records.push_back(measure("event_loop_heap", units, 1,
+                            options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+                              const auto report =
+                                  runtime::run_async_campaign(heap_config);
+                              return report.events_processed;
+                            }));
+
+  // Sharded campaign at pool sizes 1, 2, 8: 8 shard event loops spread
+  // over the pool. The shard decomposition is identical in every row (the
+  // merged report is bit-identical by contract), so the rows differ only
+  // in wall time — the multi-thread scaling picture of the serving path.
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    parallel::ThreadPool pool(pool_size);
+    records.push_back(measure(
+        "event_loop_sharded", units, static_cast<int>(pool.size()),
+        options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+          const auto report = runtime::run_sharded_campaign(config, 8, pool);
+          return report.events_processed;
+        }));
+  }
 }
 
 /// parallel_reduce over a compute-bound map at pool sizes 1, 2, and the
@@ -135,7 +162,7 @@ void bench_parallel_reduce(std::vector<BenchRecord>& records,
     parallel::ThreadPool pool(pool_size);
     records.push_back(measure(
         "parallel_reduce", static_cast<std::int64_t>(count),
-        static_cast<int>(pool_size), budget, [&]() -> std::int64_t {
+        static_cast<int>(pool.size()), budget, [&]() -> std::int64_t {
           const double total = parallel::parallel_reduce<double>(
               pool, count, 0.0,
               [](std::size_t i) {

@@ -1,24 +1,38 @@
-// Deterministic pending-event heap for the asynchronous supervisor runtime.
+// Deterministic pending-event queues for the asynchronous supervisor
+// runtime.
 //
-// Generalizes the completion min-heap inside sim/des.cpp into a reusable
-// queue carrying typed events. Two properties matter for reproducibility:
+// Generalizes the completion min-heap inside sim/des.cpp into reusable
+// queues carrying typed events. Two properties matter for reproducibility:
 //
 //   * Ties in simulated time are broken by schedule order (a monotonically
 //     increasing sequence number), so the processing order is a pure
-//     function of the event schedule — never of heap internals.
+//     function of the event schedule — never of queue internals.
 //   * Events are never cancelled. A timer that became irrelevant (its unit
 //     completed, or was re-issued under a new epoch) drains as a stale
 //     no-op; producers stamp events with the subject's epoch and consumers
-//     drop mismatches. This keeps the queue allocation-free on the cancel
+//     drop mismatches. This keeps the queues allocation-free on the cancel
 //     path and makes replay trivially deterministic.
 //
-// The heap is a plain std::vector driven by std::push_heap/pop_heap (rather
-// than std::priority_queue) so callers that know the campaign size can
-// reserve() the backing storage up front and run the whole event loop
-// without heap reallocation.
+// Two implementations share the interface (reserve / schedule / peek / pop):
+//
+//   * EventQueue — a plain std::vector binary heap driven by
+//     std::push_heap/pop_heap. O(log n) per operation; the reference
+//     implementation every other queue must match pop-for-pop.
+//   * CalendarQueue — a bucketed ring (Brown's calendar queue, CACM 1988):
+//     events hash into "day" buckets by floor(time / width), pop scans the
+//     ring from the current day. O(1) amortized schedule/pop when the bucket
+//     width tracks the mean event spacing, which periodic rebuilds maintain.
+//     Pops in exactly the same (time, seq) order as the binary heap: equal
+//     times always land in the same bucket (same day), buckets are kept
+//     sorted, and the day scan visits strictly increasing times.
+//
+// The supervisor selects between them via RuntimeConfig::queue; because the
+// pop order is contractually identical, the choice cannot change any
+// simulation result — only its speed.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +46,12 @@ enum class EventKind : std::uint8_t {
   kAdaptiveCheck,  ///< Periodic reliability review of a straggling task.
 };
 
+/// Which pending-event queue the supervisor's loop runs on.
+enum class QueueKind : std::uint8_t {
+  kBinaryHeap,  ///< std::vector min-heap; O(log n), the reference.
+  kCalendar,    ///< Bucketed ring; O(1) amortized, same pop order.
+};
+
 /// One scheduled event. `subject` is a unit index (task index for
 /// kAdaptiveCheck); `epoch` invalidates stale unit timers.
 struct Event {
@@ -41,6 +61,14 @@ struct Event {
   std::int64_t subject = 0;
   std::uint64_t epoch = 0;
 };
+
+/// Strict event order: (time, seq) ascending. seq is unique, so this is a
+/// total order — the determinism contract both queues implement.
+[[nodiscard]] inline bool fires_before(const Event& a,
+                                       const Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
 
 /// Min-heap over (time, seq).
 class EventQueue {
@@ -62,6 +90,12 @@ class EventQueue {
     return heap_.capacity();
   }
 
+  /// Earliest pending event, or nullptr when empty. The pointer is
+  /// invalidated by the next schedule()/pop().
+  [[nodiscard]] const Event* peek() const noexcept {
+    return heap_.empty() ? nullptr : heap_.data();
+  }
+
   /// Removes and returns the earliest event (schedule order on time ties).
   Event pop() {
     std::pop_heap(heap_.begin(), heap_.end(), After{});
@@ -74,12 +108,298 @@ class EventQueue {
   // "a fires after b" — makes the max-heap algorithms yield a min-heap.
   struct After {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return fires_before(b, a);
     }
   };
 
   std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Calendar queue: a ring of day buckets over simulated time.
+///
+/// An event at time t belongs to day floor(t / width); its bucket is
+/// day mod nbuckets (nbuckets a power of two). Every bucket keeps its live
+/// events sorted by (time, seq), so its front is its earliest event. pop()
+/// scans days forward from the current day: the first bucket whose front
+/// actually belongs to the day under inspection holds the global minimum,
+/// because equal times share a day and later days hold strictly later
+/// times. If a whole lap (nbuckets days) finds nothing, the next event is
+/// more than one "year" away and a direct scan over all bucket fronts
+/// relocates the cursor — the standard sparse-queue fallback.
+///
+/// Buckets are vectors with a consumed-prefix head index: pop advances the
+/// head (O(1)) and the storage compacts once the dead prefix dominates, so
+/// a burst of equal-time events (every initial deadline of a campaign
+/// lands on one timestamp, hence in one bucket) drains in O(1) amortized
+/// instead of the O(n) front-erase would cost.
+///
+/// The structure rebuilds itself (new bucket count ~ size, new width ~ the
+/// observed mean gap between event times) whenever the size leaves the
+/// band set at the previous rebuild, keeping occupancy O(1) per bucket and
+/// day density O(1) — the conditions under which every operation is O(1)
+/// amortized. Rebuilds preserve (time, seq) order exactly.
+///
+/// Days are compared as exact integers held in doubles; width_ is clamped
+/// so day numbers stay below 2^50 and the floor/step/compare arithmetic is
+/// exact. Negative times are not supported (the runtime starts at t = 0).
+class CalendarQueue {
+ public:
+  CalendarQueue() { buckets_.resize(kMinBuckets); }
+
+  /// Pre-sizes the staging buffer for the initial bulk load (see
+  /// schedule()) and the ring arrays for the first build after it.
+  void reserve(std::size_t capacity) {
+    if (size_ != 0) return;  // Only meaningful before the first schedule.
+    std::size_t nbuckets = kMinBuckets;
+    while (nbuckets < capacity) nbuckets *= 2;
+    staged_.reserve(capacity);
+    buckets_.reserve(nbuckets);
+    spare_.reserve(nbuckets);
+  }
+
+  void schedule(double time, EventKind kind, std::int64_t subject,
+                std::uint64_t epoch = 0) {
+    const Event event{time, next_seq_++, kind, subject, epoch};
+    // Until the first pop the queue only accumulates (a cold campaign
+    // schedules every initial event up front), so events are staged in a
+    // plain vector and the ring is built once, with the width learned from
+    // the whole initial set. Building day buckets before any time is known
+    // would pack hundreds of events per bucket and pay a memmove-heavy
+    // sorted insert for each — the bulk load replaces all of that with one
+    // O(n) distribution pass at first pop.
+    if (staging_) {
+      staged_.push_back(event);
+      ++size_;
+      return;
+    }
+    const std::size_t b = bucket_index_(time);
+    buckets_[b].insert(event);
+    ++size_;
+    if (size_ == 1) {
+      current_day_ = day_(time);
+      peek_bucket_ = b;
+    } else {
+      if (const double d = day_(time); d < current_day_) current_day_ = d;
+      if (peek_bucket_ != kNoBucket &&
+          fires_before(event, buckets_[peek_bucket_].front())) {
+        peek_bucket_ = b;
+      }
+    }
+    if (size_ > rebuild_hi_) rebuild_();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Earliest pending event, or nullptr when empty. Amortized O(1); the
+  /// pointer is invalidated by the next schedule()/pop().
+  [[nodiscard]] const Event* peek() {
+    if (size_ == 0) return nullptr;
+    if (staging_) flush_();
+    if (peek_bucket_ == kNoBucket) locate_min_();
+    return &buckets_[peek_bucket_].front();
+  }
+
+  /// Removes and returns the earliest event (schedule order on time ties).
+  Event pop() {
+    (void)peek();
+    const Event event = buckets_[peek_bucket_].pop_front();
+    --size_;
+    peek_bucket_ = kNoBucket;
+    current_day_ = day_(event.time);  // Same-day successors hit on step 0.
+    if (size_ < rebuild_lo_) rebuild_();
+    return event;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+
+  /// One day-ring slot: live events are events[head..), sorted ascending by
+  /// (time, seq). pop_front advances head; the dead prefix is compacted
+  /// away once it outgrows the live suffix (amortized O(1) per pop).
+  struct Bucket {
+    std::vector<Event> events;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return head == events.size();
+    }
+    [[nodiscard]] const Event& front() const noexcept { return events[head]; }
+
+    void insert(const Event& event) {
+      events.insert(
+          std::upper_bound(events.begin() +
+                               static_cast<std::ptrdiff_t>(head),
+                           events.end(), event,
+                           [](const Event& a, const Event& b) noexcept {
+                             return fires_before(a, b);
+                           }),
+          event);
+    }
+
+    Event pop_front() {
+      const Event event = events[head++];
+      if (head >= 32 && head * 2 >= events.size()) {
+        events.erase(events.begin(),
+                     events.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      } else if (head == events.size()) {
+        events.clear();
+        head = 0;
+      }
+      return event;
+    }
+  };
+
+  // Multiplying by the cached reciprocal instead of dividing saves a
+  // hardware divide on the hottest path. The rounding can differ from a
+  // true division by one day near day boundaries, but the queue only needs
+  // day_ to be one fixed monotone map from time to integral doubles — and
+  // it is: equal times share a day, later times never get earlier days.
+  [[nodiscard]] double day_(double time) const noexcept {
+    return std::floor(time * inv_width_);
+  }
+  [[nodiscard]] std::size_t bucket_of_day_(double day) const noexcept {
+    return static_cast<std::size_t>(day) & (buckets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t bucket_index_(double time) const noexcept {
+    return bucket_of_day_(day_(time));
+  }
+
+  /// Finds the earliest event's bucket and caches it in peek_bucket_.
+  /// Phase 1 walks at most one lap of days from current_day_; phase 2 (the
+  /// next event is over a year away) takes the minimum over all fronts.
+  void locate_min_() {
+    const std::size_t lap = buckets_.size();
+    for (std::size_t step = 0; step < lap; ++step) {
+      const double day = current_day_ + static_cast<double>(step);
+      const std::size_t b = bucket_of_day_(day);
+      if (!buckets_[b].empty() && day_(buckets_[b].front().time) == day) {
+        current_day_ = day;
+        peek_bucket_ = b;
+        return;
+      }
+    }
+    const Event* best = nullptr;
+    std::size_t best_bucket = kNoBucket;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b].empty()) continue;
+      const Event& front = buckets_[b].front();
+      if (best == nullptr || fires_before(front, *best)) {
+        best = &front;
+        best_bucket = b;
+      }
+    }
+    current_day_ = day_(best->time);
+    peek_bucket_ = best_bucket;
+  }
+
+  /// Sizes the ring to ~size_ buckets and derives the width from the time
+  /// spread [lo, hi] of the current event set: ~ twice the mean gap
+  /// (Brown's rule of thumb), so one day holds a couple of events on
+  /// average. Clamped below so day numbers remain exact integers (and
+  /// day + lap-step sums exact) up to 2^50. Shrinking the ring keeps the
+  /// surviving buckets' vector capacity; clearing it never frees storage.
+  void set_geometry_(double lo, double hi, const Event* min_event) {
+    std::size_t nbuckets = kMinBuckets;
+    while (nbuckets < size_) nbuckets *= 2;
+
+    const double span = hi - lo;
+    double width = size_ > 0 ? 2.0 * span / static_cast<double>(size_) : 0.0;
+    const double magnitude = std::max({std::abs(hi), std::abs(lo), 1.0});
+    width = std::max(width, magnitude / 1.125899906842624e15);  // 2^50
+    width_ = std::max(width, 1e-300);
+    inv_width_ = 1.0 / width_;
+    if (min_event != nullptr) current_day_ = day_(min_event->time);
+
+    if (buckets_.size() > nbuckets) buckets_.resize(nbuckets);
+    for (Bucket& bucket : buckets_) {
+      bucket.events.clear();
+      bucket.head = 0;
+    }
+    if (buckets_.size() < nbuckets) buckets_.resize(nbuckets);
+    rebuild_hi_ = std::max<std::size_t>(2 * size_, 32);
+    rebuild_lo_ = size_ / 4;
+    peek_bucket_ = kNoBucket;
+  }
+
+  /// Ends the staging phase at the first pop: one pass over the staged
+  /// events learns the geometry, a second distributes them in schedule
+  /// order (so equal-time runs land already sorted, appending).
+  void flush_() {
+    staging_ = false;
+    double lo = 0.0;
+    double hi = 0.0;
+    const Event* min_event = nullptr;
+    for (const Event& event : staged_) {
+      if (min_event == nullptr) {
+        lo = hi = event.time;
+        min_event = &event;
+      } else {
+        lo = std::min(lo, event.time);
+        hi = std::max(hi, event.time);
+        if (fires_before(event, *min_event)) min_event = &event;
+      }
+    }
+    set_geometry_(lo, hi, min_event);
+    for (const Event& event : staged_) {
+      buckets_[bucket_index_(event.time)].insert(event);
+    }
+    staged_.clear();
+    staged_.shrink_to_fit();  // The bulk load happens at most once.
+  }
+
+  /// Re-learns the geometry from the live event set whenever the size
+  /// leaves the band set last time, keeping occupancy O(1) per bucket and
+  /// day density O(1). Events move bucket-by-bucket (each already sorted)
+  /// through sorted re-insertion into the small new buckets — no global
+  /// sort. The old and new rings double-buffer through spare_, and
+  /// draining only clear()s the small per-bucket vectors, so steady-state
+  /// rebuilds recycle all their storage instead of re-allocating it.
+  void rebuild_() {
+    std::swap(buckets_, spare_);  // Live events are now in spare_.
+    double lo = 0.0;
+    double hi = 0.0;
+    const Event* min_event = nullptr;
+    for (const Bucket& bucket : spare_) {
+      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+        const Event& event = bucket.events[i];
+        if (min_event == nullptr) {
+          lo = hi = event.time;
+          min_event = &event;
+        } else {
+          lo = std::min(lo, event.time);
+          hi = std::max(hi, event.time);
+          if (fires_before(event, *min_event)) min_event = &event;
+        }
+      }
+    }
+    set_geometry_(lo, hi, min_event);
+    for (const Bucket& bucket : spare_) {
+      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+        const Event& event = bucket.events[i];
+        buckets_[bucket_index_(event.time)].insert(event);
+      }
+    }
+    for (Bucket& bucket : spare_) {  // Drop events, keep vector capacity.
+      bucket.events.clear();
+      bucket.head = 0;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<Bucket> spare_;      ///< Rebuild double-buffer (recycled).
+  std::vector<Event> staged_;      ///< Initial bulk load, pre-first-pop.
+  bool staging_ = true;            ///< True until the first pop.
+  double width_ = 1.0;
+  double inv_width_ = 1.0;         ///< Cached 1 / width_ for day_().
+  double current_day_ = 0.0;       ///< Day the pop scan resumes from.
+  std::size_t peek_bucket_ = kNoBucket;  ///< Bucket holding the cached min.
+  std::size_t size_ = 0;
+  std::size_t rebuild_hi_ = 32;    ///< Rebuild when size grows past this.
+  std::size_t rebuild_lo_ = 0;     ///< ... or shrinks below this.
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,178 @@
+#include "runtime/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "rng/engines.hpp"
+
+namespace redund::runtime {
+
+namespace {
+
+constexpr std::uint64_t kShardSeedSalt = 0x5AA2DED5EEDULL;
+
+/// Shard s's share of `total` under the fixed floor-plus-remainder rule:
+/// every shard gets total/S, the first total%S shards one more. Summing
+/// over s returns exactly `total`, and the rule is monotone (a shard never
+/// gets a larger share of a smaller total), which keeps derived per-shard
+/// quantities (e.g. tail tasks vs. their multiplicity class) consistent.
+[[nodiscard]] std::int64_t share(std::int64_t total, std::int64_t shards,
+                                 std::int64_t s) noexcept {
+  return total / shards + (s < total % shards ? 1 : 0);
+}
+
+}  // namespace
+
+ShardedSupervisor::ShardedSupervisor(const RuntimeConfig& base,
+                                     std::int64_t shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedSupervisor: shards must be >= 1");
+  }
+  // Every shard needs at least one task and one honest identity to be a
+  // well-formed campaign of its own.
+  std::int64_t s_count = shards;
+  if (base.plan.task_count > 0) {
+    s_count = std::min(s_count, base.plan.task_count);
+  }
+  if (base.honest_participants > 0) {
+    s_count = std::min(s_count, base.honest_participants);
+  }
+  s_count = std::max<std::int64_t>(s_count, 1);
+
+  // Per-shard seeds come from one SplitMix64 walk over the base seed, so
+  // shard streams are decorrelated from each other and from the base
+  // campaign's own streams (which key off base.seed directly).
+  rng::SplitMix64 seed_mixer(base.seed ^ kShardSeedSalt);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(s_count));
+  for (std::uint64_t& seed : seeds) seed = seed_mixer();
+
+  configs_.reserve(static_cast<std::size_t>(s_count));
+  for (std::int64_t s = 0; s < s_count; ++s) {
+    RuntimeConfig shard = base;  // Policies, latency model, queue kind.
+    shard.seed = seeds[static_cast<std::size_t>(s)];
+    shard.honest_participants = share(base.honest_participants, s_count, s);
+    shard.sybil_identities = share(base.sybil_identities, s_count, s);
+
+    core::RealizedPlan& plan = shard.plan;
+    plan.counts.assign(base.plan.counts.size(), 0);
+    plan.task_count = 0;
+    plan.work_assignments = 0;
+    for (std::size_t i = 0; i < base.plan.counts.size(); ++i) {
+      const std::int64_t cut = share(base.plan.counts[i], s_count, s);
+      plan.counts[i] = cut;
+      plan.task_count += cut;
+      plan.work_assignments += static_cast<std::int64_t>(i + 1) * cut;
+    }
+    plan.tail_tasks = share(base.plan.tail_tasks, s_count, s);
+    plan.tail_multiplicity = plan.tail_tasks > 0
+                                 ? base.plan.tail_multiplicity
+                                 : 0;
+    plan.ringer_count = share(base.plan.ringer_count, s_count, s);
+    plan.ringer_multiplicity = plan.ringer_count > 0
+                                   ? base.plan.ringer_multiplicity
+                                   : 0;
+    plan.ringer_assignments = plan.ringer_count * plan.ringer_multiplicity;
+    configs_.push_back(std::move(shard));
+  }
+}
+
+RuntimeReport ShardedSupervisor::run(parallel::ThreadPool& pool) const {
+  std::vector<RuntimeReport> reports(configs_.size());
+  // Slot-per-shard writes: scheduling order cannot shuffle results.
+  parallel::parallel_for(pool, configs_.size(), [&](std::size_t s) {
+    reports[s] = run_async_campaign(configs_[s]);
+  });
+  return merge(reports);
+}
+
+RuntimeReport ShardedSupervisor::merge(
+    const std::vector<RuntimeReport>& reports) {
+  RuntimeReport merged;
+  double detection_weighted_latency = 0.0;
+  for (const RuntimeReport& r : reports) {
+    merged.tasks += r.tasks;
+    merged.units_planned += r.units_planned;
+    merged.participants += r.participants;
+    merged.stragglers += r.stragglers;
+    merged.units_issued += r.units_issued;
+    merged.units_completed += r.units_completed;
+    merged.units_timed_out += r.units_timed_out;
+    merged.units_reissued += r.units_reissued;
+    merged.units_dropped += r.units_dropped;
+    merged.late_results += r.late_results;
+    merged.adaptive_replicas += r.adaptive_replicas;
+    merged.quorum_replicas += r.quorum_replicas;
+    merged.supervisor_recomputes += r.supervisor_recomputes;
+    merged.tasks_valid += r.tasks_valid;
+    merged.tasks_inconclusive += r.tasks_inconclusive;
+    merged.mismatches_detected += r.mismatches_detected;
+    merged.ringer_catches += r.ringer_catches;
+    merged.blacklisted_identities += r.blacklisted_identities;
+    merged.adversary_cheat_attempts += r.adversary_cheat_attempts;
+    merged.false_accusations += r.false_accusations;
+    merged.final_correct_tasks += r.final_correct_tasks;
+    merged.final_corrupt_tasks += r.final_corrupt_tasks;
+    merged.events_processed += r.events_processed;
+    merged.makespan = std::max(merged.makespan, r.makespan);
+    if (r.detections > 0) {
+      merged.first_detection_time =
+          merged.detections == 0
+              ? r.first_detection_time
+              : std::min(merged.first_detection_time, r.first_detection_time);
+      detection_weighted_latency +=
+          r.mean_detection_latency * static_cast<double>(r.detections);
+      merged.detections += r.detections;
+    }
+  }
+  if (merged.detections > 0) {
+    merged.mean_detection_latency =
+        detection_weighted_latency / static_cast<double>(merged.detections);
+  }
+
+  // Series merge: the union of all shard sample times, ascending; at each
+  // time, sum every shard's counters as of that time (carry the last row
+  // forward once a shard's campaign has ended — its cumulative counters
+  // stay at their final values).
+  std::vector<std::size_t> cursor(reports.size(), 0);
+  for (;;) {
+    double next_time = 0.0;
+    bool have_next = false;
+    for (std::size_t s = 0; s < reports.size(); ++s) {
+      if (cursor[s] >= reports[s].series.size()) continue;
+      const double t = reports[s].series[cursor[s]].time;
+      if (!have_next || t < next_time) {
+        next_time = t;
+        have_next = true;
+      }
+    }
+    if (!have_next) break;
+    RuntimeSample row;
+    row.time = next_time;
+    for (std::size_t s = 0; s < reports.size(); ++s) {
+      const auto& series = reports[s].series;
+      while (cursor[s] < series.size() &&
+             series[cursor[s]].time <= next_time) {
+        ++cursor[s];
+      }
+      if (cursor[s] == 0) continue;  // Shard not yet sampled: all zeros.
+      const RuntimeSample& last = series[cursor[s] - 1];
+      row.units_issued += last.units_issued;
+      row.units_completed += last.units_completed;
+      row.units_timed_out += last.units_timed_out;
+      row.units_reissued += last.units_reissued;
+      row.tasks_valid += last.tasks_valid;
+    }
+    merged.series.push_back(row);
+  }
+  return merged;
+}
+
+RuntimeReport run_sharded_campaign(const RuntimeConfig& base,
+                                   std::int64_t shards,
+                                   parallel::ThreadPool& pool) {
+  const ShardedSupervisor sharded(base, shards);
+  return sharded.run(pool);
+}
+
+}  // namespace redund::runtime

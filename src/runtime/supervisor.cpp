@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <optional>
-#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -91,7 +89,16 @@ void validate_config(const RuntimeConfig& config) {
 }
 
 /// The whole asynchronous campaign: owns the registry, scheduler, pool,
-/// event queue, and all per-task / per-unit runtime state.
+/// event queue, and all per-task / per-unit runtime state. Templated on
+/// the pending-event queue (binary heap or calendar ring); both pop in the
+/// identical (time, seq) order, so the instantiations are observationally
+/// equivalent.
+///
+/// The steady-state loop is allocation-free: the event queues pre-size
+/// their storage, the unit-per-task adjacency is a flat slot table with
+/// replica capacity built in, vote counting reuses a flat scratch vector,
+/// and blacklist membership is a plain bitmap.
+template <typename Queue>
 class Runner {
  public:
   explicit Runner(const RuntimeConfig& config)
@@ -124,20 +131,40 @@ class Runner {
               : rng::exponential(config.latency.mean_service, demand_engine);
     }
 
-    // Pre-size the event heap and unit table from the plan: every live unit
-    // carries at most one completion and one deadline timer, each task one
-    // adaptive check, plus slack for replication units added mid-campaign.
+    // Pre-size the event queue and unit table from the plan: every live
+    // unit carries at most one completion and one deadline timer, each task
+    // one adaptive check, plus slack for replication units added
+    // mid-campaign.
     queue_.reserve(2 * unit_count + task_count + 16);
-    units_rt_.reserve(unit_count + 16);
+    units_rt_.reserve(unit_count + 64);
     units_rt_.resize(unit_count);
     tasks_rt_.resize(task_count);
-    units_by_task_.resize(task_count);
+    batch_.reserve(64);
+    vote_scratch_.reserve(16);
     adversary_held_.assign(task_count, 0);
+
+    // Flat unit-per-task adjacency with the replica budget built into each
+    // task's slot run, so mid-campaign replicas append without allocating.
+    const auto extra =
+        static_cast<std::size_t>(config.adaptive.max_extra_replicas);
+    task_slot_begin_.resize(task_count + 1);
+    std::size_t total_slots = 0;
+    for (std::size_t t = 0; t < task_count; ++t) {
+      task_slot_begin_[t] = total_slots;
+      total_slots +=
+          static_cast<std::size_t>(scheduler_.tasks()[t].multiplicity) + extra;
+    }
+    task_slot_begin_[task_count] = total_slots;
+    unit_slots_.resize(total_slots);
+    task_unit_count_.assign(task_count, 0);
+
     for (std::size_t u = 0; u < unit_count; ++u) {
       const auto& wu = scheduler_.units()[u];
-      units_by_task_[static_cast<std::size_t>(wu.task)].push_back(u);
+      const auto t = static_cast<std::size_t>(wu.task);
+      unit_slots_[task_slot_begin_[t] +
+                  static_cast<std::size_t>(task_unit_count_[t]++)] = u;
       if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
-        ++adversary_held_[static_cast<std::size_t>(wu.task)];
+        ++adversary_held_[t];
       }
     }
     for (std::size_t t = 0; t < task_count; ++t) {
@@ -145,6 +172,7 @@ class Runner {
     }
     score_.assign(static_cast<std::size_t>(registry_.size()),
                   config.adaptive.score_init);
+    flagged_.assign(static_cast<std::size_t>(registry_.size()), 0);
 
     // Effective deadline: explicit, or scaled to the expected FCFS queue
     // depth so back-of-queue units are not spuriously timed out.
@@ -176,25 +204,39 @@ class Runner {
       }
     }
 
+    // The loop drains same-timestamp events in batches: all events already
+    // queued at the head timestamp are popped together (strictly ascending
+    // seq — identical order to one-at-a-time pops; events a handler
+    // schedules at the same timestamp carry later seqs and so form the
+    // next batch). Sampling and makespan bookkeeping then run once per
+    // timestamp instead of once per event.
     double next_sample = 0.0;
     while (!queue_.empty()) {
-      const Event event = queue_.pop();
+      const Event head = queue_.pop();
+      batch_.clear();
+      batch_.push_back(head);
+      while (const Event* next = queue_.peek()) {
+        if (next->time != head.time) break;
+        batch_.push_back(queue_.pop());
+      }
       // Sample only until the campaign is fully valid: later events are
       // stale-timer drains, and the closing sample at the makespan below
       // must stay the last (and latest) row of the series.
       if (config_.sample_interval > 0.0 &&
           report_.tasks_valid < report_.tasks) {
-        while (next_sample <= event.time) {
+        while (next_sample <= head.time) {
           record_sample(next_sample);
           next_sample += config_.sample_interval;
         }
       }
-      ++report_.events_processed;
-      switch (event.kind) {
-        case EventKind::kCompletion: on_completion(event); break;
-        case EventKind::kDeadline: on_deadline(event); break;
-        case EventKind::kReissue: on_reissue(event); break;
-        case EventKind::kAdaptiveCheck: on_adaptive_check(event); break;
+      report_.events_processed += static_cast<std::int64_t>(batch_.size());
+      for (const Event& event : batch_) {
+        switch (event.kind) {
+          case EventKind::kCompletion: on_completion(event); break;
+          case EventKind::kDeadline: on_deadline(event); break;
+          case EventKind::kReissue: on_reissue(event); break;
+          case EventKind::kAdaptiveCheck: on_adaptive_check(event); break;
+        }
       }
     }
 
@@ -385,6 +427,14 @@ class Runner {
 
   // ---------------------------------------------------------- transitioner
 
+  /// The task's unit indices (initial deal plus appended replicas).
+  [[nodiscard]] const std::size_t* task_units_begin(std::size_t t) const {
+    return unit_slots_.data() + task_slot_begin_[t];
+  }
+  [[nodiscard]] const std::size_t* task_units_end(std::size_t t) const {
+    return task_units_begin(t) + task_unit_count_[t];
+  }
+
   void validate(std::size_t t, double now) {
     TaskRuntime& tr = tasks_rt_[t];
     tr.state = TaskState::kPendingValidation;
@@ -399,12 +449,14 @@ class Runner {
     bool all_equal = true;
     std::uint64_t first_value = 0;
     bool have_first = false;
-    for (const std::size_t u : units_by_task_[t]) {
-      if (!units_rt_[u].has_value) continue;
+    for (const std::size_t* it = task_units_begin(t);
+         it != task_units_end(t); ++it) {
+      const UnitRuntime& ur = units_rt_[*it];
+      if (!ur.has_value) continue;
       if (!have_first) {
-        first_value = units_rt_[u].value;
+        first_value = ur.value;
         have_first = true;
-      } else if (units_rt_[u].value != first_value) {
+      } else if (ur.value != first_value) {
         all_equal = false;
       }
     }
@@ -440,19 +492,32 @@ class Runner {
       }
     }
 
-    // Replicas exhausted: resolve by policy.
+    // Replicas exhausted: resolve by policy. The vote tally runs over a
+    // reusable flat scratch (values are few); the winner is independent of
+    // tally order — a unique plurality wins, any tie resolves to truth.
     std::uint64_t resolved = 0;
     if (config_.resolution == platform::Resolution::kRecompute) {
       ++report_.supervisor_recomputes;
       resolved = truth;
     } else {
-      std::map<std::uint64_t, int> votes;
-      for (const std::size_t u : units_by_task_[t]) {
-        if (units_rt_[u].has_value) ++votes[units_rt_[u].value];
+      vote_scratch_.clear();
+      for (const std::size_t* it = task_units_begin(t);
+           it != task_units_end(t); ++it) {
+        const UnitRuntime& ur = units_rt_[*it];
+        if (!ur.has_value) continue;
+        bool counted = false;
+        for (auto& [value, count] : vote_scratch_) {
+          if (value == ur.value) {
+            ++count;
+            counted = true;
+            break;
+          }
+        }
+        if (!counted) vote_scratch_.emplace_back(ur.value, 1);
       }
       int best = 0;
       bool tie = false;
-      for (const auto& [value, count] : votes) {
+      for (const auto& [value, count] : vote_scratch_) {
         if (count > best) {
           best = count;
           resolved = value;
@@ -478,7 +543,9 @@ class Runner {
 
     const std::uint64_t truth =
         truth_value(config_.seed, static_cast<std::int64_t>(t));
-    for (const std::size_t u : units_by_task_[t]) {
+    for (const std::size_t* it = task_units_begin(t);
+         it != task_units_end(t); ++it) {
+      const std::size_t u = *it;
       const UnitRuntime& ur = units_rt_[u];
       if (ur.state != UnitState::kCompleted) continue;  // Not a submission.
       const ParticipantId submitter = scheduler_.units()[u].assignee;
@@ -497,7 +564,8 @@ class Runner {
   /// Blacklists a caught identity and requeues its outstanding units.
   void flag(ParticipantId id, double now) {
     if (!config_.reactive) return;
-    if (!flagged_.insert(id).second) return;
+    if (flagged_[id] != 0) return;
+    flagged_[id] = 1;
     registry_.blacklist(id);
     ++report_.blacklisted_identities;
     for (std::size_t u = 0; u < units_rt_.size(); ++u) {
@@ -520,7 +588,9 @@ class Runner {
     // period); replicate when the holders look unreliable too.
     double score_total = 0.0;
     std::int64_t outstanding = 0;
-    for (const std::size_t u : units_by_task_[t]) {
+    for (const std::size_t* it = task_units_begin(t);
+         it != task_units_end(t); ++it) {
+      const std::size_t u = *it;
       const UnitState state = units_rt_[u].state;
       if (state != UnitState::kInProgress && state != UnitState::kTimedOut) {
         continue;
@@ -549,13 +619,16 @@ class Runner {
   // -------------------------------------------------------------- plumbing
 
   /// Extends the runtime bookkeeping for a unit just appended by
-  /// Scheduler::try_add_replica.
+  /// Scheduler::try_add_replica. The task's slot run was sized for
+  /// max_extra_replicas extras up front, so the append cannot overflow it.
   void register_replica(std::size_t u) {
     units_rt_.emplace_back();
     const auto& wu = scheduler_.units()[u];
-    units_by_task_[static_cast<std::size_t>(wu.task)].push_back(u);
+    const auto t = static_cast<std::size_t>(wu.task);
+    unit_slots_[task_slot_begin_[t] +
+                static_cast<std::size_t>(task_unit_count_[t]++)] = u;
     if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
-      ++adversary_held_[static_cast<std::size_t>(wu.task)];
+      ++adversary_held_[t];
     }
   }
 
@@ -588,16 +661,20 @@ class Runner {
   rng::Xoshiro256StarStar deal_engine_;
   sim::AdversaryConfig decision_;
   std::optional<ParticipantPool> pool_;
-  EventQueue queue_;
+  Queue queue_;
   RuntimeReport report_;
 
   std::vector<double> demand_;              ///< Per task.
   std::vector<UnitRuntime> units_rt_;
   std::vector<TaskRuntime> tasks_rt_;
-  std::vector<std::vector<std::size_t>> units_by_task_;
+  std::vector<std::size_t> task_slot_begin_;  ///< Slot-run start per task.
+  std::vector<std::int64_t> task_unit_count_; ///< Occupied slots per task.
+  std::vector<std::size_t> unit_slots_;       ///< Flat unit-index runs.
   std::vector<std::int64_t> adversary_held_;  ///< Copies per task.
   std::vector<double> score_;               ///< Per identity.
-  std::set<ParticipantId> flagged_;
+  std::vector<char> flagged_;               ///< Blacklist bitmap per identity.
+  std::vector<Event> batch_;                ///< Same-timestamp drain scratch.
+  std::vector<std::pair<std::uint64_t, int>> vote_scratch_;
 
   double effective_deadline_ = 0.0;
   double check_interval_ = 0.0;
@@ -608,7 +685,11 @@ class Runner {
 }  // namespace
 
 RuntimeReport run_async_campaign(const RuntimeConfig& config) {
-  Runner runner(config);
+  if (config.queue == QueueKind::kBinaryHeap) {
+    Runner<EventQueue> runner(config);
+    return runner.run();
+  }
+  Runner<CalendarQueue> runner(config);
   return runner.run();
 }
 

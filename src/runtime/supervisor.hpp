@@ -33,6 +33,7 @@
 
 #include "core/realize.hpp"
 #include "platform/campaign.hpp"
+#include "runtime/event_queue.hpp"
 #include "runtime/latency_model.hpp"
 #include "runtime/report.hpp"
 #include "sim/adversary.hpp"
@@ -86,6 +87,10 @@ struct RuntimeConfig {
   AdaptiveConfig adaptive;
   /// Counter sampling period for RuntimeReport::series (0 disables).
   double sample_interval = 0.0;
+  /// Pending-event queue the supervisor's loop runs on. Both kinds pop in
+  /// the identical (time, seq) order, so this cannot change any result —
+  /// only throughput (the calendar queue is O(1) amortized per event).
+  QueueKind queue = QueueKind::kCalendar;
   std::uint64_t seed = 0xA57C0DEULL;
 };
 

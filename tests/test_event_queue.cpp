@@ -1,0 +1,211 @@
+// EventQueue / CalendarQueue semantics: the (time, seq) determinism
+// contract, byte-identical pop order between the binary heap and the
+// calendar ring on randomized and adversarial schedules, stale-epoch
+// events draining as no-ops, and the campaign-level guarantee that the
+// queue selection cannot change a RuntimeReport.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "rng/distributions.hpp"
+#include "rng/engines.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace core = redund::core;
+namespace rng = redund::rng;
+namespace runtime = redund::runtime;
+
+namespace {
+
+using runtime::Event;
+using runtime::EventKind;
+
+bool same_event(const Event& a, const Event& b) {
+  return a.time == b.time && a.seq == b.seq && a.kind == b.kind &&
+         a.subject == b.subject && a.epoch == b.epoch;
+}
+
+/// Feeds both queues the same schedule/pop script and checks every popped
+/// event matches field-for-field. `pop_every` interleaves pops between
+/// schedules (0 = schedule everything, then drain).
+void expect_identical_pop_order(const std::vector<double>& times,
+                                std::size_t pop_every) {
+  runtime::EventQueue heap;
+  runtime::CalendarQueue calendar;
+  std::size_t scheduled = 0;
+  for (const double t : times) {
+    heap.schedule(t, EventKind::kCompletion,
+                  static_cast<std::int64_t>(scheduled));
+    calendar.schedule(t, EventKind::kCompletion,
+                      static_cast<std::int64_t>(scheduled));
+    ++scheduled;
+    if (pop_every != 0 && scheduled % pop_every == 0 && !heap.empty()) {
+      const Event h = heap.pop();
+      const Event c = calendar.pop();
+      ASSERT_TRUE(same_event(h, c))
+          << "diverged mid-stream at seq " << h.seq << " vs " << c.seq;
+    }
+  }
+  while (!heap.empty()) {
+    ASSERT_FALSE(calendar.empty());
+    const Event h = heap.pop();
+    const Event c = calendar.pop();
+    ASSERT_TRUE(same_event(h, c))
+        << "diverged at drain: heap (t=" << h.time << ", seq=" << h.seq
+        << ") calendar (t=" << c.time << ", seq=" << c.seq << ")";
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueue, TieBreakIsScheduleOrder) {
+  runtime::CalendarQueue queue;
+  queue.schedule(5.0, EventKind::kDeadline, 30);
+  queue.schedule(1.0, EventKind::kCompletion, 10);
+  queue.schedule(1.0, EventKind::kReissue, 20);  // Same time, later seq.
+  EXPECT_EQ(queue.pop().subject, 10);
+  EXPECT_EQ(queue.pop().subject, 20);
+  EXPECT_EQ(queue.pop().subject, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, PeekMatchesPopAndIsStableAcrossSchedules) {
+  runtime::CalendarQueue queue;
+  queue.schedule(3.0, EventKind::kCompletion, 1);
+  const Event* peeked = queue.peek();
+  ASSERT_NE(peeked, nullptr);
+  EXPECT_EQ(peeked->subject, 1);
+  queue.schedule(2.0, EventKind::kCompletion, 2);  // New minimum.
+  peeked = queue.peek();
+  ASSERT_NE(peeked, nullptr);
+  EXPECT_EQ(peeked->subject, 2);
+  EXPECT_EQ(queue.pop().subject, 2);
+  EXPECT_EQ(queue.pop().subject, 1);
+}
+
+TEST(EventQueueEquivalence, RandomizedSchedulesPopIdentically) {
+  auto engine = rng::make_stream(0xE7E27ULL, 0);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> times;
+    times.reserve(5000);
+    for (int i = 0; i < 5000; ++i) {
+      times.push_back(rng::exponential(1.0, engine) * 100.0);
+    }
+    expect_identical_pop_order(times, 0);
+    expect_identical_pop_order(times, 3);  // Interleaved schedule/pop.
+  }
+}
+
+TEST(EventQueueEquivalence, EqualTimeStormPopsIdentically) {
+  // Every initial deadline of a campaign lands on a single timestamp; the
+  // whole burst must drain in schedule order from both queues.
+  std::vector<double> times(20000, 1234.5);
+  times.push_back(0.5);
+  times.push_back(9999.0);
+  expect_identical_pop_order(times, 0);
+  expect_identical_pop_order(times, 7);
+}
+
+TEST(EventQueueEquivalence, SparseAndClusteredTimesPopIdentically) {
+  // Clusters separated by year-scale gaps force the calendar's full-lap
+  // fallback scan; tiny jitter within clusters exercises bucket sorting.
+  auto engine = rng::make_stream(0x5CA77E2ULL, 1);
+  std::vector<double> times;
+  for (int cluster = 0; cluster < 20; ++cluster) {
+    const double base = static_cast<double>(cluster) * 1e6;
+    for (int i = 0; i < 200; ++i) {
+      times.push_back(base + rng::exponential(0.01, engine));
+    }
+  }
+  expect_identical_pop_order(times, 0);
+  expect_identical_pop_order(times, 5);
+}
+
+TEST(EventQueueEquivalence, ReservedBulkLoadPopsIdentically) {
+  // reserve() puts the calendar in bulk-load staging; the first pop builds
+  // the ring. Both reserved and unreserved paths must match the heap.
+  auto engine = rng::make_stream(0xB17ULL, 2);
+  std::vector<double> times;
+  for (int i = 0; i < 3000; ++i) {
+    times.push_back(rng::exponential(2.0, engine));
+  }
+  runtime::EventQueue heap;
+  runtime::CalendarQueue calendar;
+  heap.reserve(times.size());
+  calendar.reserve(times.size());
+  std::int64_t subject = 0;
+  for (const double t : times) {
+    heap.schedule(t, EventKind::kCompletion, subject);
+    calendar.schedule(t, EventKind::kCompletion, subject);
+    ++subject;
+  }
+  while (!heap.empty()) {
+    ASSERT_TRUE(same_event(heap.pop(), calendar.pop()));
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+// --------------------------------------------------------- stale epochs
+
+TEST(EventQueueSemantics, StaleEpochEventsDrainAsNoOps) {
+  // The supervisor's runtime keeps cancelled timers in the queue and drops
+  // them on epoch mismatch at dispatch. A campaign with heavy timeouts and
+  // reissues churns epochs; it must still terminate with every task valid
+  // and identical books on both queues — stale events change nothing.
+  core::RealizedPlan plan;
+  plan.counts = {0, 40};  // 40 tasks at multiplicity 2.
+  plan.task_count = 40;
+  plan.work_assignments = 80;
+
+  runtime::RuntimeConfig config;
+  config.plan = plan;
+  config.honest_participants = 10;
+  config.latency.straggler_fraction = 0.4;
+  config.latency.straggler_slowdown = 12.0;
+  config.latency.dropout_probability = 0.2;  // Many deadline expiries.
+  config.retry.max_retries = 2;
+  config.seed = 99;
+
+  config.queue = runtime::QueueKind::kBinaryHeap;
+  const auto heap_report = runtime::run_async_campaign(config);
+  config.queue = runtime::QueueKind::kCalendar;
+  const auto calendar_report = runtime::run_async_campaign(config);
+
+  EXPECT_EQ(heap_report.tasks_valid, heap_report.tasks);
+  EXPECT_GT(heap_report.units_timed_out, 0);  // Stale timers were churned.
+  std::ostringstream heap_out;
+  std::ostringstream calendar_out;
+  runtime::print(heap_out, heap_report);
+  runtime::print(calendar_out, calendar_report);
+  EXPECT_EQ(heap_out.str(), calendar_out.str());
+}
+
+TEST(EventQueueSemantics, CampaignReportIndependentOfQueueKind) {
+  runtime::RuntimeConfig config;
+  config.plan = core::realize(
+      core::make_balanced(500.0, 0.6, {.truncate_below = 1e-9}), 500, 0.6);
+  config.honest_participants = 60;
+  config.sybil_identities = 12;
+  config.benign_error_rate = 0.01;
+  config.sample_interval = 5.0;
+  config.seed = 0xFEEDULL;
+
+  config.queue = runtime::QueueKind::kBinaryHeap;
+  const auto heap_report = runtime::run_async_campaign(config);
+  config.queue = runtime::QueueKind::kCalendar;
+  const auto calendar_report = runtime::run_async_campaign(config);
+
+  std::ostringstream heap_out;
+  std::ostringstream calendar_out;
+  runtime::print(heap_out, heap_report);
+  runtime::print(calendar_out, calendar_report);
+  EXPECT_EQ(heap_out.str(), calendar_out.str());
+  EXPECT_EQ(heap_report.series.size(), calendar_report.series.size());
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// ShardedSupervisor: shard decomposition conserves the plan and the fleet,
+// the merged report is bit-identical for any pool size, and the merge
+// itself folds counters, extrema, and time series correctly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/sharded.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace core = redund::core;
+namespace parallel = redund::parallel;
+namespace runtime = redund::runtime;
+
+namespace {
+
+runtime::RuntimeConfig campaign_config() {
+  runtime::RuntimeConfig config;
+  config.plan = core::realize(
+      core::make_balanced(2000.0, 0.5, {.truncate_below = 1e-9}), 2000, 0.5);
+  config.honest_participants = 120;
+  config.sybil_identities = 24;
+  config.latency.dropout_probability = 0.02;
+  config.latency.straggler_fraction = 0.1;
+  config.sample_interval = 10.0;
+  config.seed = 0x5EEDULL;
+  return config;
+}
+
+std::string rendered(const runtime::RuntimeReport& report) {
+  std::ostringstream out;
+  runtime::print(out, report);
+  return out.str();
+}
+
+TEST(ShardedSupervisor, ShardConfigsConservePlanAndFleet) {
+  const auto base = campaign_config();
+  const runtime::ShardedSupervisor sharded(base, 4);
+  ASSERT_EQ(sharded.shard_count(), 4);
+
+  std::int64_t tasks = 0;
+  std::int64_t work = 0;
+  std::int64_t ringers = 0;
+  std::int64_t honest = 0;
+  std::int64_t sybils = 0;
+  for (const auto& shard : sharded.shard_configs()) {
+    tasks += shard.plan.task_count;
+    work += shard.plan.work_assignments;
+    ringers += shard.plan.ringer_count;
+    honest += shard.honest_participants;
+    sybils += shard.sybil_identities;
+    EXPECT_GE(shard.honest_participants, 1);
+    EXPECT_EQ(shard.plan.counts.size(), base.plan.counts.size());
+    // Shards must not share RNG streams.
+    EXPECT_NE(shard.seed, base.seed);
+  }
+  EXPECT_EQ(tasks, base.plan.task_count);
+  EXPECT_EQ(work, base.plan.work_assignments);
+  EXPECT_EQ(ringers, base.plan.ringer_count);
+  EXPECT_EQ(honest, base.honest_participants);
+  EXPECT_EQ(sybils, base.sybil_identities);
+
+  // Distinct shards get distinct seeds.
+  const auto& configs = sharded.shard_configs();
+  for (std::size_t a = 0; a < configs.size(); ++a) {
+    for (std::size_t b = a + 1; b < configs.size(); ++b) {
+      EXPECT_NE(configs[a].seed, configs[b].seed);
+    }
+  }
+}
+
+TEST(ShardedSupervisor, MergedReportBitIdenticalAcrossPoolSizes) {
+  const auto base = campaign_config();
+  std::string reference;
+  for (const std::size_t pool_size : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(pool_size);
+    const auto report = runtime::run_sharded_campaign(base, 8, pool);
+    const std::string text = rendered(report);
+    if (reference.empty()) {
+      reference = text;
+    } else {
+      EXPECT_EQ(text, reference) << "pool size " << pool_size << " diverged";
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(ShardedSupervisor, MergedCampaignCompletesAllTasks) {
+  const auto base = campaign_config();
+  parallel::ThreadPool pool(2);
+  const auto report = runtime::run_sharded_campaign(base, 4, pool);
+  EXPECT_EQ(report.tasks, base.plan.task_count + base.plan.ringer_count);
+  EXPECT_EQ(report.tasks_valid, report.tasks);
+  EXPECT_EQ(report.final_correct_tasks + report.final_corrupt_tasks,
+            report.tasks);
+  EXPECT_EQ(report.participants,
+            base.honest_participants + base.sybil_identities);
+  EXPECT_GT(report.events_processed, 0);
+  EXPECT_GT(report.makespan, 0.0);
+  // Sampling was on: the merged series is non-empty with ascending times.
+  ASSERT_FALSE(report.series.empty());
+  for (std::size_t i = 1; i < report.series.size(); ++i) {
+    EXPECT_GT(report.series[i].time, report.series[i - 1].time);
+    EXPECT_GE(report.series[i].tasks_valid, report.series[i - 1].tasks_valid);
+  }
+  EXPECT_EQ(report.series.back().tasks_valid, report.tasks_valid);
+}
+
+TEST(ShardedSupervisor, OneShardMatchesShardZeroCampaign) {
+  // With S = 1 the shard config is the base campaign under the shard-0
+  // derived seed: running it directly must give the identical report.
+  const auto base = campaign_config();
+  const runtime::ShardedSupervisor sharded(base, 1);
+  ASSERT_EQ(sharded.shard_count(), 1);
+  parallel::ThreadPool pool(2);
+  const auto merged = sharded.run(pool);
+  const auto direct =
+      runtime::run_async_campaign(sharded.shard_configs()[0]);
+  EXPECT_EQ(rendered(merged), rendered(direct));
+}
+
+TEST(ShardedSupervisor, ClampsShardCountToFleet) {
+  auto base = campaign_config();
+  base.honest_participants = 3;  // Fewer honest identities than shards.
+  const runtime::ShardedSupervisor sharded(base, 8);
+  EXPECT_EQ(sharded.shard_count(), 3);
+  EXPECT_THROW(runtime::ShardedSupervisor(base, 0), std::invalid_argument);
+}
+
+TEST(ShardedSupervisor, MergeFoldsCountersExtremaAndSeries) {
+  runtime::RuntimeReport a;
+  a.tasks = 10;
+  a.units_issued = 30;
+  a.makespan = 12.0;
+  a.detections = 2;
+  a.first_detection_time = 4.0;
+  a.mean_detection_latency = 5.0;
+  a.series.push_back({0.0, 1, 0, 0, 0, 0});
+  a.series.push_back({10.0, 30, 25, 2, 1, 10});
+
+  runtime::RuntimeReport b;
+  b.tasks = 5;
+  b.units_issued = 12;
+  b.makespan = 20.0;
+  b.detections = 1;
+  b.first_detection_time = 2.5;
+  b.mean_detection_latency = 11.0;
+  b.series.push_back({0.0, 2, 0, 0, 0, 0});
+  b.series.push_back({10.0, 6, 3, 0, 0, 2});
+  b.series.push_back({20.0, 12, 11, 1, 1, 5});
+
+  const auto merged = runtime::ShardedSupervisor::merge({a, b});
+  EXPECT_EQ(merged.tasks, 15);
+  EXPECT_EQ(merged.units_issued, 42);
+  EXPECT_DOUBLE_EQ(merged.makespan, 20.0);
+  EXPECT_EQ(merged.detections, 3);
+  EXPECT_DOUBLE_EQ(merged.first_detection_time, 2.5);
+  // Detection-weighted latency: (2*5 + 1*11) / 3.
+  EXPECT_DOUBLE_EQ(merged.mean_detection_latency, 7.0);
+
+  // Series: union of times {0, 10, 20}; at t=20 shard a carries forward.
+  ASSERT_EQ(merged.series.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.series[0].time, 0.0);
+  EXPECT_EQ(merged.series[0].units_issued, 3);
+  EXPECT_DOUBLE_EQ(merged.series[1].time, 10.0);
+  EXPECT_EQ(merged.series[1].units_issued, 36);
+  EXPECT_EQ(merged.series[1].tasks_valid, 12);
+  EXPECT_DOUBLE_EQ(merged.series[2].time, 20.0);
+  EXPECT_EQ(merged.series[2].units_issued, 42);  // 30 carried + 12.
+  EXPECT_EQ(merged.series[2].tasks_valid, 15);
+}
+
+}  // namespace

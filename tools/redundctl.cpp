@@ -10,7 +10,8 @@
 //                      [--stragglers F] [--slowdown X] [--dropout D]
 //                      [--deadline T] [--retries R] [--benign-rate B]
 //                      [--sample-interval T] [--no-adaptive] [--no-reactive]
-//                      [--seed S]
+//                      [--seed S] [--queue heap|calendar]
+//                      [--shards S [--threads T]]
 //   redundctl budget   --tasks N --budget B [--adversary P]
 //   redundctl bench    [--quick] [--out FILE]
 //   redundctl help
@@ -42,6 +43,7 @@
 #include "core/schemes/balanced.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "runtime/sharded.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/monte_carlo.hpp"
 
@@ -245,7 +247,25 @@ int cmd_run_async(const Args& args) {
   config.adaptive.enabled = !args.flag("no-adaptive");
   config.sample_interval = args.number("sample-interval", 0.0);
   config.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  const std::string queue_name = args.get("queue").value_or("calendar");
+  if (queue_name == "heap") {
+    config.queue = runtime::QueueKind::kBinaryHeap;
+  } else if (queue_name == "calendar") {
+    config.queue = runtime::QueueKind::kCalendar;
+  } else {
+    throw std::invalid_argument("unknown --queue '" + queue_name +
+                                "' (heap|calendar)");
+  }
 
+  const std::int64_t shards = args.integer("shards", 1);
+  if (shards > 1) {
+    redund::parallel::ThreadPool pool(
+        static_cast<std::size_t>(args.integer("threads", 0)));
+    const runtime::RuntimeReport report =
+        runtime::run_sharded_campaign(config, shards, pool);
+    runtime::print(std::cout, report);
+    return 0;
+  }
   const runtime::RuntimeReport report = runtime::run_async_campaign(config);
   runtime::print(std::cout, report);
   return 0;
@@ -280,7 +300,7 @@ int cmd_budget(const Args& args) {
 int cmd_bench(const Args& args) {
   redund::perf::SuiteOptions options;
   options.quick = args.flag("quick");
-  const std::string out = args.get("out").value_or("BENCH_PR2.json");
+  const std::string out = args.get("out").value_or("BENCH_PR3.json");
 
   const auto records = redund::perf::run_suite(options);
   rep::Table table({"bench", "n", "threads", "items/sec", "wall_ms"});
@@ -310,6 +330,7 @@ subcommands:
            [--stragglers F] [--slowdown X] [--dropout D] [--speed-sigma S]
            [--deadline T] [--retries R] [--benign-rate B]
            [--sample-interval T] [--no-adaptive] [--no-reactive] [--seed S]
+           [--queue heap|calendar] [--shards S [--threads T]]
   budget   --tasks N --budget B [--adversary P]
   bench    [--quick] [--out FILE]
   help
