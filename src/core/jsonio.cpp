@@ -1,0 +1,171 @@
+#include "core/jsonio.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace redund::core {
+
+void json_append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_format_double(double value) {
+  // Max precision round-trippable decimal; trims to keep files readable.
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+JsonCursor::JsonCursor(const std::string& text, std::string context)
+    : p_(text.data()),
+      end_(text.data() + text.size()),
+      context_(std::move(context)) {}
+
+void JsonCursor::skip_ws() {
+  while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+}
+
+bool JsonCursor::at_end() {
+  skip_ws();
+  return p_ == end_;
+}
+
+char JsonCursor::peek() {
+  skip_ws();
+  if (p_ == end_) fail("unexpected end of input");
+  return *p_;
+}
+
+void JsonCursor::expect(char c) {
+  if (peek() != c) fail(std::string("expected '") + c + "'");
+  ++p_;
+}
+
+bool JsonCursor::consume_if(char c) {
+  if (p_ != end_ && peek() == c) {
+    ++p_;
+    return true;
+  }
+  return false;
+}
+
+std::string JsonCursor::parse_string() {
+  expect('"');
+  std::string out;
+  while (true) {
+    if (p_ == end_) fail("unterminated string");
+    const char c = *p_++;
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (p_ == end_) fail("unterminated escape");
+      const char e = *p_++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (end_ - p_ < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The repo's files only ever contain ASCII; encode BMP as
+          // UTF-8 anyway.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    } else {
+      out += c;
+    }
+  }
+}
+
+double JsonCursor::parse_number() {
+  skip_ws();
+  const char* start = p_;
+  if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+  bool digits = false;
+  while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                        *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                        *p_ == '+' || *p_ == '-')) {
+    digits = digits || std::isdigit(static_cast<unsigned char>(*p_));
+    ++p_;
+  }
+  if (!digits) fail("expected number");
+  return std::stod(std::string(start, p_));
+}
+
+void JsonCursor::skip_value() {
+  const char c = peek();
+  if (c == '"') {
+    (void)parse_string();
+  } else if (c == '{') {
+    ++p_;
+    if (!consume_if('}')) {
+      do {
+        (void)parse_string();
+        expect(':');
+        skip_value();
+      } while (consume_if(','));
+      expect('}');
+    }
+  } else if (c == '[') {
+    ++p_;
+    if (!consume_if(']')) {
+      do {
+        skip_value();
+      } while (consume_if(','));
+      expect(']');
+    }
+  } else if (c == 't' || c == 'f' || c == 'n') {
+    while (p_ != end_ && std::isalpha(static_cast<unsigned char>(*p_))) ++p_;
+  } else {
+    (void)parse_number();
+  }
+}
+
+void JsonCursor::fail(const std::string& what) const {
+  throw std::runtime_error(context_ + ": " + what);
+}
+
+}  // namespace redund::core

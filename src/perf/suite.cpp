@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/engines.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/sharded.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/engine.hpp"
@@ -147,6 +150,71 @@ void bench_event_loop(std::vector<BenchRecord>& records,
   }
 }
 
+/// The event_loop campaign under an active chaos schedule — churn,
+/// blackout, dropout burst, message loss, duplication, corruption — with
+/// and without the write-ahead journal. The fault rows price the fault
+/// machinery itself; the ratio of the journal row to the plain faulted
+/// row is the journal's overhead on the hot loop (gated at <= 15% by
+/// tools/bench_compare's default tolerance when diffed against a
+/// journal-off baseline). Items = events processed.
+void bench_event_loop_faulted(std::vector<BenchRecord>& records,
+                              const SuiteOptions& options) {
+  const std::int64_t units = options.quick ? 20000 : 200000;
+  core::RealizedPlan plan;
+  plan.counts = {0, units / 2};
+  plan.task_count = units / 2;
+  plan.work_assignments = units;
+
+  runtime::RuntimeConfig config;
+  config.plan = plan;
+  config.honest_participants = 512;
+  config.latency.dropout_probability = 0.01;
+  config.latency.speed_sigma = 0.25;
+  config.adaptive.enabled = false;
+  using runtime::FaultKind;
+  config.faults.events.push_back(
+      {.time = 2.0, .kind = FaultKind::kDropoutBurst, .duration = 15.0,
+       .probability = 0.2});
+  config.faults.events.push_back(
+      {.time = 3.0, .kind = FaultKind::kMessageLoss, .duration = 15.0,
+       .probability = 0.1});
+  config.faults.events.push_back(
+      {.time = 4.0, .kind = FaultKind::kDuplication, .duration = 15.0,
+       .probability = 0.1});
+  config.faults.events.push_back({.time = 5.0, .kind = FaultKind::kBlackout,
+                                  .fraction = 0.25, .duration = 10.0});
+  config.faults.events.push_back(
+      {.time = 6.0, .kind = FaultKind::kCorruption, .duration = 10.0,
+       .probability = 0.05});
+
+  records.push_back(measure("event_loop_faulted", units, 1,
+                            options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+                              const auto report =
+                                  runtime::run_async_campaign(config);
+                              return report.events_processed;
+                            }));
+
+  runtime::RuntimeConfig journaled = config;
+  journaled.journal.path =
+      (std::filesystem::temp_directory_path() / "redund_bench_journal.wal")
+          .string();
+  // Checkpoint cadence proportional to campaign size: a checkpoint
+  // serializes the full unit/task/fleet state (O(units) text), so a
+  // fixed cadence would make the checkpoint share grow linearly with
+  // scale — interval = units keeps it a constant fraction and bounds
+  // crash re-execution to a fraction of the run, which is the cadence a
+  // production campaign of this size would pick over the
+  // durability-biased default of 4096.
+  journaled.journal.checkpoint_interval = units;
+  records.push_back(measure("event_loop_faulted_journal", units, 1,
+                            options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+                              const auto report =
+                                  runtime::run_async_campaign(journaled);
+                              return report.events_processed;
+                            }));
+  std::remove(journaled.journal.path.c_str());
+}
+
 /// parallel_reduce over a compute-bound map at pool sizes 1, 2, and the
 /// machine's hardware concurrency: the scaling row of the report. Items =
 /// map invocations.
@@ -185,6 +253,7 @@ std::vector<BenchRecord> run_suite(const SuiteOptions& options) {
   std::vector<BenchRecord> records;
   bench_replica_kernels(records, options);
   bench_event_loop(records, options);
+  bench_event_loop_faulted(records, options);
   bench_parallel_reduce(records, options);
   return records;
 }

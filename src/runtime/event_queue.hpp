@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
   kDeadline,       ///< A unit's report deadline elapses.
   kReissue,        ///< A timed-out unit's backoff elapses; re-deal it.
   kAdaptiveCheck,  ///< Periodic reliability review of a straggling task.
+  kFault,          ///< A FaultSchedule entry starts (subject = fault index).
+  kFaultEnd,       ///< A windowed fault's duration elapses (same subject).
+  kHealthCheck,    ///< Periodic campaign health review (stall detection).
 };
 
 /// Which pending-event queue the supervisor's loop runs on.
@@ -102,6 +105,27 @@ class EventQueue {
     Event event = heap_.back();
     heap_.pop_back();
     return event;
+  }
+
+  /// Sequence number the next schedule() will stamp (checkpoint state).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// The pending events in (time, seq) order, for checkpointing.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> events = heap_;
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) noexcept {
+                return fires_before(a, b);
+              });
+    return events;
+  }
+
+  /// Reinstates a snapshot (events sorted by fires_before) and the seq
+  /// cursor. Only meaningful on a fresh queue. An ascending-sorted array
+  /// is already a valid min-heap, so the heap is adopted as-is.
+  void restore(std::vector<Event> events, std::uint64_t seq) {
+    heap_ = std::move(events);
+    next_seq_ = seq;
   }
 
  private:
@@ -210,6 +234,37 @@ class CalendarQueue {
     current_day_ = day_(event.time);  // Same-day successors hit on step 0.
     if (size_ < rebuild_lo_) rebuild_();
     return event;
+  }
+
+  /// Sequence number the next schedule() will stamp (checkpoint state).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// The pending events in (time, seq) order, for checkpointing.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::vector<Event> events;
+    events.reserve(size_);
+    events.insert(events.end(), staged_.begin(), staged_.end());
+    for (const Bucket& bucket : buckets_) {
+      events.insert(events.end(),
+                    bucket.events.begin() +
+                        static_cast<std::ptrdiff_t>(bucket.head),
+                    bucket.events.end());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) noexcept {
+                return fires_before(a, b);
+              });
+    return events;
+  }
+
+  /// Reinstates a snapshot and the seq cursor. Only meaningful on a fresh
+  /// queue: the events re-enter the staging phase, so the first pop bulk
+  /// loads them exactly like a cold campaign's initial schedule.
+  void restore(std::vector<Event> events, std::uint64_t seq) {
+    staged_ = std::move(events);
+    staging_ = true;
+    size_ = staged_.size();
+    next_seq_ = seq;
   }
 
  private:

@@ -1,0 +1,274 @@
+#include "runtime/fault.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/jsonio.hpp"
+
+namespace redund::runtime {
+
+namespace {
+
+using core::JsonCursor;
+using core::json_format_double;
+
+constexpr const char* kSchema = "redund-faults-v1";
+
+[[nodiscard]] FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "leave") return FaultKind::kLeave;
+  if (name == "rejoin") return FaultKind::kRejoin;
+  if (name == "blackout") return FaultKind::kBlackout;
+  if (name == "dropout_burst") return FaultKind::kDropoutBurst;
+  if (name == "message_loss") return FaultKind::kMessageLoss;
+  if (name == "duplication") return FaultKind::kDuplication;
+  if (name == "corruption") return FaultKind::kCorruption;
+  throw std::runtime_error("fault plan JSON: unknown fault kind \"" + name +
+                           "\"");
+}
+
+[[nodiscard]] bool is_windowed(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kBlackout:
+    case FaultKind::kDropoutBurst:
+    case FaultKind::kMessageLoss:
+    case FaultKind::kDuplication:
+    case FaultKind::kCorruption:
+      return true;
+    case FaultKind::kLeave:
+    case FaultKind::kRejoin:
+      return false;
+  }
+  return false;
+}
+
+[[nodiscard]] bool uses_probability(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDropoutBurst:
+    case FaultKind::kMessageLoss:
+    case FaultKind::kDuplication:
+    case FaultKind::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Shard s's share of `total` — must match ShardedSupervisor's rule.
+[[nodiscard]] std::int64_t share(std::int64_t total, std::int64_t shards,
+                                 std::int64_t s) noexcept {
+  return total / shards + (s < total % shards ? 1 : 0);
+}
+
+/// First global index owned by shard s under the floor-plus-remainder
+/// split of `total` (the prefix sum of share()).
+[[nodiscard]] std::int64_t share_begin(std::int64_t total,
+                                       std::int64_t shards,
+                                       std::int64_t s) noexcept {
+  const std::int64_t rem = total % shards;
+  return s * (total / shards) + (s < rem ? s : rem);
+}
+
+/// Shard owning global index g under the split of `total`.
+[[nodiscard]] std::int64_t owner_shard(std::int64_t g, std::int64_t total,
+                                       std::int64_t shards) noexcept {
+  const std::int64_t base = total / shards;
+  const std::int64_t rem = total % shards;
+  // The first `rem` shards own base+1 indices each.
+  const std::int64_t fat = rem * (base + 1);
+  if (g < fat) return base + 1 > 0 ? g / (base + 1) : 0;
+  return base > 0 ? rem + (g - fat) / base : shards - 1;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kRejoin: return "rejoin";
+    case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kDropoutBurst: return "dropout_burst";
+    case FaultKind::kMessageLoss: return "message_loss";
+    case FaultKind::kDuplication: return "duplication";
+    case FaultKind::kCorruption: return "corruption";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::validate(std::int64_t participant_count) const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const std::string at = "FaultSchedule event " + std::to_string(i) + ": ";
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      throw std::invalid_argument(at + "time must be finite and >= 0");
+    }
+    if (e.kind == FaultKind::kLeave || e.kind == FaultKind::kRejoin) {
+      if (e.participant < 0 ||
+          (participant_count >= 0 && e.participant >= participant_count)) {
+        throw std::invalid_argument(at + "participant " +
+                                    std::to_string(e.participant) +
+                                    " out of range");
+      }
+    }
+    if (e.kind == FaultKind::kBlackout &&
+        (!std::isfinite(e.fraction) || e.fraction < 0.0 ||
+         e.fraction > 1.0)) {
+      throw std::invalid_argument(at + "fraction must be in [0, 1]");
+    }
+    if (is_windowed(e.kind) &&
+        (!std::isfinite(e.duration) || e.duration <= 0.0)) {
+      throw std::invalid_argument(at + "duration must be > 0");
+    }
+    if (uses_probability(e.kind) &&
+        (!std::isfinite(e.probability) || e.probability < 0.0 ||
+         e.probability > 1.0)) {
+      throw std::invalid_argument(at + "probability must be in [0, 1]");
+    }
+  }
+}
+
+FaultSchedule FaultSchedule::slice(std::int64_t honest, std::int64_t sybils,
+                                   std::int64_t shards,
+                                   std::int64_t shard) const {
+  if (shards < 1 || shard < 0 || shard >= shards) {
+    throw std::invalid_argument("FaultSchedule::slice: bad shard index");
+  }
+  FaultSchedule out;
+  for (const FaultEvent& e : events) {
+    if (e.kind != FaultKind::kLeave && e.kind != FaultKind::kRejoin) {
+      out.events.push_back(e);  // Fleet-wide: every shard sees it.
+      continue;
+    }
+    // Identity-targeted: enrollment is honest first (global 0..H-1), then
+    // sybil (H..H+Y-1); each shard enrolls its honest slice first, then
+    // its sybil slice.
+    FaultEvent local = e;
+    if (e.participant < honest) {
+      const std::int64_t s = owner_shard(e.participant, honest, shards);
+      if (s != shard) continue;
+      local.participant = e.participant - share_begin(honest, shards, s);
+    } else {
+      const std::int64_t y = e.participant - honest;
+      const std::int64_t s = owner_shard(y, sybils, shards);
+      if (s != shard) continue;
+      local.participant =
+          share(honest, shards, s) + (y - share_begin(sybils, shards, s));
+    }
+    out.events.push_back(local);
+  }
+  return out;
+}
+
+std::string FaultSchedule::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"time\": " + json_format_double(e.time);
+    out += ", \"kind\": \"";
+    out += fault_kind_name(e.kind);
+    out += "\"";
+    if (e.kind == FaultKind::kLeave || e.kind == FaultKind::kRejoin) {
+      out += ", \"participant\": " + std::to_string(e.participant);
+    }
+    if (e.kind == FaultKind::kBlackout) {
+      out += ", \"fraction\": " + json_format_double(e.fraction);
+    }
+    if (is_windowed(e.kind)) {
+      out += ", \"duration\": " + json_format_double(e.duration);
+    }
+    if (uses_probability(e.kind)) {
+      out += ", \"probability\": " + json_format_double(e.probability);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+FaultSchedule FaultSchedule::from_json(const std::string& text) {
+  JsonCursor cursor(text, "fault plan JSON");
+  FaultSchedule schedule;
+  bool saw_events = false;
+  cursor.expect('{');
+  if (!cursor.consume_if('}')) {
+    do {
+      const std::string key = cursor.parse_string();
+      cursor.expect(':');
+      if (key == "events") {
+        saw_events = true;
+        cursor.expect('[');
+        if (!cursor.consume_if(']')) {
+          do {
+            FaultEvent e;
+            bool saw_kind = false;
+            cursor.expect('{');
+            if (!cursor.consume_if('}')) {
+              do {
+                const std::string field = cursor.parse_string();
+                cursor.expect(':');
+                if (field == "time") {
+                  e.time = cursor.parse_number();
+                } else if (field == "kind") {
+                  e.kind = fault_kind_from_name(cursor.parse_string());
+                  saw_kind = true;
+                } else if (field == "participant") {
+                  e.participant =
+                      static_cast<std::int64_t>(cursor.parse_number());
+                } else if (field == "fraction") {
+                  e.fraction = cursor.parse_number();
+                } else if (field == "duration") {
+                  e.duration = cursor.parse_number();
+                } else if (field == "probability") {
+                  e.probability = cursor.parse_number();
+                } else {
+                  cursor.skip_value();
+                }
+              } while (cursor.consume_if(','));
+              cursor.expect('}');
+            }
+            if (!saw_kind) {
+              cursor.fail("event is missing required key \"kind\"");
+            }
+            schedule.events.push_back(e);
+          } while (cursor.consume_if(','));
+          cursor.expect(']');
+        }
+      } else {
+        cursor.skip_value();
+      }
+    } while (cursor.consume_if(','));
+    cursor.expect('}');
+  }
+  if (!cursor.at_end()) cursor.fail("trailing garbage after document");
+  if (!saw_events) cursor.fail("missing \"events\" array");
+  return schedule;
+}
+
+void FaultSchedule::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("fault plan: cannot open " + path +
+                             " for writing");
+  }
+  file << to_json();
+  if (!file.flush()) {
+    throw std::runtime_error("fault plan: write to " + path + " failed");
+  }
+}
+
+FaultSchedule FaultSchedule::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("fault plan: cannot read " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return from_json(text.str());
+}
+
+}  // namespace redund::runtime

@@ -1,0 +1,110 @@
+// Timed fault injection for the asynchronous supervisor runtime.
+//
+// PR 1-3 model only *static* faults: per-participant straggler and
+// dropout coins fixed at enroll time. Real fleets fail in time —
+// participants churn, racks black out together, networks lose and
+// duplicate messages in bursts, and data corruption arrives in spikes.
+// A FaultSchedule is a deterministic script of such events over
+// simulated time. The supervisor injects them through its own event
+// queue (EventKind::kFault / kFaultEnd), so a faulted campaign remains
+// a pure function of (RuntimeConfig, FaultSchedule): every fault coin
+// is keyed off (seed, fault index, unit, attempt) SplitMix64 streams,
+// never off wall-clock or processing order.
+//
+// Fault kinds:
+//
+//   * kLeave / kRejoin — one participant leaves (stops receiving work;
+//     in-flight results are lost) or rejoins the fleet.
+//   * kBlackout — a deterministic pseudo-random `fraction` of the fleet
+//     leaves for `duration`, then rejoins (correlated outage: rack
+//     power, site link).
+//   * kDropoutBurst — for `duration`, every issue additionally drops
+//     with `probability` (correlated no-reply burst on top of the
+//     static LatencyModel::dropout_probability).
+//   * kMessageLoss — for `duration`, every completed result is lost in
+//     transit with `probability` (the work was done; the report never
+//     arrives; the unit times out).
+//   * kDuplication — for `duration`, every delivered result is
+//     re-delivered once with `probability` after a second network
+//     delay (the duplicate drains as a stale epoch / late result).
+//   * kCorruption — for `duration`, every delivered honest result is
+//     bit-flipped with `probability` (storage/transit corruption: the
+//     value mismatches and the validator sees a detection that no
+//     adversary caused).
+//
+// Schedules serialize to a small JSON document (redund-faults-v1) so
+// chaos scenarios are shareable files: `redundctl run-async
+// --fault-plan faults.json`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redund::runtime {
+
+/// What a scheduled fault does when its time arrives.
+enum class FaultKind : std::uint8_t {
+  kLeave,         ///< `participant` leaves the fleet.
+  kRejoin,        ///< `participant` rejoins the fleet.
+  kBlackout,      ///< A random `fraction` of the fleet leaves for `duration`.
+  kDropoutBurst,  ///< Issues drop with `probability` for `duration`.
+  kMessageLoss,   ///< Results are lost with `probability` for `duration`.
+  kDuplication,   ///< Results duplicate with `probability` for `duration`.
+  kCorruption,    ///< Honest results corrupt with `probability` for
+                  ///< `duration`.
+};
+
+/// Stable wire name of a fault kind ("leave", "blackout", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. Fields beyond `time`/`kind` are used only by the
+/// kinds documented on them.
+struct FaultEvent {
+  double time = 0.0;             ///< Simulated time the fault starts.
+  FaultKind kind = FaultKind::kLeave;
+  /// Target identity for kLeave/kRejoin (enrollment order: honest first,
+  /// then sybil). Ignored by the fleet-wide kinds.
+  std::int64_t participant = -1;
+  double fraction = 0.0;         ///< Fleet fraction hit (kBlackout).
+  double duration = 0.0;         ///< Window length (windowed kinds).
+  double probability = 0.0;      ///< Per-unit coin (burst/loss/dup/corrupt).
+};
+
+/// A deterministic script of timed faults. Order in `events` is the
+/// injection tie-break for equal times; validate() before running.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Checks times (finite, >= 0), fractions/probabilities in [0, 1],
+  /// durations > 0 where required, and participant targets within
+  /// [0, participant_count) (pass < 0 to skip the range check, e.g.
+  /// before the fleet size is known). Throws std::invalid_argument.
+  void validate(std::int64_t participant_count) const;
+
+  /// The shard's view of this schedule under the ShardedSupervisor
+  /// fleet split: fleet-wide events are copied to every shard;
+  /// participant-targeted events go only to the shard that owns the
+  /// identity, with `participant` remapped to the shard-local
+  /// enrollment index. (honest, sybils) are the *base* campaign counts,
+  /// `shards` the effective shard count, `shard` this shard's index.
+  [[nodiscard]] FaultSchedule slice(std::int64_t honest, std::int64_t sybils,
+                                    std::int64_t shards,
+                                    std::int64_t shard) const;
+
+  /// Serializes to the redund-faults-v1 JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a redund-faults-v1 document. Unknown keys are ignored;
+  /// malformed input throws std::runtime_error.
+  [[nodiscard]] static FaultSchedule from_json(const std::string& text);
+
+  /// File convenience wrappers around to_json()/from_json(). Throw
+  /// std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+  [[nodiscard]] static FaultSchedule load(const std::string& path);
+};
+
+}  // namespace redund::runtime

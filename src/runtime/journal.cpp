@@ -1,0 +1,317 @@
+#include "runtime/journal.hpp"
+
+#include <bit>
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace redund::runtime {
+
+namespace {
+
+constexpr const char* kMagic = "redund-journal-v1";
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// Appends `value` as minimal-width lowercase hex. The WAL writes one
+/// record per processed event, so these appenders are the hot path —
+/// hand-rolled instead of snprintf (which costs a format-string parse
+/// per call) and allocation-free.
+void append_hex(std::string& out, std::uint64_t value) {
+  char buffer[16];
+  int i = 16;
+  do {
+    buffer[--i] = kHexDigits[value & 0xF];
+    value >>= 4;
+  } while (value != 0);
+  out.append(buffer + i, static_cast<std::size_t>(16 - i));
+}
+
+/// Appends `value` as exactly 16 hex digits (IEEE-754 bit patterns).
+void append_hex16(std::string& out, std::uint64_t value) {
+  char buffer[16];
+  for (int i = 15; i >= 0; --i) {
+    buffer[i] = kHexDigits[value & 0xF];
+    value >>= 4;
+  }
+  out.append(buffer, 16);
+}
+
+void append_dec(std::string& out, std::int64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+void append_udec(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+}
+
+[[nodiscard]] bool parse_u64_hex(const std::string& token,
+                                 std::uint64_t& out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+    value = value * 16 + digit;
+  }
+  out = value;
+  return true;
+}
+
+[[nodiscard]] bool parse_i64_dec(const std::string& token,
+                                 std::int64_t& out) {
+  if (token.empty()) return false;
+  std::size_t i = 0;
+  bool negative = false;
+  if (token[0] == '-') {
+    negative = true;
+    i = 1;
+    if (token.size() == 1) return false;
+  }
+  std::uint64_t magnitude = 0;
+  for (; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c < '0' || c > '9') return false;
+    magnitude = magnitude * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = negative ? -static_cast<std::int64_t>(magnitude)
+                 : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+/// Splits `line` into whitespace-separated tokens.
+[[nodiscard]] std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_hash(const std::string& bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void StateWriter::u64(std::uint64_t value) {
+  if (!text_.empty()) text_ += ' ';
+  append_hex(text_, value);
+}
+
+void StateWriter::i64(std::int64_t value) {
+  if (!text_.empty()) text_ += ' ';
+  append_dec(text_, value);
+}
+
+void StateWriter::f64(double value) {
+  if (!text_.empty()) text_ += ' ';
+  append_hex16(text_, std::bit_cast<std::uint64_t>(value));
+}
+
+std::string StateReader::next_token_() {
+  while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  if (p_ == end_) {
+    throw std::runtime_error("journal state blob: unexpected end of data");
+  }
+  const char* start = p_;
+  while (p_ != end_ && !std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  return std::string(start, p_);
+}
+
+std::uint64_t StateReader::u64() {
+  std::uint64_t value = 0;
+  if (!parse_u64_hex(next_token_(), value)) {
+    throw std::runtime_error("journal state blob: bad u64 token");
+  }
+  return value;
+}
+
+std::int64_t StateReader::i64() {
+  std::int64_t value = 0;
+  if (!parse_i64_dec(next_token_(), value)) {
+    throw std::runtime_error("journal state blob: bad i64 token");
+  }
+  return value;
+}
+
+double StateReader::f64() {
+  const std::string token = next_token_();
+  std::uint64_t bits = 0;
+  if (token.size() != 16 || !parse_u64_hex(token, bits)) {
+    throw std::runtime_error("journal state blob: bad f64 token");
+  }
+  return std::bit_cast<double>(bits);
+}
+
+bool StateReader::at_end() {
+  while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  return p_ == end_;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             std::uint64_t config_hash, std::uint64_t seed)
+    : file_(path, std::ios::trunc), path_(path) {
+  if (!file_) {
+    throw std::runtime_error("journal: cannot open " + path +
+                             " for writing");
+  }
+  buffer_ += kMagic;
+  buffer_ += ' ';
+  append_hex(buffer_, config_hash);
+  buffer_ += ' ';
+  append_hex(buffer_, seed);
+  buffer_ += '\n';
+}
+
+void JournalWriter::append_event(std::uint64_t index, double time,
+                                 std::uint8_t kind, std::int64_t subject,
+                                 std::uint64_t epoch) {
+  buffer_ += "E ";
+  append_udec(buffer_, index);
+  buffer_ += ' ';
+  append_hex16(buffer_, std::bit_cast<std::uint64_t>(time));
+  buffer_ += ' ';
+  append_udec(buffer_, kind);
+  buffer_ += ' ';
+  append_dec(buffer_, subject);
+  buffer_ += ' ';
+  append_udec(buffer_, epoch);
+  buffer_ += '\n';
+}
+
+void JournalWriter::checkpoint(std::uint64_t index, const std::string& blob) {
+  // Stream the blob directly instead of staging it in buffer_: checkpoint
+  // blobs of large campaigns run to tens of megabytes, and the extra
+  // append would copy all of it once more.
+  flush_();
+  file_ << "C ";
+  file_ << index;
+  file_ << ' ';
+  file_ << blob;
+  file_ << '\n';
+  if (!file_.flush()) {
+    throw std::runtime_error("journal: write to " + path_ + " failed");
+  }
+}
+
+void JournalWriter::finish(std::uint64_t index, std::int64_t outcome) {
+  buffer_ += "F ";
+  buffer_ += std::to_string(index);
+  buffer_ += ' ';
+  buffer_ += std::to_string(outcome);
+  buffer_ += '\n';
+  flush_();
+}
+
+void JournalWriter::flush_() {
+  if (buffer_.empty()) return;
+  file_ << buffer_;
+  buffer_.clear();
+  if (!file_.flush()) {
+    throw std::runtime_error("journal: write to " + path_ + " failed");
+  }
+}
+
+JournalContents read_journal(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("journal: cannot read " + path);
+  }
+  JournalContents contents;
+  std::string line;
+  if (!std::getline(file, line)) {
+    throw std::runtime_error("journal: " + path + " is empty");
+  }
+  {
+    const std::vector<std::string> header = tokenize(line);
+    if (header.size() != 3 || header[0] != kMagic) {
+      throw std::runtime_error("journal: " + path +
+                               " has no redund-journal-v1 header");
+    }
+    if (!parse_u64_hex(header[1], contents.config_hash) ||
+        !parse_u64_hex(header[2], contents.seed)) {
+      throw std::runtime_error("journal: " + path + " header is malformed");
+    }
+  }
+  // Records after a torn (partially written) line are unreachable by the
+  // append-only writer, so parsing stops at the first malformed line.
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'E') {
+      const std::vector<std::string> t = tokenize(line);
+      JournalEntry entry;
+      std::int64_t index = 0;
+      std::uint64_t time_bits = 0;
+      std::int64_t kind = 0;
+      if (t.size() != 6 || !parse_i64_dec(t[1], index) ||
+          t[2].size() != 16 || !parse_u64_hex(t[2], time_bits) ||
+          !parse_i64_dec(t[3], kind) || !parse_i64_dec(t[4], entry.subject) ||
+          !parse_u64_hex(t[5], entry.epoch) || index < 0 || kind < 0 ||
+          kind > 255) {
+        break;
+      }
+      entry.index = static_cast<std::uint64_t>(index);
+      entry.time = std::bit_cast<double>(time_bits);
+      entry.kind = static_cast<std::uint8_t>(kind);
+      contents.tail.push_back(entry);
+    } else if (line[0] == 'C') {
+      // "C <index> <blob...>": split off the first two tokens by hand so
+      // the blob keeps its internal spacing.
+      std::size_t sp1 = line.find(' ');
+      if (sp1 == std::string::npos) break;
+      std::size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) break;
+      std::int64_t index = 0;
+      if (!parse_i64_dec(line.substr(sp1 + 1, sp2 - sp1 - 1), index) ||
+          index < 0) {
+        break;
+      }
+      contents.has_checkpoint = true;
+      contents.checkpoint_index = static_cast<std::uint64_t>(index);
+      contents.checkpoint_blob = line.substr(sp2 + 1);
+      // Every WAL record so far precedes the snapshot; the verification
+      // suffix restarts here.
+      contents.tail.clear();
+    } else if (line[0] == 'F') {
+      const std::vector<std::string> t = tokenize(line);
+      std::int64_t index = 0;
+      std::int64_t outcome = 0;
+      if (t.size() != 3 || !parse_i64_dec(t[1], index) ||
+          !parse_i64_dec(t[2], outcome)) {
+        break;
+      }
+      contents.completed = true;
+      contents.outcome = outcome;
+    } else {
+      break;
+    }
+  }
+  return contents;
+}
+
+}  // namespace redund::runtime

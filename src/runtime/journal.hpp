@@ -1,0 +1,153 @@
+// Write-ahead journal + checkpoints for crash-safe campaigns.
+//
+// The supervisor's event loop is a deterministic state machine: given
+// (RuntimeConfig, FaultSchedule) the i-th event popped, every draw, and
+// every counter are fixed. Crash safety therefore needs only two
+// artifacts, both captured here:
+//
+//   * a write-ahead log (WAL) of processed events — each record is
+//     appended *before* its event executes, so the journal always runs
+//     at or ahead of the in-memory state;
+//   * periodic checkpoints — a full serialization of the supervisor's
+//     mutable state (unit/task tables, reliability scores, RNG-bearing
+//     clocks, pending events) taken every `checkpoint_interval`
+//     processed events.
+//
+// Recovery restores the latest checkpoint and simply *re-runs* the
+// loop; determinism regenerates the exact post-crash suffix. The WAL's
+// tail (records after the checkpoint) is not replayed *into* the state
+// — it is used to verify that the re-executed event stream matches the
+// pre-crash one record-for-record, turning any config/seed/code
+// mismatch into an immediate "journal replay divergence" error instead
+// of a silently different report. The recovery invariant tested in
+// tests/test_recovery.cpp: kill at any event index, resume, and the
+// final RuntimeReport is byte-identical to the uninterrupted run.
+//
+// File format (text, line-oriented; doubles as 64-bit hex of their IEEE
+// bits so round-trips are exact):
+//
+//   redund-journal-v1 <config_hash hex> <seed hex>
+//   E <index> <time bits hex> <kind> <subject> <epoch>
+//   C <index> <state blob tokens...>
+//   F <index> <outcome>
+//
+// `E` records are buffered and flushed at every checkpoint and at
+// close, so the durability boundary is the checkpoint — a crash may
+// lose buffered WAL tail records, which only shrinks the verified
+// suffix, never corrupts recovery.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace redund::runtime {
+
+/// FNV-1a over a byte string; used to fingerprint the RuntimeConfig a
+/// journal belongs to (resuming under a different config is an error).
+[[nodiscard]] std::uint64_t fnv1a_hash(const std::string& bytes) noexcept;
+
+/// Appends space-separated tokens to a single-line state blob. Doubles
+/// are written as the 16-hex-digit IEEE-754 bit pattern, so every value
+/// round-trips bit-exactly.
+class StateWriter {
+ public:
+  /// Pre-sizes the blob. Checkpoints of large campaigns serialize
+  /// millions of tokens; reserving once avoids the reallocation copies.
+  void reserve(std::size_t bytes) { text_.reserve(bytes); }
+
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  void boolean(bool value) { u64(value ? 1 : 0); }
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Reads back a StateWriter token stream in the same order it was
+/// written. Throws std::runtime_error on malformed input or premature
+/// end — a truncated checkpoint must fail loudly, not zero-fill.
+class StateReader {
+ public:
+  explicit StateReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean() { return u64() != 0; }
+  [[nodiscard]] bool at_end();
+
+ private:
+  [[nodiscard]] std::string next_token_();
+  const char* p_;
+  const char* end_;
+};
+
+/// One WAL record: the event at ordinal `index` (events processed
+/// before it) that the supervisor committed to executing.
+struct JournalEntry {
+  std::uint64_t index = 0;
+  double time = 0.0;
+  std::uint8_t kind = 0;
+  std::int64_t subject = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Parsed journal: the latest checkpoint (if any), the WAL tail at or
+/// after it, and the terminal marker.
+struct JournalContents {
+  std::uint64_t config_hash = 0;
+  std::uint64_t seed = 0;
+  bool has_checkpoint = false;
+  std::uint64_t checkpoint_index = 0;  ///< Events processed at the snapshot.
+  std::string checkpoint_blob;         ///< StateReader token stream.
+  std::vector<JournalEntry> tail;      ///< WAL records with index >= the
+                                       ///< checkpoint (verification suffix).
+  bool completed = false;              ///< F record present.
+  std::int64_t outcome = 0;            ///< CampaignOutcome as integer.
+};
+
+/// Appends journal records for one campaign run. WAL records buffer in
+/// memory; checkpoint() and finish() flush (the durability boundary).
+class JournalWriter {
+ public:
+  /// Truncates `path` and writes the header. Throws std::runtime_error
+  /// when the file cannot be opened.
+  JournalWriter(const std::string& path, std::uint64_t config_hash,
+                std::uint64_t seed);
+
+  /// Appends (buffered) one WAL record.
+  void append_event(std::uint64_t index, double time, std::uint8_t kind,
+                    std::int64_t subject, std::uint64_t epoch);
+
+  /// Writes a checkpoint taken after `index` processed events and
+  /// flushes everything buffered so far.
+  void checkpoint(std::uint64_t index, const std::string& blob);
+
+  /// Writes the terminal record and flushes, marking the journal as the
+  /// trace of a finished campaign.
+  void finish(std::uint64_t index, std::int64_t outcome);
+
+  /// Flushes buffered WAL records without writing a checkpoint — the
+  /// graceful-shutdown path (run_async_campaign_capped), which preserves
+  /// the full verification suffix for resume.
+  void flush() { flush_(); }
+
+ private:
+  void flush_();
+  std::ofstream file_;
+  std::string path_;
+  std::string buffer_;
+};
+
+/// Reads a journal file back. Throws std::runtime_error on I/O failure
+/// or a malformed/foreign header. Partial trailing lines (torn write at
+/// crash) are ignored.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+}  // namespace redund::runtime

@@ -80,6 +80,15 @@ class ParticipantPool {
   Issue issue(platform::ParticipantId id, double now, double demand,
               std::uint64_t unit, std::int64_t attempt);
 
+  /// The per-participant busy-until clocks — the pool's only mutable
+  /// state, exposed for checkpoint serialization.
+  [[nodiscard]] const std::vector<double>& busy_until() const noexcept {
+    return free_at_;
+  }
+  /// Reinstates checkpointed busy-until clocks. Throws
+  /// std::invalid_argument when the size does not match the pool.
+  void restore_busy_until(const std::vector<double>& clocks);
+
  private:
   const LatencyModel model_;
   const std::uint64_t seed_;

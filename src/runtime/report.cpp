@@ -7,6 +7,15 @@ namespace redund::runtime {
 
 namespace rep = redund::report;
 
+const char* to_string(CampaignOutcome outcome) noexcept {
+  switch (outcome) {
+    case CampaignOutcome::kCompleted: return "completed";
+    case CampaignOutcome::kStalled: return "stalled";
+    case CampaignOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
 rep::Table to_table(const RuntimeReport& report) {
   rep::Table table({"metric", "value"});
   const auto add_count = [&](const char* name, std::int64_t value) {
@@ -41,7 +50,19 @@ rep::Table to_table(const RuntimeReport& report) {
   add_count("final_correct_tasks", report.final_correct_tasks);
   add_count("final_corrupt_tasks", report.final_corrupt_tasks);
   table.add_separator();
+  table.add_row({"outcome", to_string(report.outcome)});
+  add_count("tasks_unfinished", report.tasks_unfinished);
+  add_count("fault_events", report.fault_events);
+  add_count("churn_leaves", report.churn_leaves);
+  add_count("churn_rejoins", report.churn_rejoins);
+  add_count("results_lost", report.results_lost);
+  add_count("results_corrupted", report.results_corrupted);
+  add_count("duplicate_results", report.duplicate_results);
+  add_count("min_live_fleet", report.min_live_fleet);
+  add_time("progress_rate", report.progress_rate);
+  table.add_separator();
   add_time("makespan", report.makespan);
+  add_time("end_time", report.end_time);
   add_time("first_detection_time", report.first_detection_time);
   add_time("mean_detection_latency", report.mean_detection_latency);
   add_count("detections", report.detections);

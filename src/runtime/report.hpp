@@ -15,6 +15,18 @@
 
 namespace redund::runtime {
 
+/// How a campaign ended. Ordered by severity — ShardedSupervisor::merge
+/// takes the maximum across shards.
+enum class CampaignOutcome : std::uint8_t {
+  kCompleted = 0,  ///< Every task reached VALID.
+  kStalled = 1,    ///< Progress ceased with nothing in flight (e.g. fleet
+                   ///< collapse + recompute budget spent); partial report.
+  kAborted = 2,    ///< The max_sim_time bound elapsed; partial report.
+};
+
+/// Stable display name ("completed", "stalled", "aborted").
+[[nodiscard]] const char* to_string(CampaignOutcome outcome) noexcept;
+
 /// One sampled point of the supervisor's counters (cumulative values).
 struct RuntimeSample {
   double time = 0.0;
@@ -54,11 +66,28 @@ struct RuntimeReport {
   // Ground truth.
   std::int64_t adversary_cheat_attempts = 0;
   std::int64_t false_accusations = 0;
-  std::int64_t final_correct_tasks = 0;
-  std::int64_t final_corrupt_tasks = 0;
+  std::int64_t final_correct_tasks = 0;  ///< Among validated tasks only.
+  std::int64_t final_corrupt_tasks = 0;  ///< Among validated tasks only.
+
+  // Fault injection and degradation (all zero without a FaultSchedule).
+  CampaignOutcome outcome = CampaignOutcome::kCompleted;
+  std::int64_t tasks_unfinished = 0;   ///< Non-VALID at end (partial runs).
+  std::int64_t fault_events = 0;       ///< Fault start/end events processed.
+  std::int64_t churn_leaves = 0;       ///< Participant leave transitions.
+  std::int64_t churn_rejoins = 0;      ///< Participant rejoin transitions.
+  std::int64_t results_lost = 0;       ///< In-flight results lost to churn
+                                       ///< or message-loss windows.
+  std::int64_t results_corrupted = 0;  ///< Results bit-flipped in transit.
+  std::int64_t duplicate_results = 0;  ///< Extra deliveries scheduled.
+  std::int64_t min_live_fleet = 0;     ///< Low-water mark of active
+                                       ///< (non-blacklisted) identities.
+  double progress_rate = 0.0;          ///< EWMA of work progress per unit
+                                       ///< time, from the health monitor.
 
   // Time domain.
   double makespan = 0.0;               ///< Last task validation time.
+  double end_time = 0.0;               ///< Simulated time the loop ended
+                                       ///< (>= makespan on partial runs).
   double first_detection_time = 0.0;   ///< 0 when nothing was detected.
   double mean_detection_latency = 0.0; ///< Mean detection-event time.
   std::int64_t detections = 0;         ///< Detection events (tasks+ringers).

@@ -73,6 +73,17 @@ ShardedSupervisor::ShardedSupervisor(const RuntimeConfig& base,
                                    ? base.plan.ringer_multiplicity
                                    : 0;
     plan.ringer_assignments = plan.ringer_count * plan.ringer_multiplicity;
+
+    // Each shard sees its slice of the fault schedule: fleet-wide events
+    // replicate to every shard, participant-targeted events go to the
+    // owning shard with the identity remapped to its local index.
+    shard.faults = base.faults.slice(base.honest_participants,
+                                     base.sybil_identities, s_count, s);
+    // Per-shard journals: each sub-campaign is its own crash-recovery
+    // domain, so each writes (and resumes) its own file.
+    if (!base.journal.path.empty()) {
+      shard.journal.path = base.journal.path + ".shard" + std::to_string(s);
+    }
     configs_.push_back(std::move(shard));
   }
 }
@@ -113,8 +124,22 @@ RuntimeReport ShardedSupervisor::merge(
     merged.false_accusations += r.false_accusations;
     merged.final_correct_tasks += r.final_correct_tasks;
     merged.final_corrupt_tasks += r.final_corrupt_tasks;
+    // Degradation fields: the campaign is only as healthy as its sickest
+    // shard (outcome = max severity); the additive gauges sum — the fleet
+    // is partitioned, so per-shard low-water marks and progress rates add.
+    merged.outcome = std::max(merged.outcome, r.outcome);
+    merged.tasks_unfinished += r.tasks_unfinished;
+    merged.fault_events += r.fault_events;
+    merged.churn_leaves += r.churn_leaves;
+    merged.churn_rejoins += r.churn_rejoins;
+    merged.results_lost += r.results_lost;
+    merged.results_corrupted += r.results_corrupted;
+    merged.duplicate_results += r.duplicate_results;
+    merged.min_live_fleet += r.min_live_fleet;
+    merged.progress_rate += r.progress_rate;
     merged.events_processed += r.events_processed;
     merged.makespan = std::max(merged.makespan, r.makespan);
+    merged.end_time = std::max(merged.end_time, r.end_time);
     if (r.detections > 0) {
       merged.first_detection_time =
           merged.detections == 0

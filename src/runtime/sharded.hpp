@@ -63,9 +63,11 @@ class ShardedSupervisor {
   [[nodiscard]] RuntimeReport run(parallel::ThreadPool& pool) const;
 
   /// Folds per-shard reports (in the given order) into one campaign-level
-  /// report: counters sum, makespan is the max, first detection the min,
-  /// detection latency the detection-weighted mean, and the series merge
-  /// by sampled time with per-shard carry-forward.
+  /// report: counters sum, makespan/end_time are the max, first detection
+  /// the min, detection latency the detection-weighted mean, the outcome
+  /// the maximum severity across shards (one stalled shard stalls the
+  /// campaign), and the series merge by sampled time with per-shard
+  /// carry-forward.
   [[nodiscard]] static RuntimeReport merge(
       const std::vector<RuntimeReport>& reports);
 

@@ -1,15 +1,19 @@
 #include "runtime/supervisor.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "platform/registry.hpp"
 #include "platform/scheduler.hpp"
 #include "rng/distributions.hpp"
 #include "runtime/event_queue.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/task_state.hpp"
 
 namespace redund::runtime {
@@ -22,6 +26,14 @@ using platform::Principal;
 constexpr std::uint64_t kDealSalt = 0xDEA1ULL;
 constexpr std::uint64_t kDemandSalt = 0xDE34A4DULL;
 constexpr std::uint64_t kBenignSalt = 0xE44EULL;
+// Fault-injection streams: each fault event draws from its own family of
+// streams keyed off (seed, salt, fault index), so adding or removing one
+// fault never perturbs another's coins.
+constexpr std::uint64_t kBlackoutSalt = 0xB1AC0117ULL;
+constexpr std::uint64_t kBurstSalt = 0xB4457ULL;
+constexpr std::uint64_t kLossSalt = 0x105505ULL;
+constexpr std::uint64_t kDupSalt = 0xD0D0D0ULL;
+constexpr std::uint64_t kCorruptSalt = 0xC0440417ULL;
 
 /// Ground-truth result of a task — the same keyed-hash construction as
 /// platform/campaign.cpp, so honest computation is deterministic and the
@@ -86,6 +98,70 @@ void validate_config(const RuntimeConfig& config) {
   if (config.sample_interval < 0.0) {
     throw std::invalid_argument("run_async_campaign: sample_interval >= 0");
   }
+  config.faults.validate(config.honest_participants +
+                         config.sybil_identities);
+  if (config.health.stall_checks < 1 || !(config.health.ewma_alpha > 0.0) ||
+      config.health.ewma_alpha > 1.0) {
+    throw std::invalid_argument("run_async_campaign: bad health settings");
+  }
+  if (!config.journal.path.empty() && config.journal.checkpoint_interval < 1) {
+    throw std::invalid_argument(
+        "run_async_campaign: journal checkpoint_interval must be >= 1");
+  }
+}
+
+/// Canonical fingerprint of everything that determines the event stream
+/// (all of RuntimeConfig except the journal options, which only decide
+/// *recording*). A journal written under one fingerprint refuses to
+/// resume under another.
+std::uint64_t config_fingerprint(const RuntimeConfig& config) {
+  StateWriter w;
+  w.i64(static_cast<std::int64_t>(config.plan.counts.size()));
+  for (const std::int64_t count : config.plan.counts) w.i64(count);
+  w.i64(config.plan.ringer_count);
+  w.i64(config.plan.ringer_multiplicity);
+  w.i64(config.honest_participants);
+  w.i64(config.sybil_identities);
+  w.i64(static_cast<std::int64_t>(config.strategy));
+  w.i64(config.tuple_size);
+  w.f64(config.benign_error_rate);
+  w.i64(static_cast<std::int64_t>(config.resolution));
+  w.boolean(config.reactive);
+  w.f64(config.latency.mean_service);
+  w.boolean(config.latency.deterministic_service);
+  w.f64(config.latency.speed_sigma);
+  w.f64(config.latency.straggler_fraction);
+  w.f64(config.latency.straggler_slowdown);
+  w.f64(config.latency.dropout_probability);
+  w.f64(config.latency.network_delay);
+  w.f64(config.retry.deadline);
+  w.i64(config.retry.max_retries);
+  w.f64(config.retry.backoff_base);
+  w.f64(config.retry.backoff_factor);
+  w.boolean(config.adaptive.enabled);
+  w.f64(config.adaptive.check_interval);
+  w.f64(config.adaptive.reliability_floor);
+  w.i64(config.adaptive.max_extra_replicas);
+  w.f64(config.adaptive.score_init);
+  w.f64(config.adaptive.score_gain);
+  w.f64(config.adaptive.score_loss);
+  w.i64(static_cast<std::int64_t>(config.faults.events.size()));
+  for (const FaultEvent& fault : config.faults.events) {
+    w.f64(fault.time);
+    w.i64(static_cast<std::int64_t>(fault.kind));
+    w.i64(fault.participant);
+    w.f64(fault.fraction);
+    w.f64(fault.duration);
+    w.f64(fault.probability);
+  }
+  w.f64(config.health.check_interval);
+  w.i64(config.health.stall_checks);
+  w.f64(config.health.ewma_alpha);
+  w.i64(config.health.recompute_budget);
+  w.f64(config.health.max_sim_time);
+  w.f64(config.sample_interval);
+  w.i64(static_cast<std::int64_t>(config.queue));
+  return fnv1a_hash(w.text());
 }
 
 /// The whole asynchronous campaign: owns the registry, scheduler, pool,
@@ -97,7 +173,9 @@ void validate_config(const RuntimeConfig& config) {
 /// The steady-state loop is allocation-free: the event queues pre-size
 /// their storage, the unit-per-task adjacency is a flat slot table with
 /// replica capacity built in, vote counting reuses a flat scratch vector,
-/// and blacklist membership is a plain bitmap.
+/// and blacklist membership is a plain bitmap. Fault windows are a plain
+/// bitmap over the (small) schedule; every fault coin is a keyed stream
+/// draw, so the chaos layer adds no allocation either.
 template <typename Queue>
 class Runner {
  public:
@@ -109,6 +187,7 @@ class Runner {
                   .strategy = config.strategy,
                   .tuple_size = config.tuple_size} {
     validate_config(config);
+    config_hash_ = config_fingerprint(config);
 
     for (std::int64_t i = 0; i < config.honest_participants; ++i) {
       registry_.enroll(Principal::kHonest);
@@ -133,9 +212,10 @@ class Runner {
 
     // Pre-size the event queue and unit table from the plan: every live
     // unit carries at most one completion and one deadline timer, each task
-    // one adaptive check, plus slack for replication units added
-    // mid-campaign.
-    queue_.reserve(2 * unit_count + task_count + 16);
+    // one adaptive check, plus the fault schedule, the health timer, and
+    // slack for replication units added mid-campaign.
+    queue_.reserve(2 * unit_count + task_count + config.faults.events.size() +
+                   32);
     units_rt_.reserve(unit_count + 64);
     units_rt_.resize(unit_count);
     tasks_rt_.resize(task_count);
@@ -173,6 +253,9 @@ class Runner {
     score_.assign(static_cast<std::size_t>(registry_.size()),
                   config.adaptive.score_init);
     flagged_.assign(static_cast<std::size_t>(registry_.size()), 0);
+    offline_count_.assign(static_cast<std::size_t>(registry_.size()), 0);
+    window_active_.assign(config.faults.events.size(), 0);
+    min_live_ = registry_.size();
 
     // Effective deadline: explicit, or scaled to the expected FCFS queue
     // depth so back-of-queue units are not spuriously timed out.
@@ -187,6 +270,10 @@ class Runner {
     check_interval_ = config.adaptive.check_interval > 0.0
                           ? config.adaptive.check_interval
                           : 0.5 * effective_deadline_;
+    health_interval_ = config.health.check_interval > 0.0
+                           ? config.health.check_interval
+                           : 2.0 * effective_deadline_;
+    next_checkpoint_ = config.journal.checkpoint_interval;
 
     report_.tasks = scheduler_.task_count();
     report_.units_planned = scheduler_.unit_count();
@@ -195,7 +282,71 @@ class Runner {
   }
 
   RuntimeReport run() {
-    // t = 0: issue every dealt unit; arm the per-task reliability reviews.
+    open_journal_();
+    prologue_();
+    (void)loop_(-1);
+    return epilogue_();
+  }
+
+  std::optional<RuntimeReport> run_capped(std::int64_t max_events) {
+    open_journal_();
+    prologue_();
+    if (loop_(max_events) == LoopExit::kKilled) {
+      // A graceful shutdown: flush the buffered WAL tail so resume gets
+      // the longest possible verification suffix. (A hard crash would
+      // lose records back to the last checkpoint — recovery still works,
+      // it just verifies less.)
+      if (journal_) journal_->flush();
+      return std::nullopt;
+    }
+    return epilogue_();
+  }
+
+  RuntimeReport resume() {
+    const JournalContents contents = read_journal(config_.journal.path);
+    if (contents.config_hash != config_hash_ ||
+        contents.seed != config_.seed) {
+      throw std::runtime_error(
+          "resume_async_campaign: journal belongs to a different "
+          "config/seed");
+    }
+    verify_tail_ = &contents.tail;
+    verify_cursor_ = 0;
+    open_journal_();  // Truncates; the restored state is re-anchored below.
+    if (contents.has_checkpoint) {
+      restore_state_(contents.checkpoint_blob);
+      // Re-write the snapshot immediately so a second kill before the next
+      // periodic checkpoint still resumes from here, not from scratch.
+      journal_->checkpoint(contents.checkpoint_index,
+                           contents.checkpoint_blob);
+      next_checkpoint_ =
+          static_cast<std::int64_t>(contents.checkpoint_index) +
+          config_.journal.checkpoint_interval;
+    } else {
+      prologue_();
+    }
+    (void)loop_(-1);
+    verify_tail_ = nullptr;
+    return epilogue_();
+  }
+
+ private:
+  enum class LoopExit { kDrained, kStopped, kKilled };
+
+  // ----------------------------------------------------------- loop phases
+
+  void open_journal_() {
+    if (config_.journal.path.empty()) return;
+    journal_.emplace(config_.journal.path, config_hash_, config_.seed);
+  }
+
+  /// t = 0: arm the fault schedule, issue every dealt unit, arm the
+  /// per-task reliability reviews and the health monitor.
+  void prologue_() {
+    for (std::size_t i = 0; i < config_.faults.events.size(); ++i) {
+      queue_.schedule(config_.faults.events[i].time, EventKind::kFault,
+                      static_cast<std::int64_t>(i));
+    }
     for (std::size_t u = 0; u < units_rt_.size(); ++u) issue_unit(u, 0.0);
     if (config_.adaptive.enabled) {
       for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
@@ -203,15 +354,28 @@ class Runner {
                         static_cast<std::int64_t>(t));
       }
     }
+    queue_.schedule(health_interval_, EventKind::kHealthCheck, 0);
+  }
 
-    // The loop drains same-timestamp events in batches: all events already
-    // queued at the head timestamp are popped together (strictly ascending
-    // seq — identical order to one-at-a-time pops; events a handler
-    // schedules at the same timestamp carry later seqs and so form the
-    // next batch). Sampling and makespan bookkeeping then run once per
-    // timestamp instead of once per event.
-    double next_sample = 0.0;
+  /// The event loop. Drains same-timestamp events in batches: all events
+  /// already queued at the head timestamp are popped together (strictly
+  /// ascending seq — identical order to one-at-a-time pops; events a
+  /// handler schedules at the same timestamp carry later seqs and so form
+  /// the next batch). Sampling, journal checkpoints, and the kill/abort
+  /// checks run at batch boundaries.
+  LoopExit loop_(std::int64_t max_events) {
     while (!queue_.empty()) {
+      if (max_events >= 0 && report_.events_processed >= max_events) {
+        return LoopExit::kKilled;
+      }
+      const Event* head_peek = queue_.peek();
+      if (config_.health.max_sim_time > 0.0 &&
+          head_peek->time > config_.health.max_sim_time) {
+        outcome_ = CampaignOutcome::kAborted;
+        report_.end_time =
+            std::max(report_.end_time, config_.health.max_sim_time);
+        return LoopExit::kStopped;
+      }
       const Event head = queue_.pop();
       batch_.clear();
       batch_.push_back(head);
@@ -220,40 +384,71 @@ class Runner {
         batch_.push_back(queue_.pop());
       }
       // Sample only until the campaign is fully valid: later events are
-      // stale-timer drains, and the closing sample at the makespan below
-      // must stay the last (and latest) row of the series.
+      // stale-timer drains, and the closing sample at the makespan in
+      // epilogue_() must stay the last (and latest) row of the series.
       if (config_.sample_interval > 0.0 &&
           report_.tasks_valid < report_.tasks) {
-        while (next_sample <= head.time) {
-          record_sample(next_sample);
-          next_sample += config_.sample_interval;
+        while (next_sample_ <= head.time) {
+          record_sample(next_sample_);
+          next_sample_ += config_.sample_interval;
         }
       }
-      report_.events_processed += static_cast<std::int64_t>(batch_.size());
+      report_.end_time = std::max(report_.end_time, head.time);
       for (const Event& event : batch_) {
+        journal_event_(event);
+        ++report_.events_processed;
         switch (event.kind) {
           case EventKind::kCompletion: on_completion(event); break;
           case EventKind::kDeadline: on_deadline(event); break;
           case EventKind::kReissue: on_reissue(event); break;
           case EventKind::kAdaptiveCheck: on_adaptive_check(event); break;
+          case EventKind::kFault: on_fault(event); break;
+          case EventKind::kFaultEnd: on_fault_end(event); break;
+          case EventKind::kHealthCheck: on_health_check(event); break;
+        }
+        if (stop_) break;
+      }
+      if (stop_) return LoopExit::kStopped;
+      if (journal_ && report_.events_processed >= next_checkpoint_) {
+        journal_->checkpoint(
+            static_cast<std::uint64_t>(report_.events_processed),
+            serialize_state_());
+        next_checkpoint_ =
+            report_.events_processed + config_.journal.checkpoint_interval;
+      }
+    }
+    return LoopExit::kDrained;
+  }
+
+  RuntimeReport epilogue_() {
+    // A drained queue with unfinished tasks is a stall the monitor did not
+    // get to declare first (e.g. a parked unit whose health timer already
+    // drained) — degrade to a partial report, never throw.
+    if (outcome_ == CampaignOutcome::kCompleted) {
+      for (const TaskRuntime& tr : tasks_rt_) {
+        if (tr.state != TaskState::kValid) {
+          outcome_ = CampaignOutcome::kStalled;
+          break;
         }
       }
     }
-
+    report_.outcome = outcome_;
     for (const TaskRuntime& tr : tasks_rt_) {
-      if (tr.state != TaskState::kValid) {
-        throw std::logic_error(
-            "run_async_campaign: event queue drained with unfinished tasks");
-      }
+      if (tr.state != TaskState::kValid) ++report_.tasks_unfinished;
     }
+    report_.min_live_fleet = min_live_;
+    report_.progress_rate = ewma_;
+    report_.end_time = std::max(report_.end_time, report_.makespan);
     if (config_.sample_interval > 0.0 &&
         (report_.series.empty() ||
          report_.series.back().time < report_.makespan)) {
       record_sample(report_.makespan);
     }
 
-    // Ground-truth audit of the accepted output.
+    // Ground-truth audit of the accepted output — validated tasks only;
+    // unfinished tasks have no accepted value to audit.
     for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
+      if (tasks_rt_[t].state != TaskState::kValid) continue;
       if (tasks_rt_[t].accepted ==
           truth_value(config_.seed, static_cast<std::int64_t>(t))) {
         ++report_.final_correct_tasks;
@@ -266,10 +461,454 @@ class Runner {
           detection_time_total_ / static_cast<double>(report_.detections);
       report_.first_detection_time = first_detection_;
     }
+    if (journal_) {
+      journal_->finish(static_cast<std::uint64_t>(report_.events_processed),
+                       static_cast<std::int64_t>(outcome_));
+    }
     return report_;
   }
 
- private:
+  // ------------------------------------------------------------- journaling
+
+  /// Appends the WAL record for `event` (pre-dispatch, so the journal runs
+  /// at or ahead of the state) and, on resume, verifies it against the
+  /// pre-crash journal's tail.
+  void journal_event_(const Event& event) {
+    const auto index = static_cast<std::uint64_t>(report_.events_processed);
+    if (journal_) {
+      journal_->append_event(index, event.time,
+                             static_cast<std::uint8_t>(event.kind),
+                             event.subject, event.epoch);
+    }
+    if (verify_tail_ == nullptr) return;
+    while (verify_cursor_ < verify_tail_->size() &&
+           (*verify_tail_)[verify_cursor_].index < index) {
+      ++verify_cursor_;
+    }
+    if (verify_cursor_ >= verify_tail_->size()) return;
+    const JournalEntry& want = (*verify_tail_)[verify_cursor_];
+    if (want.index != index) return;
+    if (std::bit_cast<std::uint64_t>(want.time) !=
+            std::bit_cast<std::uint64_t>(event.time) ||
+        want.kind != static_cast<std::uint8_t>(event.kind) ||
+        want.subject != event.subject || want.epoch != event.epoch) {
+      throw std::runtime_error(
+          "resume_async_campaign: journal replay divergence at event " +
+          std::to_string(index));
+    }
+    ++verify_cursor_;
+  }
+
+  /// One state blob holding every mutable field the event loop can have
+  /// touched; restore_state_ reads the exact same order. Derived state
+  /// (holds index, slot table, adversary counts, demands, speeds) is
+  /// rebuilt, not stored.
+  std::string serialize_state_() const {
+    StateWriter w;
+    // Rough per-row upper bounds on token text; one reservation instead
+    // of log2(20MB) growth copies.
+    w.reserve(512 + 48 * units_rt_.size() + 56 * tasks_rt_.size() +
+              64 * registry_.size() + 40 * queue_.size() +
+              64 * report_.series.size());
+    w.f64(effective_deadline_);
+    w.f64(next_sample_);
+    w.f64(detection_time_total_);
+    w.f64(first_detection_);
+    w.i64(completions_pending_);
+    w.i64(recompute_used_);
+    w.i64(stall_streak_);
+    w.i64(last_progress_);
+    w.f64(ewma_);
+    w.boolean(ewma_init_);
+    w.i64(min_live_);
+    for (const std::uint64_t word : deal_engine_.state()) w.u64(word);
+    w.i64(report_.units_issued);
+    w.i64(report_.units_completed);
+    w.i64(report_.units_timed_out);
+    w.i64(report_.units_reissued);
+    w.i64(report_.units_dropped);
+    w.i64(report_.late_results);
+    w.i64(report_.adaptive_replicas);
+    w.i64(report_.quorum_replicas);
+    w.i64(report_.supervisor_recomputes);
+    w.i64(report_.tasks_valid);
+    w.i64(report_.tasks_inconclusive);
+    w.i64(report_.mismatches_detected);
+    w.i64(report_.ringer_catches);
+    w.i64(report_.blacklisted_identities);
+    w.i64(report_.adversary_cheat_attempts);
+    w.i64(report_.false_accusations);
+    w.i64(report_.fault_events);
+    w.i64(report_.churn_leaves);
+    w.i64(report_.churn_rejoins);
+    w.i64(report_.results_lost);
+    w.i64(report_.results_corrupted);
+    w.i64(report_.duplicate_results);
+    w.f64(report_.makespan);
+    w.f64(report_.end_time);
+    w.i64(report_.detections);
+    w.i64(report_.events_processed);
+    w.i64(static_cast<std::int64_t>(report_.series.size()));
+    for (const RuntimeSample& sample : report_.series) {
+      w.f64(sample.time);
+      w.i64(sample.units_issued);
+      w.i64(sample.units_completed);
+      w.i64(sample.units_timed_out);
+      w.i64(sample.units_reissued);
+      w.i64(sample.tasks_valid);
+    }
+    for (const auto& record : registry_.records()) {
+      w.boolean(record.blacklisted);
+      w.i64(record.assignments_completed);
+      w.i64(record.credit);
+      w.i64(record.wrong_results);
+    }
+    for (const double clock : pool_->busy_until()) w.f64(clock);
+    w.i64(scheduler_.unit_count());
+    for (const auto& wu : scheduler_.units()) {
+      w.i64(wu.task);
+      w.i64(static_cast<std::int64_t>(wu.assignee));
+    }
+    for (const UnitRuntime& ur : units_rt_) {
+      w.i64(static_cast<std::int64_t>(ur.state));
+      w.i64(ur.attempts);
+      w.u64(ur.epoch);
+      w.u64(ur.value);
+      w.boolean(ur.has_value);
+    }
+    for (const TaskRuntime& tr : tasks_rt_) {
+      w.i64(static_cast<std::int64_t>(tr.state));
+      w.i64(tr.target_copies);
+      w.i64(tr.arrived);
+      w.i64(tr.extra_replicas);
+      w.boolean(tr.adversary_committed);
+      w.boolean(tr.adversary_cheats);
+      w.boolean(tr.mismatch_counted);
+      w.boolean(tr.ringer_counted);
+      w.boolean(tr.inconclusive_counted);
+      w.boolean(tr.detected);
+      w.u64(tr.accepted);
+    }
+    for (const double score : score_) w.f64(score);
+    for (const char flag : flagged_) w.boolean(flag != 0);
+    for (const std::int64_t count : offline_count_) w.i64(count);
+    for (const char active : window_active_) w.boolean(active != 0);
+    w.u64(queue_.next_seq());
+    const std::vector<Event> pending = queue_.snapshot();
+    w.i64(static_cast<std::int64_t>(pending.size()));
+    for (const Event& event : pending) {
+      w.f64(event.time);
+      w.u64(event.seq);
+      w.i64(static_cast<std::int64_t>(event.kind));
+      w.i64(event.subject);
+      w.u64(event.epoch);
+    }
+    return w.text();
+  }
+
+  void restore_state_(const std::string& blob) {
+    StateReader r(blob);
+    effective_deadline_ = r.f64();
+    next_sample_ = r.f64();
+    detection_time_total_ = r.f64();
+    first_detection_ = r.f64();
+    completions_pending_ = r.i64();
+    recompute_used_ = r.i64();
+    stall_streak_ = r.i64();
+    last_progress_ = r.i64();
+    ewma_ = r.f64();
+    ewma_init_ = r.boolean();
+    min_live_ = r.i64();
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    deal_engine_.set_state(rng_state);
+    report_.units_issued = r.i64();
+    report_.units_completed = r.i64();
+    report_.units_timed_out = r.i64();
+    report_.units_reissued = r.i64();
+    report_.units_dropped = r.i64();
+    report_.late_results = r.i64();
+    report_.adaptive_replicas = r.i64();
+    report_.quorum_replicas = r.i64();
+    report_.supervisor_recomputes = r.i64();
+    report_.tasks_valid = r.i64();
+    report_.tasks_inconclusive = r.i64();
+    report_.mismatches_detected = r.i64();
+    report_.ringer_catches = r.i64();
+    report_.blacklisted_identities = r.i64();
+    report_.adversary_cheat_attempts = r.i64();
+    report_.false_accusations = r.i64();
+    report_.fault_events = r.i64();
+    report_.churn_leaves = r.i64();
+    report_.churn_rejoins = r.i64();
+    report_.results_lost = r.i64();
+    report_.results_corrupted = r.i64();
+    report_.duplicate_results = r.i64();
+    report_.makespan = r.f64();
+    report_.end_time = r.f64();
+    report_.detections = r.i64();
+    report_.events_processed = r.i64();
+    const std::int64_t samples = r.i64();
+    report_.series.clear();
+    for (std::int64_t s = 0; s < samples; ++s) {
+      RuntimeSample sample;
+      sample.time = r.f64();
+      sample.units_issued = r.i64();
+      sample.units_completed = r.i64();
+      sample.units_timed_out = r.i64();
+      sample.units_reissued = r.i64();
+      sample.tasks_valid = r.i64();
+      report_.series.push_back(sample);
+    }
+    for (std::int64_t p = 0; p < registry_.size(); ++p) {
+      auto& record = registry_.record(static_cast<ParticipantId>(p));
+      record.blacklisted = r.boolean();
+      record.assignments_completed = r.i64();
+      record.credit = r.i64();
+      record.wrong_results = r.i64();
+    }
+    std::vector<double> busy(static_cast<std::size_t>(registry_.size()));
+    for (double& clock : busy) clock = r.f64();
+    pool_->restore_busy_until(busy);
+    const std::int64_t unit_count = r.i64();
+    if (unit_count < scheduler_.task_count()) {
+      throw std::runtime_error(
+          "journal checkpoint: fewer units than tasks");
+    }
+    std::vector<platform::WorkUnit> units(
+        static_cast<std::size_t>(unit_count));
+    for (auto& wu : units) {
+      wu.task = r.i64();
+      wu.assignee = static_cast<ParticipantId>(r.i64());
+    }
+    scheduler_.restore_units(std::move(units), registry_.size());
+    units_rt_.assign(static_cast<std::size_t>(unit_count), {});
+    for (UnitRuntime& ur : units_rt_) {
+      ur.state = static_cast<UnitState>(r.i64());
+      ur.attempts = r.i64();
+      ur.epoch = r.u64();
+      ur.value = r.u64();
+      ur.has_value = r.boolean();
+    }
+    for (TaskRuntime& tr : tasks_rt_) {
+      tr.state = static_cast<TaskState>(r.i64());
+      tr.target_copies = r.i64();
+      tr.arrived = r.i64();
+      tr.extra_replicas = r.i64();
+      tr.adversary_committed = r.boolean();
+      tr.adversary_cheats = r.boolean();
+      tr.mismatch_counted = r.boolean();
+      tr.ringer_counted = r.boolean();
+      tr.inconclusive_counted = r.boolean();
+      tr.detected = r.boolean();
+      tr.accepted = r.u64();
+    }
+    for (double& score : score_) score = r.f64();
+    for (char& flag : flagged_) flag = r.boolean() ? 1 : 0;
+    for (std::int64_t& count : offline_count_) count = r.i64();
+    for (char& active : window_active_) active = r.boolean() ? 1 : 0;
+    // Rebuild the derived adjacency exactly as the live loop built it:
+    // units in index order — the initial deal first, then replicas in
+    // creation order — is the same append order register_replica used.
+    task_unit_count_.assign(tasks_rt_.size(), 0);
+    adversary_held_.assign(tasks_rt_.size(), 0);
+    for (std::size_t u = 0; u < units_rt_.size(); ++u) {
+      const auto& wu = scheduler_.units()[u];
+      const auto t = static_cast<std::size_t>(wu.task);
+      unit_slots_[task_slot_begin_[t] +
+                  static_cast<std::size_t>(task_unit_count_[t]++)] = u;
+      if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
+        ++adversary_held_[t];
+      }
+    }
+    const std::uint64_t seq = r.u64();
+    const std::int64_t pending_count = r.i64();
+    std::vector<Event> pending(static_cast<std::size_t>(pending_count));
+    for (Event& event : pending) {
+      event.time = r.f64();
+      event.seq = r.u64();
+      event.kind = static_cast<EventKind>(r.i64());
+      event.subject = r.i64();
+      event.epoch = r.u64();
+    }
+    queue_.restore(std::move(pending), seq);
+    if (!r.at_end()) {
+      throw std::runtime_error("journal checkpoint: trailing state tokens");
+    }
+  }
+
+  // --------------------------------------------------------- fault injection
+
+  /// One deterministic coin of fault event `fault_index`: keyed off
+  /// (seed, salt, fault index) and the caller's stream, never off
+  /// processing order.
+  [[nodiscard]] bool fault_coin_(std::uint64_t salt, std::size_t fault_index,
+                                 std::uint64_t stream, double p) const {
+    auto engine = rng::make_stream(
+        config_.seed ^ salt ^
+            (0x9E3779B97F4A7C15ULL *
+             (static_cast<std::uint64_t>(fault_index) + 1)),
+        stream);
+    return rng::bernoulli(p, engine);
+  }
+
+  /// Per-(unit, attempt) stream index, same scheme as the benign-error and
+  /// dropout coins.
+  [[nodiscard]] static std::uint64_t unit_stream_(std::size_t u,
+                                                  std::int64_t attempt) {
+    return static_cast<std::uint64_t>(u) * 64 +
+           static_cast<std::uint64_t>(attempt & 63);
+  }
+
+  void on_fault(const Event& event) {
+    ++report_.fault_events;
+    const auto i = static_cast<std::size_t>(event.subject);
+    const FaultEvent& fault = config_.faults.events[i];
+    switch (fault.kind) {
+      case FaultKind::kLeave:
+        set_offline_(static_cast<ParticipantId>(fault.participant), +1,
+                     event.time);
+        reestimate_deadline_();
+        break;
+      case FaultKind::kRejoin:
+        set_offline_(static_cast<ParticipantId>(fault.participant), -1,
+                     event.time);
+        reestimate_deadline_();
+        break;
+      case FaultKind::kBlackout:
+        for (std::int64_t p = 0; p < registry_.size(); ++p) {
+          if (fault_coin_(kBlackoutSalt, i, static_cast<std::uint64_t>(p),
+                          fault.fraction)) {
+            set_offline_(static_cast<ParticipantId>(p), +1, event.time);
+          }
+        }
+        reestimate_deadline_();
+        queue_.schedule(event.time + fault.duration, EventKind::kFaultEnd,
+                        event.subject);
+        break;
+      case FaultKind::kDropoutBurst:
+      case FaultKind::kMessageLoss:
+      case FaultKind::kDuplication:
+      case FaultKind::kCorruption:
+        window_active_[i] = 1;
+        queue_.schedule(event.time + fault.duration, EventKind::kFaultEnd,
+                        event.subject);
+        break;
+    }
+  }
+
+  void on_fault_end(const Event& event) {
+    ++report_.fault_events;
+    const auto i = static_cast<std::size_t>(event.subject);
+    const FaultEvent& fault = config_.faults.events[i];
+    if (fault.kind == FaultKind::kBlackout) {
+      // Redraws the same per-participant coins as the start, so exactly
+      // the affected participants rejoin.
+      for (std::int64_t p = 0; p < registry_.size(); ++p) {
+        if (fault_coin_(kBlackoutSalt, i, static_cast<std::uint64_t>(p),
+                        fault.fraction)) {
+          set_offline_(static_cast<ParticipantId>(p), -1, event.time);
+        }
+      }
+      reestimate_deadline_();
+    } else {
+      window_active_[i] = 0;
+    }
+  }
+
+  /// Applies one leave (+1) or rejoin (-1) to a participant's nesting
+  /// count; only the offline<->online *transitions* touch the registry.
+  /// Leaving loses every in-flight unit the participant held (the results
+  /// never arrive); the units re-enter the re-issue path immediately.
+  void set_offline_(ParticipantId id, int delta, double now) {
+    auto& count = offline_count_[id];
+    const bool was_offline = count > 0;
+    count = std::max<std::int64_t>(0, count + delta);
+    const bool is_offline = count > 0;
+    if (!was_offline && is_offline) {
+      ++report_.churn_leaves;
+      registry_.record(id).blacklisted = true;
+      for (std::size_t u = 0; u < units_rt_.size(); ++u) {
+        if (scheduler_.units()[u].assignee != id) continue;
+        UnitRuntime& ur = units_rt_[u];
+        if (ur.state != UnitState::kInProgress) continue;
+        ur.state = UnitState::kTimedOut;
+        ur.epoch += 1;  // The in-flight completion drains as a late result.
+        ++report_.results_lost;
+        queue_.schedule(now, EventKind::kReissue,
+                        static_cast<std::int64_t>(u), ur.epoch);
+      }
+    } else if (was_offline && !is_offline) {
+      ++report_.churn_rejoins;
+      // A rejoin clears the availability hold, never a validator verdict.
+      if (flagged_[id] == 0) registry_.record(id).blacklisted = false;
+    }
+    update_min_live_();
+  }
+
+  /// Re-derives the automatic deadline from the surviving fleet: the same
+  /// queue-depth scaling as at campaign start, but with the *live* fleet
+  /// and the in-flight load. An explicit RetryPolicy::deadline is a
+  /// contract and is never re-estimated. Applies to future issues only;
+  /// armed deadline timers keep their original expiry.
+  void reestimate_deadline_() {
+    if (config_.retry.deadline > 0.0) return;
+    const std::int64_t live = std::max<std::int64_t>(
+        1, registry_.active_count());
+    std::int64_t inflight = 0;
+    for (const UnitRuntime& ur : units_rt_) {
+      if (ur.state == UnitState::kInProgress) ++inflight;
+    }
+    const double depth = std::max(1.0, static_cast<double>(inflight) /
+                                           static_cast<double>(live));
+    effective_deadline_ = config_.latency.network_delay +
+                          4.0 * config_.latency.mean_service * depth;
+  }
+
+  void update_min_live_() {
+    min_live_ = std::min(min_live_, registry_.active_count());
+  }
+
+  // --------------------------------------------------------- health monitor
+
+  void on_health_check(const Event& event) {
+    // Campaign finished: the timer drains without re-arming, so the queue
+    // can empty.
+    if (report_.tasks_valid >= report_.tasks) return;
+    const std::int64_t progress = report_.units_completed +
+                                  report_.supervisor_recomputes +
+                                  report_.tasks_valid;
+    const double rate =
+        static_cast<double>(progress - last_progress_) / health_interval_;
+    if (!ewma_init_) {
+      ewma_ = rate;
+      ewma_init_ = true;
+    } else {
+      ewma_ = config_.health.ewma_alpha * rate +
+              (1.0 - config_.health.ewma_alpha) * ewma_;
+    }
+    if (progress == last_progress_) {
+      ++stall_streak_;
+      // Soft stall: nothing is even in flight that could produce progress.
+      // Hard backstop: pending completions kept appearing but no progress
+      // ever landed (e.g. deadline < service time with infinite retries —
+      // every result arrives late, forever).
+      const bool soft = stall_streak_ >= config_.health.stall_checks &&
+                        completions_pending_ == 0;
+      const bool hard = stall_streak_ >= 10 * config_.health.stall_checks;
+      if (soft || hard) {
+        outcome_ = CampaignOutcome::kStalled;
+        stop_ = true;
+        return;  // No re-arm.
+      }
+    } else {
+      stall_streak_ = 0;
+    }
+    last_progress_ = progress;
+    queue_.schedule(event.time + health_interval_, EventKind::kHealthCheck,
+                    0);
+  }
+
   // ------------------------------------------------------------- issue loop
 
   void issue_unit(std::size_t u, double now) {
@@ -283,9 +922,25 @@ class Runner {
     const auto outcome = pool_->issue(
         wu.assignee, now, demand_[static_cast<std::size_t>(wu.task)],
         static_cast<std::uint64_t>(u), ur.attempts);
-    if (outcome.replies) {
+    bool delivered = outcome.replies;
+    if (delivered) {
+      // Active dropout-burst windows stack their coins on the static
+      // model's: any hit drops the issue.
+      for (std::size_t i = 0; i < window_active_.size(); ++i) {
+        if (window_active_[i] == 0) continue;
+        const FaultEvent& fault = config_.faults.events[i];
+        if (fault.kind != FaultKind::kDropoutBurst) continue;
+        if (fault_coin_(kBurstSalt, i, unit_stream_(u, ur.attempts),
+                        fault.probability)) {
+          delivered = false;
+          break;
+        }
+      }
+    }
+    if (delivered) {
       queue_.schedule(outcome.completion_time, EventKind::kCompletion,
                       static_cast<std::int64_t>(u), ur.epoch);
+      ++completions_pending_;
     } else {
       ++report_.units_dropped;
     }
@@ -300,16 +955,64 @@ class Runner {
   }
 
   void on_completion(const Event& event) {
+    --completions_pending_;  // Every scheduled delivery drains exactly once.
     const auto u = static_cast<std::size_t>(event.subject);
     UnitRuntime& ur = units_rt_[u];
     if (ur.state != UnitState::kInProgress || ur.epoch != event.epoch) {
       ++report_.late_results;  // Timed out (or requeued) before arriving.
       return;
     }
+    // Message-loss window: the work was done but the report vanishes in
+    // transit; the unit stays in progress and its deadline will fire.
+    for (std::size_t i = 0; i < window_active_.size(); ++i) {
+      if (window_active_[i] == 0) continue;
+      const FaultEvent& fault = config_.faults.events[i];
+      if (fault.kind != FaultKind::kMessageLoss) continue;
+      if (fault_coin_(kLossSalt, i, unit_stream_(u, ur.attempts),
+                      fault.probability)) {
+        ++report_.results_lost;
+        return;
+      }
+    }
     ur.state = UnitState::kCompleted;
     ++report_.units_completed;
     compute_value(u);
+    // Corruption window: flip the delivered value in transit. Ground truth
+    // (ParticipantRecord::wrong_results) is untouched — the submitter
+    // computed correctly; the validator will still see a mismatch and may
+    // blacklist an honest identity, which is exactly the cost such spikes
+    // impose on a real platform.
+    for (std::size_t i = 0; i < window_active_.size(); ++i) {
+      if (window_active_[i] == 0) continue;
+      const FaultEvent& fault = config_.faults.events[i];
+      if (fault.kind != FaultKind::kCorruption) continue;
+      auto engine = rng::make_stream(
+          config_.seed ^ kCorruptSalt ^
+              (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(i) + 1)),
+          unit_stream_(u, ur.attempts));
+      if (rng::bernoulli(fault.probability, engine)) {
+        ur.value ^= (engine() | 1ULL);  // Guaranteed non-zero flip.
+        ++report_.results_corrupted;
+        break;
+      }
+    }
     on_result(u, event.time);
+    // Duplication window: the network re-delivers the same report after
+    // another network delay; the copy drains as a late result.
+    for (std::size_t i = 0; i < window_active_.size(); ++i) {
+      if (window_active_[i] == 0) continue;
+      const FaultEvent& fault = config_.faults.events[i];
+      if (fault.kind != FaultKind::kDuplication) continue;
+      if (fault_coin_(kDupSalt, i, unit_stream_(u, ur.attempts),
+                      fault.probability)) {
+        queue_.schedule(event.time + config_.latency.network_delay,
+                        EventKind::kCompletion,
+                        static_cast<std::int64_t>(u), event.epoch);
+        ++completions_pending_;
+        ++report_.duplicate_results;
+        break;
+      }
+    }
   }
 
   void on_deadline(const Event& event) {
@@ -324,9 +1027,10 @@ class Runner {
     const std::int64_t retries_used = ur.attempts - 1;
     if (retries_used < config_.retry.max_retries) {
       const double backoff =
-          config_.retry.backoff_base *
-          std::pow(config_.retry.backoff_factor,
-                   static_cast<double>(retries_used));
+          std::max(config_.retry.backoff_base *
+                       std::pow(config_.retry.backoff_factor,
+                                static_cast<double>(retries_used)),
+                   RetryPolicy::kMinReissueDelay);
       queue_.schedule(event.time + backoff, EventKind::kReissue,
                       static_cast<std::int64_t>(u), ur.epoch);
     } else {
@@ -357,10 +1061,20 @@ class Runner {
     issue_unit(u, event.time);
   }
 
-  /// Supervisor computes the unit itself (trusted, costly) — the terminal
-  /// fallback that guarantees every task reaches VALID.
+  /// Supervisor computes the unit itself (trusted, costly). With the
+  /// default unlimited HealthConfig::recompute_budget this is the terminal
+  /// fallback that guarantees every task reaches VALID; with a finite
+  /// budget an over-budget unit *parks* (timed out, no event scheduled)
+  /// and the health monitor ends the campaign as stalled.
   void recompute_unit(std::size_t u, double now) {
     UnitRuntime& ur = units_rt_[u];
+    if (config_.health.recompute_budget >= 0 &&
+        recompute_used_ >= config_.health.recompute_budget) {
+      ur.state = UnitState::kTimedOut;
+      ur.epoch += 1;
+      return;
+    }
+    ++recompute_used_;
     ur.state = UnitState::kRecomputed;
     ur.epoch += 1;
     ur.value = truth_value(config_.seed, scheduler_.units()[u].task);
@@ -577,6 +1291,7 @@ class Runner {
       queue_.schedule(now, EventKind::kReissue, static_cast<std::int64_t>(u),
                       ur.epoch);
     }
+    update_min_live_();
   }
 
   void on_adaptive_check(const Event& event) {
@@ -663,6 +1378,7 @@ class Runner {
   std::optional<ParticipantPool> pool_;
   Queue queue_;
   RuntimeReport report_;
+  std::optional<JournalWriter> journal_;
 
   std::vector<double> demand_;              ///< Per task.
   std::vector<UnitRuntime> units_rt_;
@@ -673,13 +1389,31 @@ class Runner {
   std::vector<std::int64_t> adversary_held_;  ///< Copies per task.
   std::vector<double> score_;               ///< Per identity.
   std::vector<char> flagged_;               ///< Blacklist bitmap per identity.
+  std::vector<std::int64_t> offline_count_; ///< Churn nesting per identity.
+  std::vector<char> window_active_;         ///< Open windows per fault event.
   std::vector<Event> batch_;                ///< Same-timestamp drain scratch.
   std::vector<std::pair<std::uint64_t, int>> vote_scratch_;
 
   double effective_deadline_ = 0.0;
   double check_interval_ = 0.0;
+  double health_interval_ = 0.0;
+  double next_sample_ = 0.0;
   double detection_time_total_ = 0.0;
   double first_detection_ = 0.0;
+  std::int64_t completions_pending_ = 0;   ///< Scheduled, undrained deliveries.
+  std::int64_t recompute_used_ = 0;
+  std::int64_t stall_streak_ = 0;
+  std::int64_t last_progress_ = 0;
+  double ewma_ = 0.0;
+  bool ewma_init_ = false;
+  std::int64_t min_live_ = 0;
+  bool stop_ = false;
+  CampaignOutcome outcome_ = CampaignOutcome::kCompleted;
+
+  std::uint64_t config_hash_ = 0;
+  std::int64_t next_checkpoint_ = 0;
+  const std::vector<JournalEntry>* verify_tail_ = nullptr;
+  std::size_t verify_cursor_ = 0;
 };
 
 }  // namespace
@@ -691,6 +1425,34 @@ RuntimeReport run_async_campaign(const RuntimeConfig& config) {
   }
   Runner<CalendarQueue> runner(config);
   return runner.run();
+}
+
+std::optional<RuntimeReport> run_async_campaign_capped(
+    const RuntimeConfig& config, std::int64_t max_events) {
+  if (max_events < 0) {
+    throw std::invalid_argument(
+        "run_async_campaign_capped: max_events must be >= 0");
+  }
+  if (config.queue == QueueKind::kBinaryHeap) {
+    Runner<EventQueue> runner(config);
+    return runner.run_capped(max_events);
+  }
+  Runner<CalendarQueue> runner(config);
+  return runner.run_capped(max_events);
+}
+
+RuntimeReport resume_async_campaign(const RuntimeConfig& config) {
+  if (config.journal.path.empty()) {
+    throw std::invalid_argument(
+        "resume_async_campaign: config.journal.path must name the journal "
+        "to resume from");
+  }
+  if (config.queue == QueueKind::kBinaryHeap) {
+    Runner<EventQueue> runner(config);
+    return runner.resume();
+  }
+  Runner<CalendarQueue> runner(config);
+  return runner.resume();
 }
 
 }  // namespace redund::runtime

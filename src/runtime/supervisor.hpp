@@ -30,10 +30,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "core/realize.hpp"
 #include "platform/campaign.hpp"
 #include "runtime/event_queue.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/latency_model.hpp"
 #include "runtime/report.hpp"
 #include "sim/adversary.hpp"
@@ -42,6 +45,14 @@ namespace redund::runtime {
 
 /// Deadline / retry policy of the work-issue loop.
 struct RetryPolicy {
+  /// Floor on the effective re-issue delay. backoff_base == 0 would
+  /// otherwise re-issue at the timeout instant itself for *every* retry
+  /// (0 · factor^k = 0) — a zero-delay re-issue storm that floods the
+  /// event queue at a single timestamp. Any configured backoff is
+  /// clamped up to this minimum rather than rejected, so legacy configs
+  /// keep working with a bounded re-issue rate.
+  static constexpr double kMinReissueDelay = 1e-3;
+
   /// Per-unit report deadline measured from issue time. <= 0 selects the
   /// automatic deadline: network_delay + 4 * mean_service * expected
   /// queue depth (units / participants, at least 1).
@@ -49,7 +60,8 @@ struct RetryPolicy {
   /// Re-issues allowed per unit before the supervisor recomputes it itself.
   std::int64_t max_retries = 3;
   /// First re-issue delay after a timeout; grows by backoff_factor each
-  /// further attempt (exponential backoff).
+  /// further attempt (exponential backoff). Effective delay is
+  /// max(backoff_base * backoff_factor^k, kMinReissueDelay).
   double backoff_base = 0.5;
   double backoff_factor = 2.0;
 };
@@ -72,6 +84,46 @@ struct AdaptiveConfig {
   double score_loss = 0.3;
 };
 
+/// Campaign health monitoring and graceful degradation.
+///
+/// The monitor runs as a periodic kHealthCheck event. At each check it
+/// folds the progress made since the previous check (completions,
+/// supervisor recomputes, validations) into an EWMA progress rate and
+/// tracks the live-fleet low-water mark. A campaign is declared
+/// *stalled* — CampaignOutcome::kStalled, partial report — when
+/// `stall_checks` consecutive checks observe zero progress while no
+/// completion is in flight (nothing pending that could produce any).
+/// This is deliberately conservative: a configuration whose only
+/// pending work is hours away (e.g. an enormous backoff) is reported
+/// stalled rather than waited out; raise check_interval or stall_checks
+/// to wait longer.
+struct HealthConfig {
+  /// Review period. <= 0 selects twice the effective deadline.
+  double check_interval = 0.0;
+  /// Consecutive zero-progress reviews (with nothing in flight) that
+  /// declare the campaign stalled.
+  std::int64_t stall_checks = 3;
+  /// EWMA smoothing factor for the progress rate, in (0, 1].
+  double ewma_alpha = 0.3;
+  /// Supervisor recomputes allowed per campaign; < 0 is unlimited (the
+  /// pre-fault-model behaviour, where recompute guarantees termination).
+  /// With a finite budget, a unit whose budget ran out parks until the
+  /// health monitor ends the campaign.
+  std::int64_t recompute_budget = -1;
+  /// Hard bound on simulated time; the campaign aborts
+  /// (CampaignOutcome::kAborted) when the next event lies beyond it.
+  /// <= 0 disables the bound.
+  double max_sim_time = 0.0;
+};
+
+/// Write-ahead journaling (crash safety). See runtime/journal.hpp.
+struct JournalOptions {
+  /// Journal file path; empty disables journaling.
+  std::string path;
+  /// Events processed between checkpoints.
+  std::int64_t checkpoint_interval = 4096;
+};
+
 /// Full configuration of one asynchronous campaign.
 struct RuntimeConfig {
   core::RealizedPlan plan;               ///< What to distribute.
@@ -85,6 +137,11 @@ struct RuntimeConfig {
   LatencyModel latency;
   RetryPolicy retry;
   AdaptiveConfig adaptive;
+  /// Timed fault injection (empty = no faults). Validated against the
+  /// enrolled fleet at campaign start.
+  FaultSchedule faults;
+  HealthConfig health;
+  JournalOptions journal;
   /// Counter sampling period for RuntimeReport::series (0 disables).
   double sample_interval = 0.0;
   /// Pending-event queue the supervisor's loop runs on. Both kinds pop in
@@ -94,9 +151,29 @@ struct RuntimeConfig {
   std::uint64_t seed = 0xA57C0DEULL;
 };
 
-/// Runs one asynchronous campaign to completion (every task VALID).
-/// Deterministic given config.seed; throws std::invalid_argument on bad
-/// parameters.
+/// Runs one asynchronous campaign until every task is VALID or the health
+/// monitor ends it (RuntimeReport::outcome records which). Deterministic
+/// given config.seed; throws std::invalid_argument on bad parameters.
 [[nodiscard]] RuntimeReport run_async_campaign(const RuntimeConfig& config);
+
+/// Like run_async_campaign, but stops — as if the supervisor process were
+/// killed — once `max_events` events have been processed (batch
+/// granularity: the cap is checked between same-timestamp batches).
+/// Returns nullopt when the cap hit first; with journaling configured the
+/// journal then holds everything resume_async_campaign needs. Buffered
+/// WAL records are flushed at the kill (a graceful SIGTERM; a hard crash
+/// would lose the tail since the last checkpoint, which only shrinks the
+/// verified suffix on resume).
+[[nodiscard]] std::optional<RuntimeReport> run_async_campaign_capped(
+    const RuntimeConfig& config, std::int64_t max_events);
+
+/// Resumes a campaign from config.journal.path: restores the latest
+/// checkpoint (or starts fresh when none was flushed) and re-runs the
+/// deterministic event loop to the end, verifying the re-executed event
+/// stream against the journal's WAL tail. The resulting report is
+/// bit-identical to the uninterrupted run's. Throws std::runtime_error
+/// when the journal belongs to a different config/seed or the replay
+/// diverges from the WAL.
+[[nodiscard]] RuntimeReport resume_async_campaign(const RuntimeConfig& config);
 
 }  // namespace redund::runtime

@@ -1,0 +1,239 @@
+// FaultSchedule: JSON round-trip, schedule validation, and the sharded
+// slice mapping (fleet-wide events replicate, targeted events land on the
+// owning shard with the identity remapped to its local enrollment index).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/fault.hpp"
+
+namespace runtime = redund::runtime;
+
+using runtime::FaultEvent;
+using runtime::FaultKind;
+using runtime::FaultSchedule;
+
+namespace {
+
+// One event of every kind, exercising every serialized field.
+FaultSchedule full_schedule() {
+  FaultSchedule s;
+  s.events.push_back({.time = 1.5, .kind = FaultKind::kLeave,
+                      .participant = 3});
+  s.events.push_back({.time = 2.25, .kind = FaultKind::kRejoin,
+                      .participant = 3});
+  s.events.push_back({.time = 4.0, .kind = FaultKind::kBlackout,
+                      .fraction = 0.375, .duration = 6.5});
+  s.events.push_back({.time = 5.0, .kind = FaultKind::kDropoutBurst,
+                      .duration = 3.0, .probability = 0.5});
+  s.events.push_back({.time = 6.0, .kind = FaultKind::kMessageLoss,
+                      .duration = 2.0, .probability = 0.25});
+  s.events.push_back({.time = 7.0, .kind = FaultKind::kDuplication,
+                      .duration = 1.0, .probability = 0.125});
+  s.events.push_back({.time = 8.0, .kind = FaultKind::kCorruption,
+                      .duration = 4.0, .probability = 0.0625});
+  return s;
+}
+
+void expect_same(const FaultSchedule& a, const FaultSchedule& b) {
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const FaultEvent& x = a.events[i];
+    const FaultEvent& y = b.events[i];
+    EXPECT_EQ(x.time, y.time) << "event " << i;
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.participant, y.participant) << "event " << i;
+    EXPECT_EQ(x.fraction, y.fraction) << "event " << i;
+    EXPECT_EQ(x.duration, y.duration) << "event " << i;
+    EXPECT_EQ(x.probability, y.probability) << "event " << i;
+  }
+}
+
+TEST(FaultKindNames, StableWireNames) {
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kLeave), "leave");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kRejoin), "rejoin");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kBlackout), "blackout");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kDropoutBurst),
+               "dropout_burst");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kMessageLoss),
+               "message_loss");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kDuplication),
+               "duplication");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kCorruption),
+               "corruption");
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(FaultJson, RoundTripPreservesEveryField) {
+  const FaultSchedule original = full_schedule();
+  const FaultSchedule parsed = FaultSchedule::from_json(original.to_json());
+  expect_same(original, parsed);
+  // And a second trip is a fixed point (canonical serialization).
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+}
+
+TEST(FaultJson, EmptyScheduleRoundTrips) {
+  const FaultSchedule empty;
+  EXPECT_TRUE(empty.empty());
+  const FaultSchedule parsed = FaultSchedule::from_json(empty.to_json());
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(FaultJson, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "redund_fault_roundtrip.json";
+  const FaultSchedule original = full_schedule();
+  original.save(path);
+  expect_same(original, FaultSchedule::load(path));
+}
+
+TEST(FaultJson, UnknownKeysAreIgnored) {
+  const std::string text =
+      "{\"schema\": \"redund-faults-v1\", \"comment\": \"rack outage\",\n"
+      " \"events\": [{\"kind\": \"leave\", \"time\": 2, \"participant\": 1,\n"
+      "              \"operator\": \"alice\"}]}";
+  const FaultSchedule parsed = FaultSchedule::from_json(text);
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].kind, FaultKind::kLeave);
+  EXPECT_EQ(parsed.events[0].participant, 1);
+}
+
+TEST(FaultJson, RejectsMalformedDocuments) {
+  // No events array.
+  EXPECT_THROW((void)FaultSchedule::from_json("{\"schema\": \"x\"}"),
+               std::runtime_error);
+  // Event without a kind.
+  EXPECT_THROW(
+      (void)FaultSchedule::from_json("{\"events\": [{\"time\": 1.0}]}"),
+      std::runtime_error);
+  // Unknown kind name.
+  EXPECT_THROW((void)FaultSchedule::from_json(
+                   "{\"events\": [{\"kind\": \"meteor\"}]}"),
+               std::runtime_error);
+  // Trailing garbage.
+  EXPECT_THROW((void)FaultSchedule::from_json("{\"events\": []} extra"),
+               std::runtime_error);
+  EXPECT_THROW((void)FaultSchedule::load("/nonexistent/faults.json"),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(FaultValidation, AcceptsWellFormedSchedule) {
+  EXPECT_NO_THROW(full_schedule().validate(10));
+  // Negative count skips only the participant range check.
+  EXPECT_NO_THROW(full_schedule().validate(-1));
+}
+
+TEST(FaultValidation, RejectsOutOfRangeFields) {
+  {
+    FaultSchedule s;
+    s.events.push_back({.time = -1.0, .kind = FaultKind::kBlackout,
+                        .fraction = 0.5, .duration = 1.0});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;  // Target beyond the fleet.
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kLeave,
+                        .participant = 10});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+    EXPECT_NO_THROW(s.validate(-1));  // ...until the fleet size is known.
+    EXPECT_NO_THROW(s.validate(11));
+  }
+  {
+    FaultSchedule s;  // Negative target is never valid.
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kRejoin,
+                        .participant = -1});
+    EXPECT_THROW(s.validate(-1), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kBlackout,
+                        .fraction = 1.5, .duration = 1.0});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;  // Windowed kinds need a positive duration.
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kMessageLoss,
+                        .duration = 0.0, .probability = 0.5});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kCorruption,
+                        .duration = 1.0, .probability = 2.0});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------------------------------- slice
+
+TEST(FaultSlice, FleetWideEventsReplicateToEveryShard) {
+  FaultSchedule s;
+  s.events.push_back({.time = 4.0, .kind = FaultKind::kBlackout,
+                      .fraction = 0.5, .duration = 2.0});
+  s.events.push_back({.time = 5.0, .kind = FaultKind::kMessageLoss,
+                      .duration = 1.0, .probability = 0.5});
+  for (std::int64_t shard = 0; shard < 3; ++shard) {
+    const FaultSchedule local = s.slice(10, 5, 3, shard);
+    expect_same(s, local);
+  }
+}
+
+TEST(FaultSlice, TargetedEventsLandOnTheOwningShardRemapped) {
+  // 10 honest over 3 shards: shares 4/3/3, so global honest ids split
+  // {0..3}, {4..6}, {7..9}. 5 sybils: shares 2/2/1, global sybil ids
+  // 10..14 split {10,11}, {12,13}, {14}. Each shard enrolls its honest
+  // slice first, then its sybil slice.
+  FaultSchedule s;
+  s.events.push_back({.time = 1.0, .kind = FaultKind::kLeave,
+                      .participant = 5});   // Honest, shard 1, local 1.
+  s.events.push_back({.time = 2.0, .kind = FaultKind::kRejoin,
+                      .participant = 12});  // Sybil, shard 1, local 3 + 0.
+  s.events.push_back({.time = 3.0, .kind = FaultKind::kLeave,
+                      .participant = 14});  // Sybil, shard 2, local 3 + 0.
+
+  const FaultSchedule shard0 = s.slice(10, 5, 3, 0);
+  EXPECT_TRUE(shard0.empty());
+
+  const FaultSchedule shard1 = s.slice(10, 5, 3, 1);
+  ASSERT_EQ(shard1.events.size(), 2u);
+  EXPECT_EQ(shard1.events[0].kind, FaultKind::kLeave);
+  EXPECT_EQ(shard1.events[0].participant, 1);
+  EXPECT_EQ(shard1.events[1].kind, FaultKind::kRejoin);
+  EXPECT_EQ(shard1.events[1].participant, 3);
+
+  const FaultSchedule shard2 = s.slice(10, 5, 3, 2);
+  ASSERT_EQ(shard2.events.size(), 1u);
+  EXPECT_EQ(shard2.events[0].participant, 3);
+
+  EXPECT_THROW((void)s.slice(10, 5, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)s.slice(10, 5, 0, 0), std::invalid_argument);
+}
+
+TEST(FaultSlice, EveryTargetedEventIsOwnedByExactlyOneShard) {
+  // Target every identity of a 7-honest / 4-sybil fleet; sliced over any
+  // shard count, the targeted events partition and every local index is
+  // valid for the shard's own fleet.
+  FaultSchedule s;
+  for (std::int64_t p = 0; p < 11; ++p) {
+    s.events.push_back({.time = 1.0, .kind = FaultKind::kLeave,
+                        .participant = p});
+  }
+  for (std::int64_t shards = 1; shards <= 4; ++shards) {
+    std::size_t total = 0;
+    for (std::int64_t shard = 0; shard < shards; ++shard) {
+      const FaultSchedule local = s.slice(7, 4, shards, shard);
+      total += local.events.size();
+      const std::int64_t local_honest = 7 / shards + (shard < 7 % shards);
+      const std::int64_t local_sybils = 4 / shards + (shard < 4 % shards);
+      EXPECT_NO_THROW(local.validate(local_honest + local_sybils))
+          << "shards=" << shards << " shard=" << shard;
+    }
+    EXPECT_EQ(total, s.events.size()) << "shards=" << shards;
+  }
+}
+
+}  // namespace

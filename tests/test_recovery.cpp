@@ -1,0 +1,262 @@
+// Crash-recovery equivalence for the journaled supervisor: kill the event
+// loop at any event index, resume from the journal, and the final report
+// is byte-identical to the uninterrupted run — across churn, network, and
+// dropout-burst fault scenarios. Also covers the journal's error paths:
+// foreign config/seed, tampered WAL tail (replay divergence), and bad
+// arguments.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace core = redund::core;
+namespace runtime = redund::runtime;
+namespace sim = redund::sim;
+
+using runtime::FaultKind;
+
+namespace {
+
+core::RealizedPlan balanced_plan(std::int64_t n, double eps) {
+  return core::realize(
+      core::make_balanced(static_cast<double>(n), eps,
+                          {.truncate_below = 1e-9}),
+      n, eps);
+}
+
+std::string rendered(const runtime::RuntimeReport& report) {
+  std::ostringstream out;
+  runtime::print(out, report);
+  return out.str();
+}
+
+std::string journal_path(const std::string& tag) {
+  return testing::TempDir() + "redund_recovery_" + tag + ".wal";
+}
+
+// Scenario 1: churn — individual leaves/rejoins plus a correlated
+// blackout, with an adversary in the fleet so validation state is rich.
+runtime::RuntimeConfig churn_scenario() {
+  runtime::RuntimeConfig config;
+  config.plan = balanced_plan(150, 0.5);
+  config.honest_participants = 15;
+  config.sybil_identities = 5;
+  config.strategy = sim::CheatStrategy::kAlwaysCheat;
+  config.latency.dropout_probability = 0.05;
+  config.latency.straggler_fraction = 0.2;
+  config.sample_interval = 5.0;
+  config.faults.events.push_back({.time = 3.0, .kind = FaultKind::kLeave,
+                                  .participant = 2});
+  config.faults.events.push_back({.time = 5.0, .kind = FaultKind::kLeave,
+                                  .participant = 7});
+  config.faults.events.push_back({.time = 8.0, .kind = FaultKind::kBlackout,
+                                  .fraction = 0.4, .duration = 10.0});
+  config.faults.events.push_back({.time = 20.0, .kind = FaultKind::kRejoin,
+                                  .participant = 2});
+  config.faults.events.push_back({.time = 25.0, .kind = FaultKind::kRejoin,
+                                  .participant = 7});
+  config.journal.checkpoint_interval = 64;
+  config.seed = 0xC4A5AULL;
+  return config;
+}
+
+// Scenario 2: network pathology — loss, duplication, and corruption
+// windows overlapping mid-campaign.
+runtime::RuntimeConfig network_scenario() {
+  runtime::RuntimeConfig config;
+  config.plan = balanced_plan(150, 0.5);
+  config.honest_participants = 18;
+  config.sybil_identities = 2;
+  config.latency.dropout_probability = 0.02;
+  config.faults.events.push_back(
+      {.time = 2.0, .kind = FaultKind::kMessageLoss, .duration = 15.0,
+       .probability = 0.3});
+  config.faults.events.push_back(
+      {.time = 4.0, .kind = FaultKind::kDuplication, .duration = 12.0,
+       .probability = 0.35});
+  config.faults.events.push_back(
+      {.time = 6.0, .kind = FaultKind::kCorruption, .duration = 10.0,
+       .probability = 0.3});
+  config.journal.checkpoint_interval = 96;
+  config.seed = 0x4E7ULL;
+  return config;
+}
+
+// Scenario 3: dropout burst on top of static dropouts, deep retry chains,
+// adaptive replication exercising the score table.
+runtime::RuntimeConfig burst_scenario() {
+  runtime::RuntimeConfig config;
+  config.plan = balanced_plan(120, 0.5);
+  config.honest_participants = 12;
+  config.latency.dropout_probability = 0.1;
+  config.retry.max_retries = 6;
+  config.adaptive.reliability_floor = 0.5;
+  config.faults.events.push_back(
+      {.time = 1.0, .kind = FaultKind::kDropoutBurst, .duration = 12.0,
+       .probability = 0.6});
+  config.journal.checkpoint_interval = 48;
+  config.seed = 0xB0057ULL;
+  return config;
+}
+
+// Kills the campaign at five interior event indices; each resume must
+// reproduce the uninterrupted run byte-for-byte. The cap has batch
+// granularity, so a kill point inside the final batch may legitimately
+// complete — then the returned report itself must already match.
+void expect_recovery_equivalence(runtime::RuntimeConfig config,
+                                 const std::string& tag) {
+  config.journal.path.clear();
+  const auto reference = runtime::run_async_campaign(config);
+  const std::string expected = rendered(reference);
+  ASSERT_GT(reference.events_processed, 12) << tag;
+
+  config.journal.path = journal_path(tag);
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    const std::int64_t kill = reference.events_processed * k / 6;
+    const auto partial = runtime::run_async_campaign_capped(config, kill);
+    if (!partial.has_value()) {
+      const auto resumed = runtime::resume_async_campaign(config);
+      EXPECT_EQ(rendered(resumed), expected)
+          << tag << ": killed at event " << kill;
+      EXPECT_EQ(resumed.events_processed, reference.events_processed);
+      EXPECT_EQ(resumed.outcome, reference.outcome);
+    } else {
+      EXPECT_EQ(rendered(*partial), expected)
+          << tag << ": cap " << kill << " outlived the campaign";
+    }
+  }
+}
+
+TEST(CrashRecovery, ChurnScenarioResumesBitIdentical) {
+  expect_recovery_equivalence(churn_scenario(), "churn");
+}
+
+TEST(CrashRecovery, NetworkScenarioResumesBitIdentical) {
+  expect_recovery_equivalence(network_scenario(), "network");
+}
+
+TEST(CrashRecovery, BurstScenarioResumesBitIdentical) {
+  expect_recovery_equivalence(burst_scenario(), "burst");
+}
+
+TEST(CrashRecovery, CapBeyondTheEndReturnsTheFullReport) {
+  auto config = churn_scenario();
+  config.journal.path.clear();
+  const std::string expected = rendered(runtime::run_async_campaign(config));
+
+  config.journal.path = journal_path("fullcap");
+  const auto capped =
+      runtime::run_async_campaign_capped(config, 1 << 30);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(rendered(*capped), expected);
+
+  // The finished journal resumes to the same report (full replay
+  // verification against the complete WAL).
+  const auto resumed = runtime::resume_async_campaign(config);
+  EXPECT_EQ(rendered(resumed), expected);
+}
+
+TEST(CrashRecovery, ResumeBeforeTheFirstCheckpointReplaysFromTheStart) {
+  auto config = network_scenario();
+  config.journal.path.clear();
+  const auto reference = runtime::run_async_campaign(config);
+
+  // A checkpoint interval longer than the campaign: the journal holds
+  // only the WAL; resume must rebuild from the prologue and still verify
+  // the flushed tail.
+  config.journal.path = journal_path("nocp");
+  config.journal.checkpoint_interval = 1 << 30;
+  const auto partial = runtime::run_async_campaign_capped(
+      config, reference.events_processed / 2);
+  ASSERT_FALSE(partial.has_value());
+
+  const auto contents = runtime::read_journal(config.journal.path);
+  EXPECT_FALSE(contents.has_checkpoint);
+  EXPECT_FALSE(contents.tail.empty());
+
+  const auto resumed = runtime::resume_async_campaign(config);
+  EXPECT_EQ(rendered(resumed), rendered(reference));
+}
+
+TEST(CrashRecovery, ForeignJournalIsRejected) {
+  auto config = burst_scenario();
+  config.journal.path = journal_path("foreign");
+  const auto partial = runtime::run_async_campaign_capped(config, 200);
+  ASSERT_FALSE(partial.has_value());
+
+  auto wrong_seed = config;
+  wrong_seed.seed ^= 1;
+  EXPECT_THROW((void)runtime::resume_async_campaign(wrong_seed),
+               std::runtime_error);
+
+  auto wrong_config = config;
+  wrong_config.honest_participants += 1;
+  EXPECT_THROW((void)runtime::resume_async_campaign(wrong_config),
+               std::runtime_error);
+
+  // Journal options themselves are not part of the fingerprint — resuming
+  // with a different checkpoint interval is legal.
+  auto new_interval = config;
+  new_interval.journal.checkpoint_interval = 999;
+  EXPECT_NO_THROW((void)runtime::resume_async_campaign(new_interval));
+}
+
+TEST(CrashRecovery, TamperedWalTailIsReplayDivergence) {
+  auto config = churn_scenario();
+  config.journal.path = journal_path("tamper");
+  const auto partial = runtime::run_async_campaign_capped(config, 300);
+  ASSERT_FALSE(partial.has_value());
+
+  // Corrupt the last WAL record's epoch field: replay re-executes the
+  // same event with the true epoch and must refuse the journal.
+  std::string text;
+  {
+    std::ifstream in(config.journal.path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  const std::size_t line = text.rfind("\nE ");
+  ASSERT_NE(line, std::string::npos);
+  const std::size_t eol = text.find('\n', line + 1);
+  ASSERT_NE(eol, std::string::npos);
+  char& last_digit = text[eol - 1];
+  last_digit = last_digit == '0' ? '1' : '0';
+  {
+    std::ofstream out(config.journal.path, std::ios::trunc);
+    out << text;
+  }
+
+  EXPECT_THROW((void)runtime::resume_async_campaign(config),
+               std::runtime_error);
+}
+
+TEST(CrashRecovery, BadArgumentsAreRejected) {
+  auto config = churn_scenario();
+  config.journal.path = journal_path("badargs");
+  EXPECT_THROW((void)runtime::run_async_campaign_capped(config, -1),
+               std::invalid_argument);
+
+  auto no_journal = config;
+  no_journal.journal.path.clear();
+  EXPECT_THROW((void)runtime::resume_async_campaign(no_journal),
+               std::invalid_argument);
+
+  auto missing = config;
+  missing.journal.path = testing::TempDir() + "redund_recovery_missing.wal";
+  std::remove(missing.journal.path.c_str());
+  EXPECT_THROW((void)runtime::resume_async_campaign(missing),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "core/realize.hpp"
 #include "core/schemes/balanced.hpp"
 #include "runtime/event_queue.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/supervisor.hpp"
 #include "runtime/task_state.hpp"
 
@@ -258,6 +259,99 @@ TEST(AsyncRuntime, SeriesSamplesAreCumulativeAndOrdered) {
   EXPECT_TRUE(runtime::run_async_campaign(config).series.empty());
 }
 
+// ----------------------------------------------------- graceful degradation
+
+TEST(AsyncRuntime, TotalDropoutStallsInsteadOfLivelocking) {
+  // Regression: with every issue dropping and the recompute fallback
+  // budgeted away, the old loop had no terminal state — retries exhausted,
+  // units parked, and the queue kept draining re-issue timers forever.
+  // The health monitor must end this as kStalled in bounded simulated
+  // time with a partial report.
+  runtime::RuntimeConfig config;
+  config.plan = flat_plan(30, 2);
+  config.honest_participants = 5;
+  config.latency.dropout_probability = 1.0;  // Nothing ever reports.
+  config.retry.max_retries = 3;
+  config.health.recompute_budget = 0;
+  config.seed = 41;
+
+  const auto report = runtime::run_async_campaign(config);
+  EXPECT_EQ(report.outcome, runtime::CampaignOutcome::kStalled);
+  EXPECT_EQ(report.tasks_valid, 0);
+  EXPECT_EQ(report.tasks_unfinished, report.tasks);
+  EXPECT_LT(report.end_time, 1e6);  // Bounded, not livelocked.
+
+  // With the recompute fallback unbudgeted the same fleet still finishes:
+  // every unit falls through retry exhaustion to a supervisor recompute.
+  config.health.recompute_budget = -1;
+  const auto recovered = runtime::run_async_campaign(config);
+  EXPECT_EQ(recovered.outcome, runtime::CampaignOutcome::kCompleted);
+  EXPECT_GT(recovered.supervisor_recomputes, 0);
+  EXPECT_EQ(recovered.tasks_valid, recovered.tasks);
+}
+
+TEST(AsyncRuntime, ZeroBackoffBaseIsClampedToTheMinimumReissueDelay) {
+  runtime::RuntimeConfig config;
+  config.plan = balanced_plan(200, 0.5);
+  config.honest_participants = 20;
+  config.latency.dropout_probability = 0.3;
+  config.retry.max_retries = 5;
+  config.retry.backoff_base = 0.0;  // Would re-issue at the timeout instant.
+  config.seed = 23;
+
+  const auto clamped = runtime::run_async_campaign(config);
+  EXPECT_GT(clamped.units_reissued, 0);
+  EXPECT_EQ(clamped.tasks_valid, clamped.tasks);
+
+  // The clamp makes base 0 equivalent to a flat backoff at the minimum
+  // delay: max(0 * f^k, min) == max(min * 1^k, min) for every retry k.
+  config.retry.backoff_base = runtime::RetryPolicy::kMinReissueDelay;
+  config.retry.backoff_factor = 1.0;
+  const auto flat = runtime::run_async_campaign(config);
+  EXPECT_EQ(rendered(clamped), rendered(flat));
+}
+
+TEST(AsyncRuntime, RecomputeBudgetCapsSupervisorRecomputes) {
+  runtime::RuntimeConfig config;
+  config.plan = flat_plan(40, 2);
+  config.honest_participants = 6;
+  config.latency.dropout_probability = 0.4;
+  config.retry.max_retries = 0;  // Every timeout asks for a recompute.
+  config.adaptive.enabled = false;
+  config.health.recompute_budget = 5;
+  config.seed = 17;
+
+  const auto report = runtime::run_async_campaign(config);
+  EXPECT_LE(report.supervisor_recomputes, 5);
+  EXPECT_EQ(report.tasks_valid + report.tasks_unfinished, report.tasks);
+  if (report.outcome == runtime::CampaignOutcome::kCompleted) {
+    EXPECT_EQ(report.tasks_unfinished, 0);
+  } else {
+    EXPECT_GT(report.tasks_unfinished, 0);
+  }
+}
+
+TEST(AsyncRuntime, ReliabilityScoresDecayUnderHeavyDropout) {
+  // No stragglers: the only way a holder's score can fall below the floor
+  // is the multiplicative decay on timeouts, so adaptive replicas firing
+  // proves the decay path.
+  runtime::RuntimeConfig config;
+  config.plan = flat_plan(60, 2);
+  config.honest_participants = 10;
+  config.latency.dropout_probability = 0.5;
+  config.retry.max_retries = 6;
+  config.adaptive.enabled = true;
+  config.adaptive.reliability_floor = 0.65;  // Below score_init (0.7): only
+                                             // decayed holders qualify.
+  config.seed = 29;
+
+  const auto report = runtime::run_async_campaign(config);
+  EXPECT_GT(report.units_timed_out, 0);
+  EXPECT_GT(report.adaptive_replicas, 0);
+  EXPECT_EQ(report.blacklisted_identities, 0);  // Honest-only fleet.
+  EXPECT_EQ(report.tasks_valid, report.tasks);
+}
+
 // --------------------------------------------------------------- validation
 
 TEST(AsyncRuntime, RejectsBadConfig) {
@@ -295,6 +389,35 @@ TEST(AsyncRuntime, RejectsBadConfig) {
 
   bad = good;
   bad.latency.mean_service = 0.0;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
+}
+
+TEST(AsyncRuntime, RejectsBadHealthJournalAndFaultConfig) {
+  runtime::RuntimeConfig good;
+  good.plan = flat_plan(10, 2);
+  good.honest_participants = 5;
+
+  auto bad = good;
+  bad.health.stall_checks = 0;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
+
+  bad = good;
+  bad.health.ewma_alpha = 0.0;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
+
+  bad = good;
+  bad.health.ewma_alpha = 1.5;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
+
+  bad = good;  // A journal needs a sane checkpoint cadence.
+  bad.journal.path = testing::TempDir() + "redund_badcfg.wal";
+  bad.journal.checkpoint_interval = 0;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
+
+  bad = good;  // Fault targets are validated against the enrolled fleet.
+  bad.faults.events.push_back({.time = 1.0,
+                               .kind = runtime::FaultKind::kLeave,
+                               .participant = 5});
   EXPECT_THROW((void)runtime::run_async_campaign(bad), std::invalid_argument);
 }
 

@@ -11,6 +11,9 @@
 //                      [--deadline T] [--retries R] [--benign-rate B]
 //                      [--sample-interval T] [--no-adaptive] [--no-reactive]
 //                      [--seed S] [--queue heap|calendar]
+//                      [--fault-plan FILE] [--max-sim-time T]
+//                      [--recompute-budget N]
+//                      [--journal FILE [--checkpoint-interval N] [--resume]]
 //                      [--shards S [--threads T]]
 //   redundctl budget   --tasks N --budget B [--adversary P]
 //   redundctl bench    [--quick] [--out FILE]
@@ -23,6 +26,9 @@
 // run-async executes a campaign on the asynchronous supervisor runtime
 //           (event-driven: stragglers, dropouts, deadlines, retries, quorum
 //           validation, adaptive replication) and prints a RuntimeReport.
+//           --fault-plan injects a redund-faults-v1 chaos schedule;
+//           --journal write-ahead-journals the run (crash safety) and
+//           --resume restores/replays it after a kill.
 // budget    answers "what level can I afford", including a robustness margin
 //           against an adversary share p (inverts Prop. 3).
 // bench     runs the headline perf suite and writes a BENCH_*.json report
@@ -247,6 +253,16 @@ int cmd_run_async(const Args& args) {
   config.adaptive.enabled = !args.flag("no-adaptive");
   config.sample_interval = args.number("sample-interval", 0.0);
   config.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  if (const auto fault_plan = args.get("fault-plan")) {
+    config.faults = runtime::FaultSchedule::load(*fault_plan);
+  }
+  config.health.max_sim_time = args.number("max-sim-time", 0.0);
+  config.health.recompute_budget = args.integer("recompute-budget", -1);
+  if (const auto journal = args.get("journal")) {
+    config.journal.path = *journal;
+    config.journal.checkpoint_interval =
+        args.integer("checkpoint-interval", 4096);
+  }
   const std::string queue_name = args.get("queue").value_or("calendar");
   if (queue_name == "heap") {
     config.queue = runtime::QueueKind::kBinaryHeap;
@@ -258,6 +274,24 @@ int cmd_run_async(const Args& args) {
   }
 
   const std::int64_t shards = args.integer("shards", 1);
+  const bool resume = args.flag("resume");
+  if (resume && shards > 1) {
+    // Each shard journals its own file (path + ".shard<i>"); resuming a
+    // sharded run would need per-shard resume plumbing that does not
+    // exist yet — refuse rather than silently restart.
+    throw std::invalid_argument(
+        "run-async: --resume is single-shard only (each shard journals "
+        "separately)");
+  }
+  if (resume) {
+    if (config.journal.path.empty()) {
+      throw std::invalid_argument("run-async: --resume requires --journal");
+    }
+    const runtime::RuntimeReport report =
+        runtime::resume_async_campaign(config);
+    runtime::print(std::cout, report);
+    return 0;
+  }
   if (shards > 1) {
     redund::parallel::ThreadPool pool(
         static_cast<std::size_t>(args.integer("threads", 0)));
@@ -300,7 +334,7 @@ int cmd_budget(const Args& args) {
 int cmd_bench(const Args& args) {
   redund::perf::SuiteOptions options;
   options.quick = args.flag("quick");
-  const std::string out = args.get("out").value_or("BENCH_PR3.json");
+  const std::string out = args.get("out").value_or("BENCH_PR4.json");
 
   const auto records = redund::perf::run_suite(options);
   rep::Table table({"bench", "n", "threads", "items/sec", "wall_ms"});
@@ -330,7 +364,10 @@ subcommands:
            [--stragglers F] [--slowdown X] [--dropout D] [--speed-sigma S]
            [--deadline T] [--retries R] [--benign-rate B]
            [--sample-interval T] [--no-adaptive] [--no-reactive] [--seed S]
-           [--queue heap|calendar] [--shards S [--threads T]]
+           [--queue heap|calendar] [--fault-plan FILE] [--max-sim-time T]
+           [--recompute-budget N]
+           [--journal FILE [--checkpoint-interval N] [--resume]]
+           [--shards S [--threads T]]
   budget   --tasks N --budget B [--adversary P]
   bench    [--quick] [--out FILE]
   help
