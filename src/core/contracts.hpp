@@ -1,0 +1,168 @@
+// Contract/invariant layer: executable documentation of the conservation
+// and ordering properties the simulator's bit-reproducibility rests on.
+//
+// Three tiers, all compiled to nothing unless REDUND_ENABLE_INVARIANTS is
+// defined non-zero (the ENABLE_INVARIANTS CMake option — default ON in
+// Debug and sanitizer builds, OFF in Release so hot paths carry no checks):
+//
+//   * REDUND_PRECONDITION — caller obligations at an API or function
+//     boundary ("queue is not empty", "index within the slot run");
+//   * REDUND_INVARIANT    — internal state consistency that must hold
+//     between operations ("class counts sum to N", "pop order is
+//     monotone in (time, seq)");
+//   * REDUND_CHECK        — any other assertion (intermediate results,
+//     postconditions).
+//
+// A failed contract calls the failure handler with the tier, the
+// stringized expression, the source location, and a message. The default
+// handler prints all of that — plus the active campaign context (seed,
+// simulated time, event index), when a supervisor has registered one — to
+// stderr and aborts. Tests install a throwing handler instead via
+// install_failure_handler().
+//
+// Everything here is header-only (inline functions and variables) so the
+// macros are usable from every layer, including src/lp which sits *below*
+// redund_core in the link graph.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef REDUND_ENABLE_INVARIANTS
+#define REDUND_ENABLE_INVARIANTS 0
+#endif
+
+namespace redund::contracts {
+
+/// Where a contract failure happened, in campaign terms. The asynchronous
+/// supervisor registers one per thread while its event loop runs, so a
+/// failure deep in a kernel still names the campaign seed, the simulated
+/// time, and the event ordinal needed to reproduce it deterministically.
+struct CampaignContext {
+  std::uint64_t seed = 0;
+  double sim_time = 0.0;
+  std::int64_t event_index = 0;
+};
+
+namespace detail {
+inline thread_local CampaignContext context{};
+inline thread_local bool context_set = false;
+}  // namespace detail
+
+inline void set_campaign_context(const CampaignContext& context) noexcept {
+  detail::context = context;
+  detail::context_set = true;
+}
+
+inline void clear_campaign_context() noexcept { detail::context_set = false; }
+
+/// The registered context, or nullptr when no campaign is running on this
+/// thread.
+[[nodiscard]] inline const CampaignContext* campaign_context() noexcept {
+  return detail::context_set ? &detail::context : nullptr;
+}
+
+/// Registers a context for the current scope and restores the previous
+/// one on exit (campaigns never nest today, but the guard costs nothing).
+class ScopedCampaignContext {
+ public:
+  explicit ScopedCampaignContext(const CampaignContext& context) noexcept
+      : previous_(detail::context), was_set_(detail::context_set) {
+    set_campaign_context(context);
+  }
+  ~ScopedCampaignContext() {
+    detail::context = previous_;
+    detail::context_set = was_set_;
+  }
+  ScopedCampaignContext(const ScopedCampaignContext&) = delete;
+  ScopedCampaignContext& operator=(const ScopedCampaignContext&) = delete;
+
+ private:
+  CampaignContext previous_;
+  bool was_set_;
+};
+
+/// Receives a failed contract. Handlers that return pass control back to
+/// contract_failed(), which then aborts; handlers may instead throw (the
+/// test suite's handler does).
+using FailureHandler = void (*)(const char* tier, const char* expression,
+                                const char* file, int line,
+                                const char* message);
+
+namespace detail {
+inline FailureHandler handler = nullptr;
+}  // namespace detail
+
+/// Installs `handler` (nullptr restores the default print-and-abort
+/// behaviour) and returns the previously installed one.
+inline FailureHandler install_failure_handler(FailureHandler handler) noexcept {
+  const FailureHandler previous = detail::handler;
+  detail::handler = handler;
+  return previous;
+}
+
+/// The diagnostic the default handler prints: one line of what failed and
+/// where, plus the campaign context when one is registered.
+[[nodiscard]] inline std::string format_failure(const char* tier,
+                                                const char* expression,
+                                                const char* file, int line,
+                                                const char* message) {
+  std::string out = "redund contract violation [";
+  out += tier;
+  out += "] at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": (";
+  out += expression;
+  out += ") — ";
+  out += message;
+  if (const CampaignContext* context = campaign_context()) {
+    char detail[128];
+    std::snprintf(detail, sizeof detail,
+                  "\n  campaign: seed=0x%llx sim_time=%.17g event_index=%lld",
+                  static_cast<unsigned long long>(context->seed),
+                  context->sim_time,
+                  static_cast<long long>(context->event_index));
+    out += detail;
+  }
+  return out;
+}
+
+/// Dispatches a failed contract to the installed handler; aborts when the
+/// handler declines to throw (or none is installed).
+[[noreturn]] inline void contract_failed(const char* tier,
+                                         const char* expression,
+                                         const char* file, int line,
+                                         const char* message) {
+  if (detail::handler != nullptr) {
+    detail::handler(tier, expression, file, line, message);
+  } else {
+    const std::string text =
+        format_failure(tier, expression, file, line, message);
+    std::fprintf(stderr, "%s\n", text.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace redund::contracts
+
+#if REDUND_ENABLE_INVARIANTS
+#define REDUND_CONTRACT_IMPL_(tier, condition, message)                       \
+  (static_cast<bool>(condition)                                               \
+       ? static_cast<void>(0)                                                 \
+       : ::redund::contracts::contract_failed(tier, #condition, __FILE__,     \
+                                              __LINE__, message))
+#define REDUND_PRECONDITION(condition, message) \
+  REDUND_CONTRACT_IMPL_("precondition", condition, message)
+#define REDUND_INVARIANT(condition, message) \
+  REDUND_CONTRACT_IMPL_("invariant", condition, message)
+#define REDUND_CHECK(condition, message) \
+  REDUND_CONTRACT_IMPL_("check", condition, message)
+#else
+#define REDUND_PRECONDITION(condition, message) static_cast<void>(0)
+#define REDUND_INVARIANT(condition, message) static_cast<void>(0)
+#define REDUND_CHECK(condition, message) static_cast<void>(0)
+#endif

@@ -132,10 +132,29 @@ double JsonCursor::parse_number() {
     ++p_;
   }
   if (!digits) fail("expected number");
-  return std::stod(std::string(start, p_));
+  const std::string token(start, p_);
+  // stod stops at the first character it cannot use and throws on
+  // overflow; both must reject loudly — "1.2.3" silently read as 1.2 or
+  // 1e999 collapsing to inf would corrupt downstream configs.
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::out_of_range&) {
+    fail("number out of range: " + token);
+  } catch (const std::invalid_argument&) {
+    fail("malformed number: " + token);
+  }
+  if (consumed != token.size()) fail("malformed number: " + token);
+  return value;
 }
 
-void JsonCursor::skip_value() {
+void JsonCursor::skip_value() { skip_value_(0); }
+
+void JsonCursor::skip_value_(int depth) {
+  // Bounds the recursion: a hand-crafted "[[[[..." must fail cleanly,
+  // not exhaust the stack. Real files in the repo nest 3-4 deep.
+  if (depth > kMaxSkipDepth) fail("value nesting too deep");
   const char c = peek();
   if (c == '"') {
     (void)parse_string();
@@ -145,7 +164,7 @@ void JsonCursor::skip_value() {
       do {
         (void)parse_string();
         expect(':');
-        skip_value();
+        skip_value_(depth + 1);
       } while (consume_if(','));
       expect('}');
     }
@@ -153,12 +172,17 @@ void JsonCursor::skip_value() {
     ++p_;
     if (!consume_if(']')) {
       do {
-        skip_value();
+        skip_value_(depth + 1);
       } while (consume_if(','));
       expect(']');
     }
   } else if (c == 't' || c == 'f' || c == 'n') {
+    const char* start = p_;
     while (p_ != end_ && std::isalpha(static_cast<unsigned char>(*p_))) ++p_;
+    const std::string word(start, p_);
+    if (word != "true" && word != "false" && word != "null") {
+      fail("unknown literal: " + word);
+    }
   } else {
     (void)parse_number();
   }

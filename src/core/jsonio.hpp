@@ -72,6 +72,12 @@ class JsonCursor {
   [[noreturn]] void fail(const std::string& what) const;
 
  private:
+  /// Deepest container nesting skip_value() will follow before failing
+  /// (stack-exhaustion guard; real files in the repo nest 3-4 levels).
+  static constexpr int kMaxSkipDepth = 256;
+
+  void skip_value_(int depth);
+
   const char* p_;
   const char* end_;
   std::string context_;

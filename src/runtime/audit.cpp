@@ -1,0 +1,267 @@
+#include "runtime/audit.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/sharded.hpp"
+
+namespace redund::runtime {
+
+std::uint64_t report_fingerprint(const RuntimeReport& report) {
+  StateWriter w;
+  w.reserve(1024 + 96 * report.series.size());
+  w.i64(report.tasks);
+  w.i64(report.units_planned);
+  w.i64(report.participants);
+  w.i64(report.stragglers);
+  w.i64(report.units_issued);
+  w.i64(report.units_completed);
+  w.i64(report.units_timed_out);
+  w.i64(report.units_reissued);
+  w.i64(report.units_dropped);
+  w.i64(report.late_results);
+  w.i64(report.adaptive_replicas);
+  w.i64(report.quorum_replicas);
+  w.i64(report.supervisor_recomputes);
+  w.i64(report.tasks_valid);
+  w.i64(report.tasks_inconclusive);
+  w.i64(report.mismatches_detected);
+  w.i64(report.ringer_catches);
+  w.i64(report.blacklisted_identities);
+  w.i64(report.adversary_cheat_attempts);
+  w.i64(report.false_accusations);
+  w.i64(report.final_correct_tasks);
+  w.i64(report.final_corrupt_tasks);
+  w.u64(static_cast<std::uint64_t>(report.outcome));
+  w.i64(report.tasks_unfinished);
+  w.i64(report.fault_events);
+  w.i64(report.churn_leaves);
+  w.i64(report.churn_rejoins);
+  w.i64(report.results_lost);
+  w.i64(report.results_corrupted);
+  w.i64(report.duplicate_results);
+  w.i64(report.min_live_fleet);
+  w.f64(report.progress_rate);
+  w.f64(report.makespan);
+  w.f64(report.end_time);
+  w.f64(report.first_detection_time);
+  w.f64(report.mean_detection_latency);
+  w.i64(report.detections);
+  w.i64(report.events_processed);
+  w.u64(static_cast<std::uint64_t>(report.series.size()));
+  for (const RuntimeSample& sample : report.series) {
+    w.f64(sample.time);
+    w.i64(sample.units_issued);
+    w.i64(sample.units_completed);
+    w.i64(sample.units_timed_out);
+    w.i64(sample.units_reissued);
+    w.i64(sample.tasks_valid);
+  }
+  return fnv1a_hash(w.text());
+}
+
+AuditOptions quick_audit_options() {
+  AuditOptions options;
+  options.target_tasks = 300;
+  options.honest_participants = 40;
+  options.sybil_identities = 8;
+  options.shard_counts = {1, 2};
+  options.thread_counts = {1, 2};
+  options.kill_fractions = {0.5};
+  return options;
+}
+
+namespace {
+
+const char* queue_name(QueueKind kind) {
+  return kind == QueueKind::kBinaryHeap ? "binary-heap" : "calendar";
+}
+
+RuntimeConfig base_config(const AuditOptions& options) {
+  RuntimeConfig config;
+  const auto tasks = static_cast<double>(options.target_tasks);
+  config.plan = core::realize(
+      core::make_balanced(tasks, 0.5, {.truncate_below = 1e-9}),
+      options.target_tasks, 0.5);
+  config.honest_participants = options.honest_participants;
+  config.sybil_identities = options.sybil_identities;
+  // Exercise the timeout/retry/adaptive machinery, not just the happy
+  // path: stragglers and dropouts make deadlines fire and units re-deal.
+  config.latency.straggler_fraction = 0.1;
+  config.latency.dropout_probability = 0.02;
+  config.sample_interval = 25.0;  // Series merge is part of the surface.
+  config.seed = options.seed;
+  return config;
+}
+
+/// One must-agree group: every (label, fingerprint) cell must match the
+/// first. Records divergences into `result`.
+class AgreementGroup {
+ public:
+  AgreementGroup(AuditResult& result, std::ostream& log, std::string name)
+      : result_(result),
+        log_(log),
+        name_(std::move(name)),
+        divergences_before_(result.divergences.size()) {
+    ++result_.groups;
+  }
+
+  void cell(const std::string& label, std::uint64_t fingerprint) {
+    ++cells_;
+    if (cells_ == 1) {
+      reference_ = fingerprint;
+      reference_label_ = label;
+      return;
+    }
+    if (fingerprint != reference_) {
+      result_.divergences.push_back(
+          name_ + ": " + label + " diverged from " + reference_label_);
+    }
+  }
+
+  void failure(const std::string& label, const std::string& what) {
+    result_.divergences.push_back(name_ + ": " + label + " failed: " + what);
+  }
+
+  ~AgreementGroup() {
+    const std::size_t diverged =
+        result_.divergences.size() - divergences_before_;
+    log_ << "  " << name_ << ": " << cells_ << " cell(s), ";
+    if (diverged == 0) {
+      log_ << "all agree\n";
+    } else {
+      log_ << diverged << " DIVERGENCE(S)\n";
+    }
+  }
+
+ private:
+  AuditResult& result_;
+  std::ostream& log_;
+  std::string name_;
+  std::size_t divergences_before_;
+  std::size_t cells_ = 0;
+  std::uint64_t reference_ = 0;
+  std::string reference_label_;
+};
+
+}  // namespace
+
+AuditResult run_determinism_audit(const AuditOptions& options,
+                                  std::ostream& log) {
+  AuditResult result;
+  const RuntimeConfig base = base_config(options);
+  std::filesystem::create_directories(options.scratch_dir);
+
+  log << "determinism audit: " << options.queue_kinds.size()
+      << " queue kind(s) x " << options.shard_counts.size()
+      << " shard count(s) x " << options.thread_counts.size()
+      << " pool size(s) x " << options.kill_fractions.size()
+      << " kill point(s), seed 0x" << std::hex << options.seed << std::dec
+      << "\n";
+
+  for (const std::int64_t shards : options.shard_counts) {
+    AgreementGroup group(result, log,
+                         "shards=" + std::to_string(shards));
+
+    // Per-shard uninterrupted runs, executed sequentially on this thread:
+    // the scheduling-free reference, and the source of each shard's event
+    // count for placing kill points.
+    RuntimeConfig reference_base = base;
+    reference_base.queue = options.queue_kinds.front();
+    const ShardedSupervisor reference_sharded(reference_base, shards);
+    std::vector<RuntimeReport> shard_reports;
+    std::vector<std::int64_t> shard_events;
+    shard_reports.reserve(reference_sharded.shard_configs().size());
+    for (const RuntimeConfig& shard : reference_sharded.shard_configs()) {
+      shard_reports.push_back(run_async_campaign(shard));
+      shard_events.push_back(shard_reports.back().events_processed);
+      ++result.runs;
+    }
+    group.cell("sequential reference",
+               report_fingerprint(ShardedSupervisor::merge(shard_reports)));
+
+    // Queue kind x pool size: the merged report may depend on neither.
+    for (const QueueKind queue : options.queue_kinds) {
+      RuntimeConfig config = base;
+      config.queue = queue;
+      const ShardedSupervisor sharded(config, shards);
+      for (const std::size_t threads : options.thread_counts) {
+        parallel::ThreadPool pool(threads);
+        const RuntimeReport merged = sharded.run(pool);
+        ++result.runs;
+        group.cell(std::string("queue=") + queue_name(queue) +
+                       " threads=" + std::to_string(threads),
+                   report_fingerprint(merged));
+      }
+    }
+
+    // Kill/resume: killing each shard's supervisor mid-campaign and
+    // resuming from its journal must reproduce the uninterrupted bytes.
+    for (const QueueKind queue : options.queue_kinds) {
+      RuntimeConfig config = base;
+      config.queue = queue;
+      const ShardedSupervisor sharded(config, shards);
+      for (const double fraction : options.kill_fractions) {
+        const std::string label = std::string("queue=") + queue_name(queue) +
+                                  " kill=" + std::to_string(fraction);
+        std::vector<RuntimeReport> resumed;
+        resumed.reserve(sharded.shard_configs().size());
+        bool leg_failed = false;
+        for (std::size_t s = 0;
+             s < sharded.shard_configs().size() && !leg_failed; ++s) {
+          RuntimeConfig shard = sharded.shard_configs()[s];
+          shard.journal.path = options.scratch_dir + "/audit-s" +
+                               std::to_string(shards) + "-q" +
+                               queue_name(queue) + "-f" +
+                               std::to_string(fraction) + "-shard" +
+                               std::to_string(s) + ".journal";
+          // Checkpoint often enough that the kill lands between
+          // checkpoints, exercising the WAL-verified replay suffix.
+          shard.journal.checkpoint_interval =
+              std::max<std::int64_t>(shard_events[s] / 7, 16);
+          const std::int64_t kill_at = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(
+                     static_cast<double>(shard_events[s]) * fraction));
+          try {
+            auto capped = run_async_campaign_capped(shard, kill_at);
+            ++result.runs;
+            if (capped.has_value()) {
+              // Campaign finished before the kill point (tiny shard);
+              // the report still belongs in the agreement group.
+              resumed.push_back(std::move(*capped));
+            } else {
+              resumed.push_back(resume_async_campaign(shard));
+              ++result.runs;
+            }
+          } catch (const std::exception& error) {
+            group.failure(label + " shard=" + std::to_string(s),
+                          error.what());
+            leg_failed = true;
+          }
+        }
+        if (!leg_failed) {
+          group.cell(label,
+                     report_fingerprint(ShardedSupervisor::merge(resumed)));
+        }
+      }
+    }
+  }
+
+  result.passed = result.divergences.empty();
+  for (const std::string& divergence : result.divergences) {
+    log << "  DIVERGENCE " << divergence << "\n";
+  }
+  log << "determinism audit: " << result.runs << " campaign run(s), "
+      << result.groups << " agreement group(s), "
+      << (result.passed ? "all agree" : "DIVERGENCE DETECTED") << "\n";
+  return result;
+}
+
+}  // namespace redund::runtime

@@ -36,6 +36,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace redund::runtime {
 
 /// What a pending event means when it fires.
@@ -81,9 +83,11 @@ class EventQueue {
   /// mark stays below this.
   void reserve(std::size_t capacity) { heap_.reserve(capacity); }
 
+  // redund: hot
   void schedule(double time, EventKind kind, std::int64_t subject,
                 std::uint64_t epoch = 0) {
-    heap_.push_back(Event{time, next_seq_++, kind, subject, epoch});
+    // Storage is pre-sized by reserve(); steady-state pushes never allocate.
+    heap_.push_back(Event{time, next_seq_++, kind, subject, epoch});  // redund-lint: allow(hot-alloc)
     std::push_heap(heap_.begin(), heap_.end(), After{});
   }
 
@@ -100,7 +104,9 @@ class EventQueue {
   }
 
   /// Removes and returns the earliest event (schedule order on time ties).
+  // redund: hot
   Event pop() {
+    REDUND_PRECONDITION(!heap_.empty(), "pop() requires a pending event");
     std::pop_heap(heap_.begin(), heap_.end(), After{});
     Event event = heap_.back();
     heap_.pop_back();
@@ -226,7 +232,9 @@ class CalendarQueue {
   }
 
   /// Removes and returns the earliest event (schedule order on time ties).
+  // redund: hot
   Event pop() {
+    REDUND_PRECONDITION(size_ != 0, "pop() requires a pending event");
     (void)peek();
     const Event event = buckets_[peek_bucket_].pop_front();
     --size_;

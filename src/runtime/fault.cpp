@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -206,11 +207,17 @@ FaultSchedule FaultSchedule::from_json(const std::string& text) {
           do {
             FaultEvent e;
             bool saw_kind = false;
+            std::set<std::string> seen_fields;
             cursor.expect('{');
             if (!cursor.consume_if('}')) {
               do {
                 const std::string field = cursor.parse_string();
                 cursor.expect(':');
+                // A duplicated key means last-one-wins would silently
+                // discard half the author's intent — reject instead.
+                if (!seen_fields.insert(field).second) {
+                  cursor.fail("duplicate event key \"" + field + "\"");
+                }
                 if (field == "time") {
                   e.time = cursor.parse_number();
                 } else if (field == "kind") {

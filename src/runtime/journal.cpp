@@ -191,6 +191,15 @@ JournalWriter::JournalWriter(const std::string& path,
 void JournalWriter::append_event(std::uint64_t index, double time,
                                  std::uint8_t kind, std::int64_t subject,
                                  std::uint64_t epoch) {
+#if REDUND_ENABLE_INVARIANTS
+  // WAL indices are contiguous within one writer's lifetime (a resumed
+  // campaign starts at the checkpoint index, so only the step is pinned,
+  // not the origin). A gap or repeat here would desynchronize replay.
+  REDUND_INVARIANT(!has_last_index_ || index == last_index_ + 1,
+                   "journal WAL indices are contiguous and monotone");
+  last_index_ = index;
+  has_last_index_ = true;
+#endif
   buffer_ += "E ";
   append_udec(buffer_, index);
   buffer_ += ' ';

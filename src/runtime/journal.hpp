@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace redund::runtime {
 
 /// FNV-1a over a byte string; used to fingerprint the RuntimeConfig a
@@ -143,6 +145,10 @@ class JournalWriter {
   std::ofstream file_;
   std::string path_;
   std::string buffer_;
+#if REDUND_ENABLE_INVARIANTS
+  std::uint64_t last_index_ = 0;  ///< Last WAL index appended.
+  bool has_last_index_ = false;
+#endif
 };
 
 /// Reads a journal file back. Throws std::runtime_error on I/O failure

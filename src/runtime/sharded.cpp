@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/engines.hpp"
 
@@ -86,6 +87,30 @@ ShardedSupervisor::ShardedSupervisor(const RuntimeConfig& base,
     }
     configs_.push_back(std::move(shard));
   }
+
+#if REDUND_ENABLE_INVARIANTS
+  // Partition conservation: the shard slices must add back to the base
+  // campaign exactly — tasks, assignments (Σ i·x_i), ringers, and fleet.
+  std::int64_t sum_tasks = 0;
+  std::int64_t sum_work = 0;
+  std::int64_t sum_ringers = 0;
+  std::int64_t sum_honest = 0;
+  for (const RuntimeConfig& shard : configs_) {
+    sum_tasks += shard.plan.task_count;
+    sum_work += shard.plan.work_assignments;
+    sum_ringers += shard.plan.ringer_count;
+    sum_honest += shard.honest_participants;
+  }
+  REDUND_INVARIANT(sum_tasks == base.plan.task_count,
+                   "shard task counts partition the base plan");
+  REDUND_INVARIANT(sum_work == base.plan.work_assignments,
+                   "shard assignment totals (sum i*x_i) partition the base "
+                   "plan");
+  REDUND_INVARIANT(sum_ringers == base.plan.ringer_count,
+                   "shard ringer counts partition the base plan");
+  REDUND_INVARIANT(sum_honest == base.honest_participants,
+                   "shard fleets partition the base fleet");
+#endif
 }
 
 RuntimeReport ShardedSupervisor::run(parallel::ThreadPool& pool) const {
@@ -102,6 +127,15 @@ RuntimeReport ShardedSupervisor::merge(
   RuntimeReport merged;
   double detection_weighted_latency = 0.0;
   for (const RuntimeReport& r : reports) {
+    // Per-shard counter consistency before folding: a report whose own
+    // counters do not balance would poison every merged total. (Partial
+    // fixture reports with tasks == 0 are exempt from the balance check.)
+    REDUND_INVARIANT(r.tasks == 0 ||
+                         r.tasks_valid + r.tasks_unfinished <= r.tasks,
+                     "shard report: valid + unfinished tasks within total");
+    REDUND_INVARIANT(
+        r.final_correct_tasks + r.final_corrupt_tasks == r.tasks_valid,
+        "shard report: validated tasks split into correct + corrupt");
     merged.tasks += r.tasks;
     merged.units_planned += r.units_planned;
     merged.participants += r.participants;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "platform/registry.hpp"
 #include "platform/scheduler.hpp"
 #include "rng/distributions.hpp"
@@ -247,6 +248,15 @@ class Runner {
         ++adversary_held_[t];
       }
     }
+    // Assignment conservation: the initial deal must place exactly the
+    // plan's Σ i·x_i work units (plus ringers), and the slot table must
+    // have one slot per dealt unit plus the per-task replica budget.
+    REDUND_INVARIANT(
+        scheduler_.unit_count() == config.plan.total_assignments(),
+        "initial deal conserves the plan's assignment total (sum i*x_i)");
+    REDUND_INVARIANT(total_slots == unit_count + task_count * extra,
+                     "slot table covers every dealt unit plus the per-task "
+                     "replica budget");
     for (std::size_t t = 0; t < task_count; ++t) {
       tasks_rt_[t].target_copies = scheduler_.tasks()[t].multiplicity;
     }
@@ -364,6 +374,15 @@ class Runner {
   /// the next batch). Sampling, journal checkpoints, and the kill/abort
   /// checks run at batch boundaries.
   LoopExit loop_(std::int64_t max_events) {
+#if REDUND_ENABLE_INVARIANTS
+    // Pop-order contract: the queue must deliver events in strictly
+    // ascending (time, seq) order — any regression here (a heap bug, a
+    // calendar-bucket mis-sort) silently breaks journal replay equality.
+    contracts::ScopedCampaignContext context_guard(
+        {config_.seed, 0.0, report_.events_processed});
+    bool have_last_popped = false;
+    Event last_popped{};
+#endif
     while (!queue_.empty()) {
       if (max_events >= 0 && report_.events_processed >= max_events) {
         return LoopExit::kKilled;
@@ -395,6 +414,15 @@ class Runner {
       }
       report_.end_time = std::max(report_.end_time, head.time);
       for (const Event& event : batch_) {
+#if REDUND_ENABLE_INVARIANTS
+        contracts::set_campaign_context(
+            {config_.seed, event.time, report_.events_processed});
+        REDUND_INVARIANT(!have_last_popped || fires_before(last_popped, event),
+                         "event queue pops in strictly ascending (time, seq) "
+                         "order");
+        have_last_popped = true;
+        last_popped = event;
+#endif
         journal_event_(event);
         ++report_.events_processed;
         switch (event.kind) {
@@ -1340,6 +1368,10 @@ class Runner {
     units_rt_.emplace_back();
     const auto& wu = scheduler_.units()[u];
     const auto t = static_cast<std::size_t>(wu.task);
+    REDUND_PRECONDITION(
+        static_cast<std::size_t>(task_unit_count_[t]) <
+            task_slot_begin_[t + 1] - task_slot_begin_[t],
+        "replica append stays within the task's pre-sized slot run");
     unit_slots_[task_slot_begin_[t] +
                 static_cast<std::size_t>(task_unit_count_[t]++)] = u;
     if (registry_.record(wu.assignee).principal == Principal::kAdversary) {

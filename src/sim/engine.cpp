@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "rng/distributions.hpp"
 
 namespace redund::sim {
@@ -178,6 +179,23 @@ void sample_class_histogram(const TaskClass& cls, std::int64_t class_picks,
       hist[static_cast<std::size_t>(j + 1)] += promoted;
     }
   }
+
+#if REDUND_ENABLE_INVARIANTS
+  // Conservation after the promotion cascade: the histogram still covers
+  // every task in the class, and total coverage (Σ j·hist[j]) equals the
+  // picks dealt into the class.
+  std::int64_t task_total = 0;
+  std::int64_t coverage_total = 0;
+  for (std::size_t j = 0; j < hist.size(); ++j) {
+    task_total += hist[j];
+    coverage_total += static_cast<std::int64_t>(j) * hist[j];
+  }
+  REDUND_INVARIANT(task_total == cls.count,
+                   "class histogram levels sum to the class task count");
+  REDUND_INVARIANT(coverage_total == class_picks,
+                   "class histogram coverage (sum j*hist[j]) equals the "
+                   "picks dealt into the class");
+#endif
 }
 
 /// Verification pass over one class's held-count histogram. Statistically

@@ -1,0 +1,121 @@
+// Contract layer (core/contracts.hpp): the three macro tiers fire through
+// the installed failure handler, the campaign context threads into the
+// diagnostic, and suppression/restoration behave.
+//
+// This TU force-enables the checks regardless of the build's
+// ENABLE_INVARIANTS setting, so the suite covers the macros in Release
+// builds too (where the library itself compiles them out).
+#define REDUND_ENABLE_INVARIANTS 1
+
+#include "core/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace contracts = redund::contracts;
+
+namespace {
+
+/// Handler installed by the fixtures: throws the formatted diagnostic so
+/// the test can assert on it (and so contract_failed never aborts).
+[[noreturn]] void throwing_handler(const char* tier, const char* expression,
+                                   const char* file, int line,
+                                   const char* message) {
+  throw std::runtime_error(
+      contracts::format_failure(tier, expression, file, line, message));
+}
+
+class ContractsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = contracts::install_failure_handler(&throwing_handler);
+    contracts::clear_campaign_context();
+  }
+  void TearDown() override {
+    contracts::install_failure_handler(previous_);
+    contracts::clear_campaign_context();
+  }
+
+  contracts::FailureHandler previous_ = nullptr;
+};
+
+TEST_F(ContractsTest, TrueConditionsPassSilently) {
+  REDUND_PRECONDITION(1 + 1 == 2, "arithmetic works");
+  REDUND_INVARIANT(true, "trivially holds");
+  REDUND_CHECK(42 > 0, "still positive");
+}
+
+TEST_F(ContractsTest, EachTierFiresWithItsName) {
+  EXPECT_THROW(REDUND_PRECONDITION(false, "p"), std::runtime_error);
+  EXPECT_THROW(REDUND_INVARIANT(false, "i"), std::runtime_error);
+  EXPECT_THROW(REDUND_CHECK(false, "c"), std::runtime_error);
+
+  try {
+    REDUND_PRECONDITION(2 < 1, "order reversed");
+    FAIL() << "precondition did not fire";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("[precondition]"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("order reversed"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ContractsTest, CampaignContextAppearsInDiagnostic) {
+  contracts::set_campaign_context({0xDEADBEEFULL, 12.5, 42});
+  try {
+    REDUND_INVARIANT(false, "with context");
+    FAIL() << "invariant did not fire";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("seed=0xdeadbeef"), std::string::npos) << what;
+    EXPECT_NE(what.find("sim_time=12.5"), std::string::npos) << what;
+    EXPECT_NE(what.find("event_index=42"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ContractsTest, NoContextMeansNoCampaignLine) {
+  try {
+    REDUND_CHECK(false, "context-free");
+    FAIL() << "check did not fire";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()).find("campaign:"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ContractsTest, ScopedContextRestoresThePreviousOne) {
+  ASSERT_EQ(contracts::campaign_context(), nullptr);
+  {
+    contracts::ScopedCampaignContext outer({1, 1.0, 1});
+    ASSERT_NE(contracts::campaign_context(), nullptr);
+    EXPECT_EQ(contracts::campaign_context()->seed, 1u);
+    {
+      contracts::ScopedCampaignContext inner({2, 2.0, 2});
+      EXPECT_EQ(contracts::campaign_context()->seed, 2u);
+    }
+    ASSERT_NE(contracts::campaign_context(), nullptr);
+    EXPECT_EQ(contracts::campaign_context()->seed, 1u);
+  }
+  EXPECT_EQ(contracts::campaign_context(), nullptr);
+}
+
+TEST_F(ContractsTest, InstallHandlerReturnsThePreviousHandler) {
+  // SetUp installed throwing_handler over the default (nullptr).
+  const contracts::FailureHandler current =
+      contracts::install_failure_handler(nullptr);
+  EXPECT_EQ(current, &throwing_handler);
+  // Put it back so TearDown's bookkeeping stays truthful.
+  ASSERT_EQ(contracts::install_failure_handler(&throwing_handler), nullptr);
+}
+
+TEST_F(ContractsTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  REDUND_CHECK(++evaluations > 0, "side effect counted");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace

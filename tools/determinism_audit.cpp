@@ -1,0 +1,63 @@
+// determinism_audit — CLI front end for runtime::run_determinism_audit.
+//
+// Runs the campaign-equivalence matrix (queue kinds x shard counts x
+// thread-pool sizes x journal kill/resume points) and exits nonzero when
+// any must-agree group diverges. See src/runtime/audit.hpp for what the
+// matrix proves and docs/correctness.md for how to read a failure.
+//
+//   determinism_audit [--quick] [--seed <hex-or-dec>] [--tasks <n>]
+//                     [--scratch <dir>]
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "runtime/audit.hpp"
+
+int main(int argc, char** argv) {
+  namespace runtime = redund::runtime;
+  runtime::AuditOptions options;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "determinism_audit: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(value(), nullptr, 0);
+    } else if (arg == "--tasks") {
+      options.target_tasks = std::stoll(value());
+    } else if (arg == "--scratch") {
+      options.scratch_dir = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: determinism_audit [--quick] [--seed <n>] "
+                   "[--tasks <n>] [--scratch <dir>]\n"
+                   "Runs the determinism audit matrix; exit 0 when every "
+                   "equivalent execution\nproduces a bit-identical report, "
+                   "1 on divergence.\n";
+      return 0;
+    } else {
+      std::cerr << "determinism_audit: unknown option " << arg
+                << " (try --help)\n";
+      return 2;
+    }
+  }
+  if (quick) {
+    const std::uint64_t seed = options.seed;
+    const std::string scratch = options.scratch_dir;
+    options = runtime::quick_audit_options();
+    options.seed = seed;
+    options.scratch_dir = scratch;
+  }
+
+  const runtime::AuditResult result =
+      runtime::run_determinism_audit(options, std::cout);
+  return result.passed ? 0 : 1;
+}

@@ -1,0 +1,703 @@
+// redund_lint — project-specific static checker for the redundancy
+// simulator. Token/regex based on purpose: the rules below are shallow
+// enough that a comment-and-string-aware line scan enforces them exactly,
+// and a libclang dependency would cost far more than it buys.
+//
+// Rules (diagnostic form `path:line: [rule] message`, exit 1 on findings):
+//
+//   nondeterministic-rng     rand()/srand()/std::time()/time(nullptr) and
+//                            unseeded std::random_device anywhere in src/.
+//                            Campaign results must be functions of the
+//                            config seed alone.
+//   unordered-iteration      Iterating a std::unordered_* container in
+//                            src/runtime/ or src/sim/. Hash-table order is
+//                            implementation-defined; it leaks into
+//                            journals, reports, and merge folds.
+//   hot-alloc                Allocation-prone calls inside a function
+//                            annotated `// redund: hot` (supervisor/queue
+//                            steady-state paths are contractually
+//                            allocation-free).
+//   include-c-header         C headers (<stdio.h>, ...) instead of their
+//                            <cstdio>-style C++ spellings.
+//   include-iostream         <iostream> included from a header (drags in
+//                            static iostream initializers translation-unit
+//                            wide; headers use <ostream>/<iosfwd>).
+//   using-namespace          `using namespace` at header scope.
+//
+// Suppression: `// redund-lint: allow(rule)` (comma-separated list or
+// `all`) on the offending line or the line directly above it. Suppressions
+// are the audit trail for intentional exceptions — e.g. a pre-sized
+// vector's push_back inside a hot function.
+//
+// `--self-test` runs embedded fixtures proving each rule fires and that
+// allow() suppresses it, so CI notices if a rule rots.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// One source line after comment/string stripping: `code` has comments,
+/// string literals, and char literals blanked with spaces (columns
+/// preserved); `comment` holds the concatenated comment text of the line
+/// (where `redund:` annotations and `redund-lint:` suppressions live).
+struct ScrubbedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment/string scanner. Handles //, /* */, "..." with escapes, '...'
+/// with escapes, and raw strings R"delim(...)delim". Operates on the whole
+/// file so block comments and raw strings may span lines.
+std::vector<ScrubbedLine> scrub_source(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  std::vector<ScrubbedLine> lines(1);
+  State state = State::kCode;
+  std::string raw_delimiter;  // For kRaw: the ")delim\"" terminator.
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary string/char at EOL: ill-formed anyway; reset
+      // so one bad line cannot blank the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      continue;
+    }
+    ScrubbedLine& line = lines.back();
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+          break;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          line.code += "  ";
+          ++i;
+          break;
+        }
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+          // Raw string: R"delim( ... )delim". Collect the delimiter.
+          std::size_t j = i + 2;
+          std::string delimiter;
+          while (j < n && text[j] != '(' && text[j] != '\n' &&
+                 delimiter.size() <= 16) {
+            delimiter += text[j++];
+          }
+          if (j < n && text[j] == '(') {
+            raw_delimiter = ")" + delimiter + "\"";
+            state = State::kRaw;
+            line.code.append(j - i + 1, ' ');
+            i = j;
+            break;
+          }
+          line.code += c;  // Not actually a raw string; fall through.
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          line.code += ' ';
+          break;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          line.code += ' ';
+          break;
+        }
+        line.code += c;
+        break;
+      }
+      case State::kLineComment:
+        line.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          line.comment += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        if (c == '\\' && i + 1 < n) {
+          ++i;
+          line.code += "  ";
+          break;
+        }
+        if ((state == State::kString && c == '"') ||
+            (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        line.code += ' ';
+        break;
+      }
+      case State::kRaw: {
+        if (c == ')' && text.compare(i, raw_delimiter.size(),
+                                     raw_delimiter) == 0) {
+          i += raw_delimiter.size() - 1;
+          line.code.append(raw_delimiter.size(), ' ');
+          state = State::kCode;
+        } else {
+          line.code += ' ';
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+/// Parses `redund-lint: allow(a, b)` out of a comment; returns the allowed
+/// rule names (or {"all"}).
+std::vector<std::string> allowed_rules(const std::string& comment) {
+  std::vector<std::string> rules;
+  static const std::regex kAllow(R"(redund-lint:\s*allow\(([^)]*)\))");
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::stringstream list((*it)[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const auto first = rule.find_first_not_of(" \t");
+      const auto last = rule.find_last_not_of(" \t");
+      if (first != std::string::npos) {
+        rules.push_back(rule.substr(first, last - first + 1));
+      }
+    }
+  }
+  return rules;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text` contains `token` as a whole identifier (not a substring
+/// of a longer identifier). `token` may end in '(' to require a call.
+bool contains_token(const std::string& text, const std::string& token) {
+  const bool want_call = !token.empty() && token.back() == '(';
+  const std::string word =
+      want_call ? token.substr(0, token.size() - 1) : token;
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || !is_identifier_char(text[pos - 1]);
+    std::size_t end = pos + word.size();
+    const bool end_ok = end >= text.size() || !is_identifier_char(text[end]);
+    if (start_ok && end_ok) {
+      if (!want_call) return true;
+      while (end < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[end]))) {
+        ++end;
+      }
+      if (end < text.size() && text[end] == '(') return true;
+    }
+    pos += word.size();
+  }
+  return false;
+}
+
+struct LintOptions {
+  bool runtime_rules = false;  // unordered-iteration (src/runtime, src/sim).
+  bool header = false;         // Header-only rules.
+};
+
+class Linter {
+ public:
+  Linter(std::string path, const std::string& text, LintOptions options)
+      : path_(std::move(path)),
+        options_(options),
+        lines_(scrub_source(text)) {
+    allow_.reserve(lines_.size());
+    for (const ScrubbedLine& line : lines_) {
+      allow_.push_back(allowed_rules(line.comment));
+    }
+  }
+
+  std::vector<Finding> run() {
+    collect_unordered_names_();
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      check_rng_(i);
+      check_includes_(i);
+      check_using_namespace_(i);
+      if (options_.runtime_rules) check_unordered_iteration_(i);
+    }
+    check_hot_functions_();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line < b.line;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  bool suppressed_(std::size_t i, const std::string& rule) const {
+    for (std::size_t j = i == 0 ? i : i - 1; j <= i; ++j) {
+      for (const std::string& allowed : allow_[j]) {
+        if (allowed == rule || allowed == "all") return true;
+      }
+    }
+    return false;
+  }
+
+  void report_(std::size_t i, const std::string& rule,
+               const std::string& message) {
+    if (suppressed_(i, rule)) return;
+    findings_.push_back(Finding{path_, i + 1, rule, message});
+  }
+
+  // ------------------------------------------------------ nondeterministic
+  void check_rng_(std::size_t i) {
+    const std::string& code = lines_[i].code;
+    static const char* kBanned[] = {"rand(", "srand(", "std::rand(",
+                                    "std::srand("};
+    for (const char* call : kBanned) {
+      if (contains_token(code, call)) {
+        report_(i, "nondeterministic-rng",
+                std::string("call to ") + call +
+                    ") — derive draws from the campaign seed via rng:: "
+                    "streams");
+        return;
+      }
+    }
+    static const std::regex kTimeCall(
+        R"((^|[^:\w])(std::)?time\s*\(\s*(nullptr|NULL|0)?\s*\))");
+    if (std::regex_search(code, kTimeCall)) {
+      report_(i, "nondeterministic-rng",
+              "wall-clock time() call — campaign behaviour must depend on "
+              "the config seed only");
+      return;
+    }
+    const std::size_t pos = code.find("std::random_device");
+    if (pos != std::string::npos) {
+      // A token-seeded random_device("...") is explicitly configured;
+      // anything else (default construction) draws entropy.
+      std::size_t end = pos + std::string("std::random_device").size();
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      bool seeded = false;
+      if (end < code.size() && code[end] == '(') {
+        std::size_t inside = end + 1;
+        while (inside < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[inside]))) {
+          ++inside;
+        }
+        seeded = inside < code.size() && code[inside] != ')';
+      }
+      if (!seeded) {
+        report_(i, "nondeterministic-rng",
+                "default-constructed std::random_device draws OS entropy — "
+                "seed from the campaign config instead");
+      }
+    }
+  }
+
+  // -------------------------------------------------- unordered iteration
+  void collect_unordered_names_() {
+    if (!options_.runtime_rules) return;
+    static const std::regex kDecl(
+        R"(std::unordered_\w+\s*<[^;{]*?>\s*[&*]{0,2}\s*(\w+))");
+    for (const ScrubbedLine& line : lines_) {
+      auto begin =
+          std::sregex_iterator(line.code.begin(), line.code.end(), kDecl);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        unordered_names_.push_back((*it)[1].str());
+      }
+    }
+  }
+
+  void check_unordered_iteration_(std::size_t i) {
+    const std::string& code = lines_[i].code;
+    static const std::regex kRangeFor(R"(for\s*\([^;)]*:\s*([^)]+)\))");
+    std::smatch match;
+    if (std::regex_search(code, match, kRangeFor)) {
+      const std::string range = match[1].str();
+      if (range.find("unordered") != std::string::npos) {
+        report_(i, "unordered-iteration",
+                "range-for over a std::unordered_* container — hash order "
+                "leaks into journals/reports; use a sorted or indexed "
+                "container");
+        return;
+      }
+      for (const std::string& name : unordered_names_) {
+        if (contains_token(range, name)) {
+          report_(i, "unordered-iteration",
+                  "range-for over unordered container '" + name +
+                      "' — hash order leaks into journals/reports");
+          return;
+        }
+      }
+    }
+    for (const std::string& name : unordered_names_) {
+      for (const char* method : {".begin(", ".end(", ".cbegin(", ".cend("}) {
+        if (code.find(name + method) != std::string::npos) {
+          report_(i, "unordered-iteration",
+                  "iterator over unordered container '" + name +
+                      "' — hash order leaks into journals/reports");
+          return;
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- includes
+  void check_includes_(std::size_t i) {
+    const std::string& code = lines_[i].code;
+    static const std::regex kInclude(R"(^\s*#\s*include\s*<([^>]+)>)");
+    std::smatch match;
+    if (!std::regex_search(code, match, kInclude)) return;
+    const std::string header = match[1].str();
+    static const std::pair<const char*, const char*> kCHeaders[] = {
+        {"assert.h", "cassert"}, {"ctype.h", "cctype"},
+        {"errno.h", "cerrno"},   {"float.h", "cfloat"},
+        {"limits.h", "climits"}, {"math.h", "cmath"},
+        {"signal.h", "csignal"}, {"stddef.h", "cstddef"},
+        {"stdint.h", "cstdint"}, {"stdio.h", "cstdio"},
+        {"stdlib.h", "cstdlib"}, {"string.h", "cstring"},
+        {"time.h", "ctime"},
+    };
+    for (const auto& [c_name, cpp_name] : kCHeaders) {
+      if (header == c_name) {
+        report_(i, "include-c-header",
+                std::string("#include <") + c_name + "> — use <" + cpp_name +
+                    "> (C++ spelling, std:: namespace)");
+        return;
+      }
+    }
+    if (options_.header && header == "iostream") {
+      report_(i, "include-iostream",
+              "<iostream> in a header drags static stream initializers into "
+              "every includer — use <ostream>/<iosfwd> in headers");
+    }
+  }
+
+  // ------------------------------------------------------ using namespace
+  void check_using_namespace_(std::size_t i) {
+    if (!options_.header) return;
+    static const std::regex kUsing(R"(^\s*using\s+namespace\s+\w)");
+    if (std::regex_search(lines_[i].code, kUsing)) {
+      report_(i, "using-namespace",
+              "'using namespace' at header scope pollutes every includer");
+    }
+  }
+
+  // ------------------------------------------------------------ hot-alloc
+  void check_hot_functions_() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      if (lines_[i].comment.find("redund: hot") == std::string::npos) {
+        continue;
+      }
+      scan_hot_body_(i);
+    }
+  }
+
+  /// From a `// redund: hot` annotation, finds the next function body
+  /// (first '{' before any top-level ';') and scans it for
+  /// allocation-prone calls until the matching '}'.
+  void scan_hot_body_(std::size_t annotation) {
+    static const char* kAllocating[] = {
+        "malloc(",       "calloc(",      "realloc(",  "free(",
+        "push_back(",    "emplace_back(", "emplace(",  "insert(",
+        "resize(",       "reserve(",     "make_unique(", "make_shared(",
+        "to_string(",    "std::string(",
+    };
+    int depth = 0;
+    bool in_body = false;
+    for (std::size_t i = annotation; i < lines_.size(); ++i) {
+      const std::string& code = lines_[i].code;
+      if (in_body) {
+        static const std::regex kNew(R"((^|[^:\w])new\s*[\w(<])");
+        if (std::regex_search(code, kNew)) {
+          report_(i, "hot-alloc",
+                  "operator new inside a `redund: hot` function — hot paths "
+                  "are contractually allocation-free");
+        } else {
+          for (const char* call : kAllocating) {
+            if (contains_token(code, call)) {
+              report_(i, "hot-alloc",
+                      std::string("allocation-prone call ") + call +
+                          ") inside a `redund: hot` function");
+              break;
+            }
+          }
+        }
+      }
+      for (const char c : code) {
+        if (c == '{') {
+          ++depth;
+          in_body = true;
+        } else if (c == '}') {
+          if (--depth == 0 && in_body) return;
+        } else if (c == ';' && !in_body && i > annotation) {
+          return;  // Declaration without a body: nothing to scan.
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  LintOptions options_;
+  std::vector<ScrubbedLine> lines_;
+  std::vector<std::vector<std::string>> allow_;
+  std::vector<std::string> unordered_names_;
+  std::vector<Finding> findings_;
+};
+
+bool is_header_path(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+bool is_source_path(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+LintOptions options_for(const std::filesystem::path& path) {
+  LintOptions options;
+  options.header = is_header_path(path);
+  const std::string generic = path.generic_string();
+  options.runtime_rules = generic.find("/runtime/") != std::string::npos ||
+                          generic.find("/sim/") != std::string::npos;
+  return options;
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{path.string(), 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Linter linter(path.string(), buffer.str(), options_for(path));
+  return linter.run();
+}
+
+// --------------------------------------------------------------- self-test
+
+struct Fixture {
+  const char* name;
+  const char* path;     // Decides path-scoped rules.
+  const char* source;
+  const char* expect_rule;  // nullptr: expect clean.
+  std::size_t expect_line;  // 1-based; 0 with expect_rule: any line.
+};
+
+const Fixture kFixtures[] = {
+    {"rng-fires", "src/math/x.cpp",
+     "int f() {\n  return rand() % 6;\n}\n", "nondeterministic-rng", 2},
+    {"rng-std-time-fires", "src/core/x.cpp",
+     "long f() {\n  return std::time(nullptr);\n}\n",
+     "nondeterministic-rng", 2},
+    {"rng-random-device-fires", "src/rng/x.cpp",
+     "unsigned f() {\n  std::random_device rd;\n  return rd();\n}\n",
+     "nondeterministic-rng", 2},
+    {"rng-allow-suppresses", "src/math/x.cpp",
+     "int f() {\n"
+     "  return rand() % 6;  // redund-lint: allow(nondeterministic-rng)\n"
+     "}\n",
+     nullptr, 0},
+    {"rng-in-comment-ignored", "src/math/x.cpp",
+     "// rand() is banned here\nint f() { return 4; }\n", nullptr, 0},
+    {"rng-in-string-ignored", "src/math/x.cpp",
+     "const char* k = \"rand()\";\n", nullptr, 0},
+    {"unordered-range-for-fires", "src/runtime/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "void f() {\n"
+     "  for (const auto& kv : table_) { use(kv); }\n"
+     "}\n",
+     "unordered-iteration", 3},
+    {"unordered-begin-fires", "src/sim/x.cpp",
+     "std::unordered_set<int> seen;\n"
+     "auto f() { return seen.begin(); }\n",
+     "unordered-iteration", 2},
+    {"unordered-reference-param-fires", "src/runtime/x.cpp",
+     "void f(const std::unordered_map<int, int>& table) {\n"
+     "  for (const auto& kv : table) { use(kv); }\n"
+     "}\n",
+     "unordered-iteration", 2},
+    {"unordered-allow-suppresses", "src/runtime/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "void f() {\n"
+     "  // redund-lint: allow(unordered-iteration)\n"
+     "  for (const auto& kv : table_) { use(kv); }\n"
+     "}\n",
+     nullptr, 0},
+    {"unordered-outside-scope-clean", "src/core/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "void f() {\n"
+     "  for (const auto& kv : table_) { use(kv); }\n"
+     "}\n",
+     nullptr, 0},
+    {"unordered-lookup-clean", "src/runtime/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "int f(int k) { return table_.at(k); }\n",
+     nullptr, 0},
+    {"hot-alloc-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n",
+     "hot-alloc", 3},
+    {"hot-alloc-new-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "int* f() {\n"
+     "  return new int(4);\n"
+     "}\n",
+     "hot-alloc", 3},
+    {"hot-alloc-allow-suppresses", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v) {\n"
+     "  v.push_back(1);  // redund-lint: allow(hot-alloc)\n"
+     "}\n",
+     nullptr, 0},
+    {"hot-alloc-unannotated-clean", "src/runtime/x.cpp",
+     "void f(std::vector<int>& v) {\n  v.push_back(1);\n}\n", nullptr, 0},
+    {"hot-alloc-ends-at-brace", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "int f() {\n"
+     "  return 4;\n"
+     "}\n"
+     "void g(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n",
+     nullptr, 0},
+    {"c-header-fires", "src/core/x.cpp",
+     "#include <stdio.h>\n", "include-c-header", 1},
+    {"c-header-allow-suppresses", "src/core/x.cpp",
+     "#include <stdio.h>  // redund-lint: allow(include-c-header)\n",
+     nullptr, 0},
+    {"iostream-header-fires", "src/core/x.hpp",
+     "#include <iostream>\n", "include-iostream", 1},
+    {"iostream-in-cpp-clean", "src/core/x.cpp",
+     "#include <iostream>\n", nullptr, 0},
+    {"using-namespace-header-fires", "src/core/x.hpp",
+     "using namespace std;\n", "using-namespace", 1},
+    {"using-namespace-cpp-clean", "src/core/x.cpp",
+     "using namespace std::chrono_literals;\n", nullptr, 0},
+};
+
+int run_self_test() {
+  int failures = 0;
+  for (const Fixture& fixture : kFixtures) {
+    Linter linter(fixture.path, fixture.source, options_for(fixture.path));
+    const std::vector<Finding> findings = linter.run();
+    bool ok;
+    if (fixture.expect_rule == nullptr) {
+      ok = findings.empty();
+    } else {
+      ok = std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                         return f.rule == fixture.expect_rule &&
+                                (fixture.expect_line == 0 ||
+                                 f.line == fixture.expect_line);
+                       });
+    }
+    if (!ok) {
+      ++failures;
+      std::cerr << "self-test FAIL: " << fixture.name << " (expected ";
+      if (fixture.expect_rule == nullptr) {
+        std::cerr << "clean";
+      } else {
+        std::cerr << fixture.expect_rule << " at line " << fixture.expect_line;
+      }
+      std::cerr << ", got " << findings.size() << " finding(s)";
+      for (const Finding& f : findings) {
+        std::cerr << " [" << f.rule << "@" << f.line << "]";
+      }
+      std::cerr << ")\n";
+    }
+  }
+  const std::size_t total = std::size(kFixtures);
+  if (failures == 0) {
+    std::cout << "redund_lint self-test: " << total << "/" << total
+              << " fixtures passed\n";
+    return 0;
+  }
+  std::cerr << "redund_lint self-test: " << failures << "/" << total
+            << " fixtures FAILED\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: redund_lint [--self-test] <file-or-dir>...\n"
+             "Scans C++ sources for redundancy-project rule violations\n"
+             "(see docs/correctness.md). Exit 0 clean, 1 findings, 2 usage.\n";
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (self_test) return run_self_test();
+  if (inputs.empty()) {
+    std::cerr << "redund_lint: no inputs (try --help)\n";
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && is_source_path(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "redund_lint: no such file or directory: "
+                << input.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t finding_count = 0;
+  for (const std::filesystem::path& file : files) {
+    for (const Finding& finding : lint_file(file)) {
+      ++finding_count;
+      std::cout << finding.path << ":" << finding.line << ": ["
+                << finding.rule << "] " << finding.message << "\n";
+    }
+  }
+  if (finding_count != 0) {
+    std::cerr << "redund_lint: " << finding_count << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "redund_lint: " << files.size() << " file(s) clean\n";
+  return 0;
+}

@@ -49,6 +49,7 @@
 #include "core/schemes/balanced.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
+#include "runtime/audit.hpp"
 #include "runtime/sharded.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/monte_carlo.hpp"
@@ -349,6 +350,24 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+int cmd_audit(const Args& args) {
+  namespace runtime = redund::runtime;
+  runtime::AuditOptions options;
+  if (args.flag("quick")) options = runtime::quick_audit_options();
+  if (const auto seed = args.get("seed")) {
+    options.seed = std::stoull(*seed, nullptr, 0);
+  }
+  if (const auto tasks = args.get("tasks")) {
+    options.target_tasks = std::stoll(*tasks);
+  }
+  if (const auto scratch = args.get("scratch")) {
+    options.scratch_dir = *scratch;
+  }
+  const runtime::AuditResult result =
+      runtime::run_determinism_audit(options, std::cout);
+  return result.passed ? 0 : 1;
+}
+
 int cmd_help() {
   std::cout <<
       R"(redundctl — collusion-resistant redundancy planning (CLUSTER 2005)
@@ -370,6 +389,7 @@ subcommands:
            [--shards S [--threads T]]
   budget   --tasks N --budget B [--adversary P]
   bench    [--quick] [--out FILE]
+  audit    [--quick] [--seed S] [--tasks N] [--scratch DIR]
   help
 )";
   return 0;
@@ -390,6 +410,7 @@ int main(int argc, char** argv) {
     if (command == "run-async") return cmd_run_async(args);
     if (command == "budget") return cmd_budget(args);
     if (command == "bench") return cmd_bench(args);
+    if (command == "audit") return cmd_audit(args);
     std::cerr << "unknown subcommand '" << command << "' (try: help)\n";
     return 2;
   } catch (const std::exception& error) {
