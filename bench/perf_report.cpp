@@ -1,7 +1,7 @@
 // Perf-regression report generator.
 //
 // Runs the headline suite (perf/suite.hpp) and writes the records as
-// BENCH_PR4.json (override with --out). Diff two reports with
+// BENCH_PR5.json (override with --out). Diff two reports with
 // tools/bench_compare. --quick shrinks sizes/budgets ~10x for smoke tests.
 #include <cstdio>
 #include <exception>
@@ -11,7 +11,7 @@
 #include "perf/suite.hpp"
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR5.json";
   redund::perf::SuiteOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

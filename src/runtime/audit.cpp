@@ -35,6 +35,12 @@ std::uint64_t report_fingerprint(const RuntimeReport& report) {
   w.i64(report.mismatches_detected);
   w.i64(report.ringer_catches);
   w.i64(report.blacklisted_identities);
+  w.i64(report.replan_rounds);
+  w.i64(report.control_boosts);
+  w.i64(report.control_releases);
+  w.i64(report.control_observations);
+  w.f64(report.p_hat_mean);
+  w.f64(report.p_hat_upper);
   w.i64(report.adversary_cheat_attempts);
   w.i64(report.false_accusations);
   w.i64(report.final_correct_tasks);
@@ -63,6 +69,8 @@ std::uint64_t report_fingerprint(const RuntimeReport& report) {
     w.i64(sample.units_timed_out);
     w.i64(sample.units_reissued);
     w.i64(sample.tasks_valid);
+    w.i64(sample.control_boosts);
+    w.i64(sample.control_releases);
   }
   return fnv1a_hash(w.text());
 }
@@ -98,6 +106,27 @@ RuntimeConfig base_config(const AuditOptions& options) {
   config.latency.dropout_probability = 0.02;
   config.sample_interval = 25.0;  // Series merge is part of the surface.
   config.seed = options.seed;
+  return config;
+}
+
+/// The static base plus the online controller and an adversary whose
+/// colluding fraction drifts mid-campaign (step down, then ramp back up)
+/// — the configuration whose determinism the control subsystem must not
+/// break: kReplan events, boost/release bookkeeping, and the controller
+/// state in every checkpoint all join the byte-identity contract.
+RuntimeConfig adaptive_config(const AuditOptions& options) {
+  RuntimeConfig config = base_config(options);
+  config.control.enabled = true;
+  config.control.epsilon = 0.5;
+  config.control.replan_interval = 48;
+  config.control.min_observations = 24;
+  config.faults.events.push_back({.time = 40.0,
+                                  .kind = FaultKind::kPDrift,
+                                  .fraction = 0.3});
+  config.faults.events.push_back({.time = 160.0,
+                                  .kind = FaultKind::kPDrift,
+                                  .fraction = 0.9,
+                                  .duration = 120.0});
   return config;
 }
 
@@ -151,24 +180,15 @@ class AgreementGroup {
   std::string reference_label_;
 };
 
-}  // namespace
-
-AuditResult run_determinism_audit(const AuditOptions& options,
-                                  std::ostream& log) {
-  AuditResult result;
-  const RuntimeConfig base = base_config(options);
-  std::filesystem::create_directories(options.scratch_dir);
-
-  log << "determinism audit: " << options.queue_kinds.size()
-      << " queue kind(s) x " << options.shard_counts.size()
-      << " shard count(s) x " << options.thread_counts.size()
-      << " pool size(s) x " << options.kill_fractions.size()
-      << " kill point(s), seed 0x" << std::hex << options.seed << std::dec
-      << "\n";
-
+/// Runs the full queue x threads x kill matrix for one base campaign.
+/// `tag` labels the agreement groups and keys the scratch journal names
+/// so multiple bases can share one scratch directory.
+void audit_matrix(const AuditOptions& options, const RuntimeConfig& base,
+                  const std::string& tag, AuditResult& result,
+                  std::ostream& log) {
   for (const std::int64_t shards : options.shard_counts) {
     AgreementGroup group(result, log,
-                         "shards=" + std::to_string(shards));
+                         tag + " shards=" + std::to_string(shards));
 
     // Per-shard uninterrupted runs, executed sequentially on this thread:
     // the scheduling-free reference, and the source of each shard's event
@@ -217,7 +237,7 @@ AuditResult run_determinism_audit(const AuditOptions& options,
         for (std::size_t s = 0;
              s < sharded.shard_configs().size() && !leg_failed; ++s) {
           RuntimeConfig shard = sharded.shard_configs()[s];
-          shard.journal.path = options.scratch_dir + "/audit-s" +
+          shard.journal.path = options.scratch_dir + "/audit-" + tag + "-s" +
                                std::to_string(shards) + "-q" +
                                queue_name(queue) + "-f" +
                                std::to_string(fraction) + "-shard" +
@@ -252,6 +272,27 @@ AuditResult run_determinism_audit(const AuditOptions& options,
         }
       }
     }
+  }
+}
+
+}  // namespace
+
+AuditResult run_determinism_audit(const AuditOptions& options,
+                                  std::ostream& log) {
+  AuditResult result;
+  std::filesystem::create_directories(options.scratch_dir);
+
+  log << "determinism audit: " << options.queue_kinds.size()
+      << " queue kind(s) x " << options.shard_counts.size()
+      << " shard count(s) x " << options.thread_counts.size()
+      << " pool size(s) x " << options.kill_fractions.size()
+      << " kill point(s)"
+      << (options.include_adaptive ? " x {static, adaptive}" : "")
+      << ", seed 0x" << std::hex << options.seed << std::dec << "\n";
+
+  audit_matrix(options, base_config(options), "static", result, log);
+  if (options.include_adaptive) {
+    audit_matrix(options, adaptive_config(options), "adaptive", result, log);
   }
 
   result.passed = result.divergences.empty();

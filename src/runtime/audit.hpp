@@ -59,6 +59,12 @@ struct AuditOptions {
   /// Directory for the scratch journals of the kill/resume legs; created
   /// if missing.
   std::string scratch_dir = "audit-scratch";
+
+  /// Run the whole matrix a second time with the online adaptive
+  /// controller enabled over a drifting-adversary fault schedule, so
+  /// kReplan events, controller checkpoints, and boost/release
+  /// bookkeeping are inside the byte-identity contract too.
+  bool include_adaptive = true;
 };
 
 /// Shrinks the matrix for CI/pre-commit latency: a smaller campaign,

@@ -49,6 +49,7 @@ enum class EventKind : std::uint8_t {
   kFault,          ///< A FaultSchedule entry starts (subject = fault index).
   kFaultEnd,       ///< A windowed fault's duration elapses (same subject).
   kHealthCheck,    ///< Periodic campaign health review (stall detection).
+  kReplan,         ///< Periodic adaptive-controller re-plan review.
 };
 
 /// Which pending-event queue the supervisor's loop runs on.

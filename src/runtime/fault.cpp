@@ -25,6 +25,7 @@ constexpr const char* kSchema = "redund-faults-v1";
   if (name == "message_loss") return FaultKind::kMessageLoss;
   if (name == "duplication") return FaultKind::kDuplication;
   if (name == "corruption") return FaultKind::kCorruption;
+  if (name == "p_drift") return FaultKind::kPDrift;
   throw std::runtime_error("fault plan JSON: unknown fault kind \"" + name +
                            "\"");
 }
@@ -39,6 +40,7 @@ constexpr const char* kSchema = "redund-faults-v1";
       return true;
     case FaultKind::kLeave:
     case FaultKind::kRejoin:
+    case FaultKind::kPDrift:  // Takes effect at `time`; no end event.
       return false;
   }
   return false;
@@ -93,6 +95,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kMessageLoss: return "message_loss";
     case FaultKind::kDuplication: return "duplication";
     case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kPDrift: return "p_drift";
   }
   return "unknown";
 }
@@ -112,10 +115,14 @@ void FaultSchedule::validate(std::int64_t participant_count) const {
                                     " out of range");
       }
     }
-    if (e.kind == FaultKind::kBlackout &&
+    if ((e.kind == FaultKind::kBlackout || e.kind == FaultKind::kPDrift) &&
         (!std::isfinite(e.fraction) || e.fraction < 0.0 ||
          e.fraction > 1.0)) {
       throw std::invalid_argument(at + "fraction must be in [0, 1]");
+    }
+    if (e.kind == FaultKind::kPDrift &&
+        (!std::isfinite(e.duration) || e.duration < 0.0)) {
+      throw std::invalid_argument(at + "ramp duration must be >= 0");
     }
     if (is_windowed(e.kind) &&
         (!std::isfinite(e.duration) || e.duration <= 0.0)) {
@@ -176,10 +183,10 @@ std::string FaultSchedule::to_json() const {
     if (e.kind == FaultKind::kLeave || e.kind == FaultKind::kRejoin) {
       out += ", \"participant\": " + std::to_string(e.participant);
     }
-    if (e.kind == FaultKind::kBlackout) {
+    if (e.kind == FaultKind::kBlackout || e.kind == FaultKind::kPDrift) {
       out += ", \"fraction\": " + json_format_double(e.fraction);
     }
-    if (is_windowed(e.kind)) {
+    if (is_windowed(e.kind) || e.kind == FaultKind::kPDrift) {
       out += ", \"duration\": " + json_format_double(e.duration);
     }
     if (uses_probability(e.kind)) {

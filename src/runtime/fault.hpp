@@ -31,6 +31,12 @@
 //     bit-flipped with `probability` (storage/transit corruption: the
 //     value mismatches and the validator sees a detection that no
 //     adversary caused).
+//   * kPDrift — the colluding fraction changes mid-campaign: from
+//     `time` on, the proportion of the adversary's tuples she actually
+//     plays moves to `fraction`, as a step (duration 0) or a linear
+//     ramp over `duration`. This is what the adaptive controller
+//     (src/control/) tracks: a campaign that starts quiet and turns
+//     hostile, or an adversary that backs off after early catches.
 //
 // Schedules serialize to a small JSON document (redund-faults-v1) so
 // chaos scenarios are shareable files: `redundctl run-async
@@ -53,6 +59,9 @@ enum class FaultKind : std::uint8_t {
   kDuplication,   ///< Results duplicate with `probability` for `duration`.
   kCorruption,    ///< Honest results corrupt with `probability` for
                   ///< `duration`.
+  kPDrift,        ///< Active colluding fraction moves to `fraction`
+                  ///< (step when `duration` is 0, linear ramp over
+                  ///< `duration` otherwise).
 };
 
 /// Stable wire name of a fault kind ("leave", "blackout", ...).
@@ -66,8 +75,10 @@ struct FaultEvent {
   /// Target identity for kLeave/kRejoin (enrollment order: honest first,
   /// then sybil). Ignored by the fleet-wide kinds.
   std::int64_t participant = -1;
-  double fraction = 0.0;         ///< Fleet fraction hit (kBlackout).
-  double duration = 0.0;         ///< Window length (windowed kinds).
+  double fraction = 0.0;         ///< Fleet fraction hit (kBlackout) or
+                                 ///< target colluding fraction (kPDrift).
+  double duration = 0.0;         ///< Window length (windowed kinds) or
+                                 ///< ramp length (kPDrift; 0 = step).
   double probability = 0.0;      ///< Per-unit coin (burst/loss/dup/corrupt).
 };
 

@@ -45,6 +45,13 @@ rep::Table to_table(const RuntimeReport& report) {
   add_count("ringer_catches", report.ringer_catches);
   add_count("blacklisted_identities", report.blacklisted_identities);
   table.add_separator();
+  add_count("replan_rounds", report.replan_rounds);
+  add_count("control_boosts", report.control_boosts);
+  add_count("control_releases", report.control_releases);
+  add_count("control_observations", report.control_observations);
+  add_time("p_hat_mean", report.p_hat_mean);
+  add_time("p_hat_upper", report.p_hat_upper);
+  table.add_separator();
   add_count("adversary_cheat_attempts", report.adversary_cheat_attempts);
   add_count("false_accusations", report.false_accusations);
   add_count("final_correct_tasks", report.final_correct_tasks);
@@ -72,14 +79,16 @@ rep::Table to_table(const RuntimeReport& report) {
 
 rep::Table series_table(const RuntimeReport& report) {
   rep::Table table({"time", "issued", "completed", "timed_out", "reissued",
-                    "valid"});
+                    "valid", "boosts", "releases"});
   for (const RuntimeSample& sample : report.series) {
     table.add_row({rep::fixed(sample.time, 4),
                    std::to_string(sample.units_issued),
                    std::to_string(sample.units_completed),
                    std::to_string(sample.units_timed_out),
                    std::to_string(sample.units_reissued),
-                   std::to_string(sample.tasks_valid)});
+                   std::to_string(sample.tasks_valid),
+                   std::to_string(sample.control_boosts),
+                   std::to_string(sample.control_releases)});
   }
   return table;
 }

@@ -35,6 +35,8 @@ struct RuntimeSample {
   std::int64_t units_timed_out = 0;
   std::int64_t units_reissued = 0;
   std::int64_t tasks_valid = 0;
+  std::int64_t control_boosts = 0;    ///< Cumulative controller escalations.
+  std::int64_t control_releases = 0;  ///< Cumulative controller releases.
 };
 
 /// What happened, from the supervisor's books and from ground truth.
@@ -62,6 +64,15 @@ struct RuntimeReport {
   std::int64_t mismatches_detected = 0;
   std::int64_t ringer_catches = 0;
   std::int64_t blacklisted_identities = 0;
+
+  // Online adaptive control (all zero when the controller is disabled).
+  std::int64_t replan_rounds = 0;     ///< kReplan reviews that re-planned.
+  std::int64_t control_boosts = 0;    ///< Controller-escalated extra copies.
+  std::int64_t control_releases = 0;  ///< Escalated copies given back.
+  std::int64_t control_observations = 0;  ///< Verdicts fed to the posterior.
+  double p_hat_mean = 0.0;   ///< Posterior mean of the adversary fraction
+                             ///< at campaign end.
+  double p_hat_upper = 0.0;  ///< Upper credible limit at campaign end.
 
   // Ground truth.
   std::int64_t adversary_cheat_attempts = 0;

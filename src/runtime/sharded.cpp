@@ -126,6 +126,9 @@ RuntimeReport ShardedSupervisor::merge(
     const std::vector<RuntimeReport>& reports) {
   RuntimeReport merged;
   double detection_weighted_latency = 0.0;
+  double p_mean_weighted = 0.0;
+  double p_upper_weighted = 0.0;
+  std::int64_t p_hat_weight = 0;
   for (const RuntimeReport& r : reports) {
     // Per-shard counter consistency before folding: a report whose own
     // counters do not balance would poison every merged total. (Partial
@@ -154,6 +157,20 @@ RuntimeReport ShardedSupervisor::merge(
     merged.mismatches_detected += r.mismatches_detected;
     merged.ringer_catches += r.ringer_catches;
     merged.blacklisted_identities += r.blacklisted_identities;
+    merged.replan_rounds += r.replan_rounds;
+    merged.control_boosts += r.control_boosts;
+    merged.control_releases += r.control_releases;
+    merged.control_observations += r.control_observations;
+    // Posterior summaries merge as observation-weighted means: each
+    // shard's controller saw only its own outcomes, so this is the
+    // natural fleet-level pooling (deterministic: ascending shard order).
+    if (r.control_observations > 0) {
+      p_mean_weighted +=
+          r.p_hat_mean * static_cast<double>(r.control_observations);
+      p_upper_weighted +=
+          r.p_hat_upper * static_cast<double>(r.control_observations);
+      p_hat_weight += r.control_observations;
+    }
     merged.adversary_cheat_attempts += r.adversary_cheat_attempts;
     merged.false_accusations += r.false_accusations;
     merged.final_correct_tasks += r.final_correct_tasks;
@@ -188,6 +205,10 @@ RuntimeReport ShardedSupervisor::merge(
     merged.mean_detection_latency =
         detection_weighted_latency / static_cast<double>(merged.detections);
   }
+  if (p_hat_weight > 0) {
+    merged.p_hat_mean = p_mean_weighted / static_cast<double>(p_hat_weight);
+    merged.p_hat_upper = p_upper_weighted / static_cast<double>(p_hat_weight);
+  }
 
   // Series merge: the union of all shard sample times, ascending; at each
   // time, sum every shard's counters as of that time (carry the last row
@@ -221,6 +242,8 @@ RuntimeReport ShardedSupervisor::merge(
       row.units_timed_out += last.units_timed_out;
       row.units_reissued += last.units_reissued;
       row.tasks_valid += last.tasks_valid;
+      row.control_boosts += last.control_boosts;
+      row.control_releases += last.control_releases;
     }
     merged.series.push_back(row);
   }

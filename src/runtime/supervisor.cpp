@@ -35,6 +35,8 @@ constexpr std::uint64_t kBurstSalt = 0xB4457ULL;
 constexpr std::uint64_t kLossSalt = 0x105505ULL;
 constexpr std::uint64_t kDupSalt = 0xD0D0D0ULL;
 constexpr std::uint64_t kCorruptSalt = 0xC0440417ULL;
+// Per-task activation coin of the drifting colluding fraction (kPDrift).
+constexpr std::uint64_t kPDriftSalt = 0x9D41F7ULL;
 
 /// Ground-truth result of a task — the same keyed-hash construction as
 /// platform/campaign.cpp, so honest computation is deterministic and the
@@ -65,6 +67,9 @@ struct TaskRuntime {
   std::int64_t target_copies = 0;  ///< Planned multiplicity + replicas.
   std::int64_t arrived = 0;        ///< Completed or recomputed copies.
   std::int64_t extra_replicas = 0;
+  std::int64_t control_boosts = 0;   ///< Controller copies ever appended
+                                     ///< (slots consumed; <= max_boost).
+  std::int64_t control_released = 0; ///< Of those, copies given back.
   bool adversary_committed = false;
   bool adversary_cheats = false;
   bool mismatch_counted = false;
@@ -99,6 +104,7 @@ void validate_config(const RuntimeConfig& config) {
   if (config.sample_interval < 0.0) {
     throw std::invalid_argument("run_async_campaign: sample_interval >= 0");
   }
+  control::validate(config.control);
   config.faults.validate(config.honest_participants +
                          config.sybil_identities);
   if (config.health.stall_checks < 1 || !(config.health.ewma_alpha > 0.0) ||
@@ -146,6 +152,20 @@ std::uint64_t config_fingerprint(const RuntimeConfig& config) {
   w.f64(config.adaptive.score_init);
   w.f64(config.adaptive.score_gain);
   w.f64(config.adaptive.score_loss);
+  w.boolean(config.control.enabled);
+  w.f64(config.control.epsilon);
+  w.f64(config.control.quantile);
+  w.i64(config.control.replan_interval);
+  w.f64(config.control.check_interval);
+  w.i64(config.control.max_boost);
+  w.f64(config.control.prior_alpha);
+  w.f64(config.control.prior_beta);
+  w.i64(config.control.min_observations);
+  w.i64(config.control.max_promotions);
+  w.i64(config.control.max_releases);
+  w.boolean(config.control.allow_release);
+  w.f64(config.control.release_dropout_ceiling);
+  w.f64(config.control.dropout_ewma_alpha);
   w.i64(static_cast<std::int64_t>(config.faults.events.size()));
   for (const FaultEvent& fault : config.faults.events) {
     w.f64(fault.time);
@@ -226,8 +246,13 @@ class Runner {
 
     // Flat unit-per-task adjacency with the replica budget built into each
     // task's slot run, so mid-campaign replicas append without allocating.
+    // The controller's escalation budget gets its own slots on top of the
+    // adaptive/quorum ones.
     const auto extra =
-        static_cast<std::size_t>(config.adaptive.max_extra_replicas);
+        static_cast<std::size_t>(config.adaptive.max_extra_replicas) +
+        static_cast<std::size_t>(config.control.enabled
+                                     ? config.control.max_boost
+                                     : 0);
     task_slot_begin_.resize(task_count + 1);
     std::size_t total_slots = 0;
     for (std::size_t t = 0; t < task_count; ++t) {
@@ -283,6 +308,16 @@ class Runner {
     health_interval_ = config.health.check_interval > 0.0
                            ? config.health.check_interval
                            : 2.0 * effective_deadline_;
+    replan_period_ = config.control.check_interval > 0.0
+                         ? config.control.check_interval
+                         : 0.5 * effective_deadline_;
+    if (config.control.enabled) {
+      controller_ = control::CampaignController(config.control);
+      moved_scratch_.assign(task_count, 0);
+    }
+    for (const FaultEvent& fault : config.faults.events) {
+      if (fault.kind == FaultKind::kPDrift) has_drift_ = true;
+    }
     next_checkpoint_ = config.journal.checkpoint_interval;
 
     report_.tasks = scheduler_.task_count();
@@ -365,6 +400,9 @@ class Runner {
       }
     }
     queue_.schedule(health_interval_, EventKind::kHealthCheck, 0);
+    if (config_.control.enabled) {
+      queue_.schedule(replan_period_, EventKind::kReplan, 0);
+    }
   }
 
   /// The event loop. Drains same-timestamp events in batches: all events
@@ -433,6 +471,7 @@ class Runner {
           case EventKind::kFault: on_fault(event); break;
           case EventKind::kFaultEnd: on_fault_end(event); break;
           case EventKind::kHealthCheck: on_health_check(event); break;
+          case EventKind::kReplan: on_replan(event); break;
         }
         if (stop_) break;
       }
@@ -488,6 +527,12 @@ class Runner {
       report_.mean_detection_latency =
           detection_time_total_ / static_cast<double>(report_.detections);
       report_.first_detection_time = first_detection_;
+    }
+    if (config_.control.enabled) {
+      // Both are closed-form functions of the serialized posterior
+      // counts, so resume reproduces them bit-for-bit.
+      report_.p_hat_mean = controller_.p_mean();
+      report_.p_hat_upper = controller_.p_upper();
     }
     if (journal_) {
       journal_->finish(static_cast<std::uint64_t>(report_.events_processed),
@@ -572,6 +617,10 @@ class Runner {
     w.i64(report_.results_lost);
     w.i64(report_.results_corrupted);
     w.i64(report_.duplicate_results);
+    w.i64(report_.replan_rounds);
+    w.i64(report_.control_boosts);
+    w.i64(report_.control_releases);
+    w.i64(report_.control_observations);
     w.f64(report_.makespan);
     w.f64(report_.end_time);
     w.i64(report_.detections);
@@ -584,6 +633,8 @@ class Runner {
       w.i64(sample.units_timed_out);
       w.i64(sample.units_reissued);
       w.i64(sample.tasks_valid);
+      w.i64(sample.control_boosts);
+      w.i64(sample.control_releases);
     }
     for (const auto& record : registry_.records()) {
       w.boolean(record.blacklisted);
@@ -609,6 +660,8 @@ class Runner {
       w.i64(tr.target_copies);
       w.i64(tr.arrived);
       w.i64(tr.extra_replicas);
+      w.i64(tr.control_boosts);
+      w.i64(tr.control_released);
       w.boolean(tr.adversary_committed);
       w.boolean(tr.adversary_cheats);
       w.boolean(tr.mismatch_counted);
@@ -621,6 +674,18 @@ class Runner {
     for (const char flag : flagged_) w.boolean(flag != 0);
     for (const std::int64_t count : offline_count_) w.i64(count);
     for (const char active : window_active_) w.boolean(active != 0);
+    // Adaptive-controller and drift state (constants when disabled, but
+    // serialized unconditionally so the blob layout never forks).
+    w.i64(controller_.estimator().wrong_count());
+    w.i64(controller_.estimator().right_count());
+    w.i64(controller_.observations());
+    w.i64(controller_.last_replan_completed());
+    w.f64(controller_.dropout().value());
+    w.boolean(controller_.dropout().initialized());
+    w.f64(drift_from_);
+    w.f64(drift_target_);
+    w.f64(drift_start_);
+    w.f64(drift_duration_);
     w.u64(queue_.next_seq());
     const std::vector<Event> pending = queue_.snapshot();
     w.i64(static_cast<std::int64_t>(pending.size()));
@@ -672,6 +737,10 @@ class Runner {
     report_.results_lost = r.i64();
     report_.results_corrupted = r.i64();
     report_.duplicate_results = r.i64();
+    report_.replan_rounds = r.i64();
+    report_.control_boosts = r.i64();
+    report_.control_releases = r.i64();
+    report_.control_observations = r.i64();
     report_.makespan = r.f64();
     report_.end_time = r.f64();
     report_.detections = r.i64();
@@ -686,6 +755,8 @@ class Runner {
       sample.units_timed_out = r.i64();
       sample.units_reissued = r.i64();
       sample.tasks_valid = r.i64();
+      sample.control_boosts = r.i64();
+      sample.control_releases = r.i64();
       report_.series.push_back(sample);
     }
     for (std::int64_t p = 0; p < registry_.size(); ++p) {
@@ -723,6 +794,8 @@ class Runner {
       tr.target_copies = r.i64();
       tr.arrived = r.i64();
       tr.extra_replicas = r.i64();
+      tr.control_boosts = r.i64();
+      tr.control_released = r.i64();
       tr.adversary_committed = r.boolean();
       tr.adversary_cheats = r.boolean();
       tr.mismatch_counted = r.boolean();
@@ -735,6 +808,20 @@ class Runner {
     for (char& flag : flagged_) flag = r.boolean() ? 1 : 0;
     for (std::int64_t& count : offline_count_) count = r.i64();
     for (char& active : window_active_) active = r.boolean() ? 1 : 0;
+    {
+      const std::int64_t wrong = r.i64();
+      const std::int64_t right = r.i64();
+      const std::int64_t observations = r.i64();
+      const std::int64_t last_replan = r.i64();
+      const double dropout_value = r.f64();
+      const bool dropout_init = r.boolean();
+      controller_.restore(wrong, right, observations, last_replan,
+                          dropout_value, dropout_init);
+    }
+    drift_from_ = r.f64();
+    drift_target_ = r.f64();
+    drift_start_ = r.f64();
+    drift_duration_ = r.f64();
     // Rebuild the derived adjacency exactly as the live loop built it:
     // units in index order — the initial deal first, then replicas in
     // creation order — is the same append order register_replica used.
@@ -822,6 +909,14 @@ class Runner {
         queue_.schedule(event.time + fault.duration, EventKind::kFaultEnd,
                         event.subject);
         break;
+      case FaultKind::kPDrift:
+        // Re-anchor the drift from wherever the previous segment stands
+        // now, so chained drift events compose (ramp into step into ramp).
+        drift_from_ = active_cheat_fraction_(event.time);
+        drift_target_ = fault.fraction;
+        drift_start_ = event.time;
+        drift_duration_ = fault.duration;
+        break;
     }
   }
 
@@ -895,6 +990,18 @@ class Runner {
 
   void update_min_live_() {
     min_live_ = std::min(min_live_, registry_.active_count());
+  }
+
+  /// The colluding fraction the adversary currently plays, following the
+  /// most recent kPDrift segment (1.0 before any drift event: the
+  /// paper's baseline adversary plays every playable tuple).
+  [[nodiscard]] double active_cheat_fraction_(double now) const noexcept {
+    if (now >= drift_start_ + drift_duration_ || drift_duration_ <= 0.0) {
+      return drift_target_;
+    }
+    if (now <= drift_start_) return drift_from_;
+    return drift_from_ + (drift_target_ - drift_from_) *
+                             (now - drift_start_) / drift_duration_;
   }
 
   // --------------------------------------------------------- health monitor
@@ -1004,7 +1111,8 @@ class Runner {
     }
     ur.state = UnitState::kCompleted;
     ++report_.units_completed;
-    compute_value(u);
+    if (config_.control.enabled) controller_.observe_issue(false);
+    compute_value(u, event.time);
     // Corruption window: flip the delivered value in transit. Ground truth
     // (ParticipantRecord::wrong_results) is untouched — the submitter
     // computed correctly; the validator will still see a mismatch and may
@@ -1051,6 +1159,7 @@ class Runner {
     ur.epoch += 1;  // A straggling completion now lands as a late result.
     ++report_.units_timed_out;
     score_down(scheduler_.units()[u].assignee);
+    if (config_.control.enabled) controller_.observe_issue(true);
 
     const std::int64_t retries_used = ur.attempts - 1;
     if (retries_used < config_.retry.max_retries) {
@@ -1113,7 +1222,7 @@ class Runner {
 
   // ------------------------------------------------------------ result path
 
-  void compute_value(std::size_t u) {
+  void compute_value(std::size_t u, double now) {
     const auto& wu = scheduler_.units()[u];
     UnitRuntime& ur = units_rt_[u];
     const std::uint64_t truth = truth_value(config_.seed, wu.task);
@@ -1125,8 +1234,19 @@ class Runner {
       // identities reports a copy, based on how many copies she holds then.
       if (!tr.adversary_committed) {
         tr.adversary_committed = true;
-        tr.adversary_cheats = decision_.should_cheat(
+        bool cheats = decision_.should_cheat(
             adversary_held_[static_cast<std::size_t>(wu.task)]);
+        // Under a kPDrift schedule the principal only plays a fraction of
+        // her playable tuples; the coin is keyed per task, so commit
+        // *order* never changes the draw, only the active fraction at
+        // commit time does.
+        if (cheats && has_drift_) {
+          auto drift_engine = rng::make_stream(
+              config_.seed ^ kPDriftSalt,
+              static_cast<std::uint64_t>(wu.task));
+          cheats = rng::bernoulli(active_cheat_fraction_(now), drift_engine);
+        }
+        tr.adversary_cheats = cheats;
         if (tr.adversary_cheats) ++report_.adversary_cheat_attempts;
       }
       if (tr.adversary_cheats) value = collusion_value(config_.seed, wu.task);
@@ -1149,6 +1269,13 @@ class Runner {
     const auto& wu = scheduler_.units()[u];
     const auto t = static_cast<std::size_t>(wu.task);
     TaskRuntime& tr = tasks_rt_[t];
+    // A task can be VALID with copies still in flight only after the
+    // controller released its target below the issued count; a straggler
+    // arriving then is informational, never a re-validation.
+    if (tr.state == TaskState::kValid) {
+      ++report_.late_results;
+      return;
+    }
     ++tr.arrived;
 
     // Ringer copies are checked the moment they arrive: the supervisor
@@ -1291,6 +1418,12 @@ class Runner {
       const UnitRuntime& ur = units_rt_[u];
       if (ur.state != UnitState::kCompleted) continue;  // Not a submission.
       const ParticipantId submitter = scheduler_.units()[u].assignee;
+      // Every judged copy is one Bernoulli observation for the
+      // controller's adversary-fraction posterior.
+      if (config_.control.enabled) {
+        controller_.observe_outcome(ur.value != value);
+        ++report_.control_observations;
+      }
       if (ur.value == value) {
         score_up(submitter);
       } else {
@@ -1359,6 +1492,150 @@ class Runner {
                     event.subject);
   }
 
+  // ------------------------------------------------------ adaptive control
+
+  void on_replan(const Event& event) {
+    if (report_.tasks_valid >= report_.tasks) return;  // Drain, no re-arm.
+    if (controller_.due(report_.units_completed)) {
+      do_replan_(event.time);
+    }
+    queue_.schedule(event.time + replan_period_, EventKind::kReplan, 0);
+  }
+
+  /// Eligibility for one more controller copy this round. Ringers are
+  /// planner-verified and INCONCLUSIVE tasks are mid-quorum-resolution;
+  /// both stay out of the controller's hands.
+  [[nodiscard]] bool promotable_(std::size_t t) const {
+    const TaskRuntime& tr = tasks_rt_[t];
+    return tr.state == TaskState::kInProgress &&
+           !scheduler_.tasks()[t].is_ringer &&
+           tr.control_boosts < config_.control.max_boost;
+  }
+
+  /// Eligibility to give one previously escalated copy back: there must
+  /// be a live boost to return and an outstanding copy to cancel without
+  /// dropping the target below the already-arrived count.
+  [[nodiscard]] bool demotable_(std::size_t t) const {
+    const TaskRuntime& tr = tasks_rt_[t];
+    return tr.state == TaskState::kInProgress &&
+           !scheduler_.tasks()[t].is_ringer &&
+           tr.control_boosts > tr.control_released &&
+           tr.target_copies - 1 >= tr.arrived;
+  }
+
+  /// One re-plan round: build the residual multiplicity mix of the
+  /// unfinished tasks, evaluate the Section 5 bound at the posterior's
+  /// upper credible limit, and apply the planner's promotion/release
+  /// deltas in ascending task order (deterministic by construction).
+  void do_replan_(double now) {
+    controller_.mark_replanned(report_.units_completed);
+    ++report_.replan_rounds;
+
+    REDUND_INVARIANT(
+        controller_.estimator().observations() ==
+                controller_.observations() &&
+            controller_.observations() == report_.control_observations,
+        "controller posterior counts conserve the observed validator "
+        "outcomes");
+
+    residual_scratch_.clear();
+    std::int64_t unfinished = 0;
+    for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
+      const TaskRuntime& tr = tasks_rt_[t];
+      if (tr.state == TaskState::kValid) continue;
+      ++unfinished;
+      control::ResidualClass* cls = nullptr;
+      for (control::ResidualClass& existing : residual_scratch_) {
+        if (existing.multiplicity == tr.target_copies) {
+          cls = &existing;
+          break;
+        }
+      }
+      if (cls == nullptr) {
+        residual_scratch_.push_back({tr.target_copies, 0, 0, 0});
+        cls = &residual_scratch_.back();
+      }
+      ++cls->tasks;
+      if (promotable_(t)) ++cls->promotable;
+      if (demotable_(t)) ++cls->demotable;
+    }
+    std::int64_t mix_total = 0;
+    for (const control::ResidualClass& cls : residual_scratch_) {
+      mix_total += cls.tasks;
+    }
+    REDUND_INVARIANT(mix_total == unfinished &&
+                         unfinished == report_.tasks - report_.tasks_valid,
+                     "residual re-plan mix sums to the outstanding task "
+                     "count");
+    if (unfinished == 0) return;
+
+    const bool top_verified = config_.plan.ringer_count > 0;
+    const control::ReplanDecision decision = control::plan_remaining(
+        residual_scratch_, controller_.p_upper(),
+        controller_.budgets(top_verified));
+
+    if (decision.empty()) return;
+    std::fill(moved_scratch_.begin(), moved_scratch_.end(), 0);
+    for (const control::ClassDelta& delta : decision.promotions) {
+      std::int64_t remaining = delta.count;
+      for (std::size_t t = 0; t < tasks_rt_.size() && remaining > 0; ++t) {
+        TaskRuntime& tr = tasks_rt_[t];
+        if (moved_scratch_[t] != 0 ||
+            tr.target_copies != delta.multiplicity || !promotable_(t)) {
+          continue;
+        }
+        const auto nu = scheduler_.try_add_replica(
+            static_cast<std::int64_t>(t), registry_, deal_engine_);
+        if (!nu) continue;  // No eligible identity for this task.
+        moved_scratch_[t] = 1;
+        ++tr.control_boosts;
+        ++tr.target_copies;
+        ++report_.control_boosts;
+        register_replica(*nu);
+        issue_unit(*nu, now);
+        --remaining;
+      }
+    }
+    for (const control::ClassDelta& delta : decision.demotions) {
+      std::int64_t remaining = delta.count;
+      for (std::size_t t = 0; t < tasks_rt_.size() && remaining > 0; ++t) {
+        TaskRuntime& tr = tasks_rt_[t];
+        if (moved_scratch_[t] != 0 ||
+            tr.target_copies != delta.multiplicity || !demotable_(t)) {
+          continue;
+        }
+        if (!cancel_one_unit_(t)) continue;
+        moved_scratch_[t] = 1;
+        ++tr.control_released;
+        --tr.target_copies;
+        ++report_.control_releases;
+        --remaining;
+        if (tr.arrived >= tr.target_copies) validate(t, now);
+      }
+    }
+  }
+
+  /// Cancels one outstanding copy of task `t`: a timed-out unit if one
+  /// exists (its pending re-issue becomes stale — pure savings), else
+  /// the latest in-flight unit (its completion drains as a late result).
+  bool cancel_one_unit_(std::size_t t) {
+    std::size_t victim = units_rt_.size();
+    for (const std::size_t* it = task_units_begin(t);
+         it != task_units_end(t); ++it) {
+      const UnitState state = units_rt_[*it].state;
+      if (state == UnitState::kTimedOut) {
+        victim = *it;
+        break;
+      }
+      if (state == UnitState::kInProgress) victim = *it;
+    }
+    if (victim >= units_rt_.size()) return false;
+    UnitRuntime& ur = units_rt_[victim];
+    ur.state = UnitState::kTimedOut;
+    ur.epoch += 1;  // Stale-out its completion/deadline/re-issue timers.
+    return true;
+  }
+
   // -------------------------------------------------------------- plumbing
 
   /// Extends the runtime bookkeeping for a unit just appended by
@@ -1399,7 +1676,9 @@ class Runner {
   void record_sample(double time) {
     report_.series.push_back({time, report_.units_issued,
                               report_.units_completed, report_.units_timed_out,
-                              report_.units_reissued, report_.tasks_valid});
+                              report_.units_reissued, report_.tasks_valid,
+                              report_.control_boosts,
+                              report_.control_releases});
   }
 
   const RuntimeConfig& config_;
@@ -1425,6 +1704,17 @@ class Runner {
   std::vector<char> window_active_;         ///< Open windows per fault event.
   std::vector<Event> batch_;                ///< Same-timestamp drain scratch.
   std::vector<std::pair<std::uint64_t, int>> vote_scratch_;
+  std::vector<control::ResidualClass> residual_scratch_;
+  std::vector<char> moved_scratch_;         ///< Per-task moved-this-round.
+
+  control::CampaignController controller_;
+  double replan_period_ = 0.0;
+  bool has_drift_ = false;
+  // Current kPDrift segment (identity before any drift event fires).
+  double drift_from_ = 1.0;
+  double drift_target_ = 1.0;
+  double drift_start_ = 0.0;
+  double drift_duration_ = 0.0;
 
   double effective_deadline_ = 0.0;
   double check_interval_ = 0.0;

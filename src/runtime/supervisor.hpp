@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "control/controller.hpp"
 #include "core/realize.hpp"
 #include "platform/campaign.hpp"
 #include "runtime/event_queue.hpp"
@@ -137,6 +138,11 @@ struct RuntimeConfig {
   LatencyModel latency;
   RetryPolicy retry;
   AdaptiveConfig adaptive;
+  /// Online adaptive redundancy controller (src/control/): estimates the
+  /// adversary fraction from validator outcomes and re-plans the
+  /// remaining units' multiplicity mix on a kReplan cadence. Disabled by
+  /// default; a disabled controller changes nothing about the campaign.
+  control::ControlConfig control;
   /// Timed fault injection (empty = no faults). Validated against the
   /// enrolled fleet at campaign start.
   FaultSchedule faults;

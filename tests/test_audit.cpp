@@ -115,9 +115,9 @@ TEST(DeterminismAudit, SmallMatrixAgreesAcrossTheBoard) {
 
   EXPECT_TRUE(result.passed) << log.str();
   EXPECT_TRUE(result.divergences.empty()) << log.str();
-  // 2 shard-count groups; each runs a reference plus queue/thread/kill
-  // cells.
-  EXPECT_EQ(result.groups, 2u);
+  // 2 shard-count groups x {static, adaptive}; each runs a reference
+  // plus queue/thread/kill cells.
+  EXPECT_EQ(result.groups, 4u);
   EXPECT_GT(result.runs, result.groups);
 
   // Determinism of the auditor itself: same options, same log.

@@ -34,6 +34,10 @@ FaultSchedule full_schedule() {
                       .duration = 1.0, .probability = 0.125});
   s.events.push_back({.time = 8.0, .kind = FaultKind::kCorruption,
                       .duration = 4.0, .probability = 0.0625});
+  s.events.push_back({.time = 9.0, .kind = FaultKind::kPDrift,
+                      .fraction = 0.25});               // Step.
+  s.events.push_back({.time = 10.0, .kind = FaultKind::kPDrift,
+                      .fraction = 0.75, .duration = 5.0});  // Linear ramp.
   return s;
 }
 
@@ -63,6 +67,7 @@ TEST(FaultKindNames, StableWireNames) {
                "duplication");
   EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kCorruption),
                "corruption");
+  EXPECT_STREQ(runtime::fault_kind_name(FaultKind::kPDrift), "p_drift");
 }
 
 // ------------------------------------------------------------------- JSON
@@ -166,6 +171,20 @@ TEST(FaultValidation, RejectsOutOfRangeFields) {
                         .duration = 1.0, .probability = 2.0});
     EXPECT_THROW(s.validate(10), std::invalid_argument);
   }
+  {
+    FaultSchedule s;  // Drift target must be a fraction.
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kPDrift,
+                        .fraction = 1.5});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;  // Ramp length may be 0 (step) but never negative.
+    s.events.push_back({.time = 0.0, .kind = FaultKind::kPDrift,
+                        .fraction = 0.5, .duration = -1.0});
+    EXPECT_THROW(s.validate(10), std::invalid_argument);
+    s.events[0].duration = 0.0;
+    EXPECT_NO_THROW(s.validate(10));
+  }
 }
 
 // ------------------------------------------------------------------- slice
@@ -176,6 +195,8 @@ TEST(FaultSlice, FleetWideEventsReplicateToEveryShard) {
                       .fraction = 0.5, .duration = 2.0});
   s.events.push_back({.time = 5.0, .kind = FaultKind::kMessageLoss,
                       .duration = 1.0, .probability = 0.5});
+  s.events.push_back({.time = 6.0, .kind = FaultKind::kPDrift,
+                      .fraction = 0.4, .duration = 3.0});
   for (std::int64_t shard = 0; shard < 3; ++shard) {
     const FaultSchedule local = s.slice(10, 5, 3, shard);
     expect_same(s, local);

@@ -10,7 +10,8 @@
 //                            Campaign results must be functions of the
 //                            config seed alone.
 //   unordered-iteration      Iterating a std::unordered_* container in
-//                            src/runtime/ or src/sim/. Hash-table order is
+//                            src/runtime/, src/sim/, or src/control/.
+//                            Hash-table order is
 //                            implementation-defined; it leaks into
 //                            journals, reports, and merge folds.
 //   hot-alloc                Allocation-prone calls inside a function
@@ -217,7 +218,7 @@ bool contains_token(const std::string& text, const std::string& token) {
 }
 
 struct LintOptions {
-  bool runtime_rules = false;  // unordered-iteration (src/runtime, src/sim).
+  bool runtime_rules = false;  // unordered-iteration (runtime/sim/control).
   bool header = false;         // Header-only rules.
 };
 
@@ -479,7 +480,8 @@ LintOptions options_for(const std::filesystem::path& path) {
   options.header = is_header_path(path);
   const std::string generic = path.generic_string();
   options.runtime_rules = generic.find("/runtime/") != std::string::npos ||
-                          generic.find("/sim/") != std::string::npos;
+                          generic.find("/sim/") != std::string::npos ||
+                          generic.find("/control/") != std::string::npos;
   return options;
 }
 
@@ -532,6 +534,12 @@ const Fixture kFixtures[] = {
      "std::unordered_set<int> seen;\n"
      "auto f() { return seen.begin(); }\n",
      "unordered-iteration", 2},
+    {"unordered-control-fires", "src/control/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "void f() {\n"
+     "  for (const auto& kv : table_) { use(kv); }\n"
+     "}\n",
+     "unordered-iteration", 3},
     {"unordered-reference-param-fires", "src/runtime/x.cpp",
      "void f(const std::unordered_map<int, int>& table) {\n"
      "  for (const auto& kv : table) { use(kv); }\n"

@@ -10,6 +10,7 @@
 //                      [--stragglers F] [--slowdown X] [--dropout D]
 //                      [--deadline T] [--retries R] [--benign-rate B]
 //                      [--sample-interval T] [--no-adaptive] [--no-reactive]
+//                      [--adaptive [--replan-interval N]]
 //                      [--seed S] [--queue heap|calendar]
 //                      [--fault-plan FILE] [--max-sim-time T]
 //                      [--recompute-budget N]
@@ -252,6 +253,15 @@ int cmd_run_async(const Args& args) {
   config.retry.deadline = args.number("deadline", 0.0);
   config.retry.max_retries = args.integer("retries", 3);
   config.adaptive.enabled = !args.flag("no-adaptive");
+  if (args.flag("adaptive")) {
+    // Online adaptive control: the controller's detection target defaults
+    // to the plan's own epsilon so "keep the configured level" needs no
+    // extra flag.
+    config.control.enabled = true;
+    config.control.epsilon = args.number("epsilon", 0.5);
+    config.control.replan_interval =
+        args.integer("replan-interval", config.control.replan_interval);
+  }
   config.sample_interval = args.number("sample-interval", 0.0);
   config.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
   if (const auto fault_plan = args.get("fault-plan")) {
@@ -335,7 +345,7 @@ int cmd_budget(const Args& args) {
 int cmd_bench(const Args& args) {
   redund::perf::SuiteOptions options;
   options.quick = args.flag("quick");
-  const std::string out = args.get("out").value_or("BENCH_PR4.json");
+  const std::string out = args.get("out").value_or("BENCH_PR5.json");
 
   const auto records = redund::perf::run_suite(options);
   rep::Table table({"bench", "n", "threads", "items/sec", "wall_ms"});
@@ -383,6 +393,7 @@ subcommands:
            [--stragglers F] [--slowdown X] [--dropout D] [--speed-sigma S]
            [--deadline T] [--retries R] [--benign-rate B]
            [--sample-interval T] [--no-adaptive] [--no-reactive] [--seed S]
+           [--adaptive [--replan-interval N]]
            [--queue heap|calendar] [--fault-plan FILE] [--max-sim-time T]
            [--recompute-budget N]
            [--journal FILE [--checkpoint-interval N] [--resume]]
