@@ -16,6 +16,7 @@
 // deadlock even on a saturated pool.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
@@ -92,7 +93,16 @@ void parallel_for_blocks(
     }
   };
 
-  const std::size_t helpers = std::min(pool.size(), blocks.size() - 1);
+  // Helpers are capped by the CPUs this process may actually run on, not
+  // just the pool size: with the calling thread already draining blocks,
+  // waking more than available_parallelism() - 1 workers cannot add
+  // throughput, only context-switch churn (on a 1-CPU container an
+  // 8-worker pool would otherwise time-slice 9 runnable threads through
+  // one core). Results are unaffected — the block layout never depends on
+  // how many threads drain it.
+  const std::size_t cpus = available_parallelism();
+  const std::size_t helpers =
+      std::min({pool.size(), blocks.size() - 1, cpus - 1});
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
   for (std::size_t i = 0; i < helpers; ++i) {

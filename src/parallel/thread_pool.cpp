@@ -2,7 +2,46 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace redund::parallel {
+
+std::size_t available_parallelism() noexcept {
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int cpus = CPU_COUNT(&mask);
+    if (cpus > 0) return static_cast<std::size_t>(cpus);
+  }
+#endif
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::pin_workers() noexcept {
+#ifdef __linux__
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return;
+  if (CPU_COUNT(&allowed) < 2) return;  // Nothing to spread over.
+  // The allowed CPUs, in id order (the mask can be sparse in a container).
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed)) cpus.push_back(cpu);
+  }
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpus[i % cpus.size()], &one);
+    // Best-effort: a failed pin leaves the worker on the full mask.
+    (void)pthread_setaffinity_np(threads_[i].native_handle(), sizeof(one),
+                                 &one);
+  }
+#endif
+}
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {

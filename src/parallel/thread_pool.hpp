@@ -30,6 +30,14 @@
 
 namespace redund::parallel {
 
+/// Number of CPUs actually available to this process — the scheduler
+/// affinity mask when the platform exposes one (a container pinned to one
+/// core reports 1 here even when hardware_concurrency() sees the host's
+/// full socket), hardware_concurrency() otherwise, and never less than 1.
+/// This is the oversubscription bound parallel_for uses to cap how many
+/// pool workers it wakes per region.
+[[nodiscard]] std::size_t available_parallelism() noexcept;
+
 /// Move-only type-erased nullary callable with small-buffer optimization.
 ///
 /// Replaces std::function<void()> as the pool's task carrier: std::function
@@ -159,6 +167,14 @@ class ThreadPool {
   /// Creates `thread_count` workers; 0 means std::thread::hardware_concurrency()
   /// (minimum 1).
   explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Pins worker i to the (i mod k)-th CPU of the process's affinity mask
+  /// (k = available_parallelism()), so each shard's event loop keeps its
+  /// cache-hot calendar ring on one core instead of migrating. No-op when
+  /// fewer than two CPUs are available or the platform has no affinity
+  /// API. Scheduling and results are unaffected — pinning is a placement
+  /// hint only, part of no determinism contract.
+  void pin_workers() noexcept;
 
   /// Outstanding tasks are completed, then workers join.
   ~ThreadPool();

@@ -134,6 +134,22 @@ void bench_event_loop(std::vector<BenchRecord>& records,
                               return report.events_processed;
                             }));
 
+  // Draw-heavy variant: a 10x dropout probability multiplies re-issues,
+  // so the per-issue coin path (primed by
+  // ParticipantPool::prime_dropout_coins and served by the closed-form
+  // rng::first_bernoulli) carries a much larger share of the loop. This
+  // row isolates the batched-sampler fast path the plain event_loop row
+  // mostly amortizes away — a regression here that event_loop does not
+  // show points straight at the RNG layer.
+  runtime::RuntimeConfig draws_config = config;
+  draws_config.latency.dropout_probability = 0.1;
+  records.push_back(measure("event_loop_batched_draws", units, 1,
+                            options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
+                              const auto report =
+                                  runtime::run_async_campaign(draws_config);
+                              return report.events_processed;
+                            }));
+
   // Sharded campaign at pool sizes 1, 2, 8: 8 shard event loops spread
   // over the pool. The shard decomposition is identical in every row (the
   // merged report is bit-identical by contract), so the rows differ only

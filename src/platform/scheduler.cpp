@@ -26,26 +26,35 @@ Scheduler::Scheduler(const core::RealizedPlan& plan) {
       units_.push_back({static_cast<std::int64_t>(t), 0});
     }
   }
+  holders_by_task_.resize(tasks_.size());
 }
 
 bool Scheduler::holds_(ParticipantId participant, std::int64_t task) const {
-  const auto& held = holds_by_participant_[participant];
-  return std::binary_search(held.begin(), held.end(), task);
+  const auto& holders = holders_by_task_[static_cast<std::size_t>(task)];
+  return std::find(holders.begin(), holders.end(), participant) !=
+         holders.end();
 }
 
 void Scheduler::record_hold_(ParticipantId participant, std::int64_t task) {
-  auto& held = holds_by_participant_[participant];
-  held.insert(std::lower_bound(held.begin(), held.end(), task), task);
+  holders_by_task_[static_cast<std::size_t>(task)].push_back(participant);
 }
 
 void Scheduler::drop_hold_(ParticipantId participant, std::int64_t task) {
-  auto& held = holds_by_participant_[participant];
-  const auto it = std::lower_bound(held.begin(), held.end(), task);
-  if (it != held.end() && *it == task) held.erase(it);
+  auto& holders = holders_by_task_[static_cast<std::size_t>(task)];
+  const auto it = std::find(holders.begin(), holders.end(), participant);
+  if (it != holders.end()) {
+    // Membership-only index: unordered, so swap-pop suffices.
+    *it = holders.back();
+    holders.pop_back();
+  }
 }
 
 void Scheduler::deal(Registry& registry, rng::Xoshiro256StarStar& engine) {
-  holds_by_participant_.assign(static_cast<std::size_t>(registry.size()), {});
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    holders_by_task_[t].clear();
+    holders_by_task_[t].reserve(
+        static_cast<std::size_t>(tasks_[t].multiplicity));
+  }
 
   std::vector<ParticipantId> active;
   std::int64_t max_multiplicity = 0;
@@ -91,12 +100,9 @@ std::optional<ParticipantId> Scheduler::try_reassign_unit(
   if (unit_index >= units_.size()) {
     throw std::out_of_range("Scheduler::try_reassign_unit: bad unit index");
   }
-  // deal() may have run against a smaller registry; later enrollments start
-  // with no holds.
-  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
-
   WorkUnit& unit = units_[unit_index];
-  std::vector<ParticipantId> eligible;
+  std::vector<ParticipantId>& eligible = eligible_scratch_;
+  eligible.clear();
   for (const auto& record : registry.records()) {
     if (record.blacklisted || record.id == unit.assignee) continue;
     if (!holds_(record.id, unit.task)) eligible.push_back(record.id);
@@ -116,9 +122,8 @@ std::optional<std::size_t> Scheduler::try_add_replica(
   if (task < 0 || task >= task_count()) {
     throw std::out_of_range("Scheduler::try_add_replica: bad task index");
   }
-  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
-
-  std::vector<ParticipantId> eligible;
+  std::vector<ParticipantId>& eligible = eligible_scratch_;
+  eligible.clear();
   for (const auto& record : registry.records()) {
     if (record.blacklisted || holds_(record.id, task)) continue;
     eligible.push_back(record.id);
@@ -146,7 +151,7 @@ void Scheduler::restore_units(std::vector<WorkUnit> units,
     }
   }
   units_ = std::move(units);
-  holds_by_participant_.assign(static_cast<std::size_t>(registry_size), {});
+  for (auto& holders : holders_by_task_) holders.clear();
   for (const WorkUnit& unit : units_) {
     record_hold_(unit.assignee, unit.task);
   }
@@ -154,9 +159,6 @@ void Scheduler::restore_units(std::vector<WorkUnit> units,
 
 std::vector<std::size_t> Scheduler::reassign_from(
     ParticipantId from, Registry& registry, rng::Xoshiro256StarStar& engine) {
-  // Identities enrolled after deal() start with no holds.
-  holds_by_participant_.resize(static_cast<std::size_t>(registry.size()));
-
   std::vector<ParticipantId> active;
   for (const auto& record : registry.records()) {
     if (!record.blacklisted) active.push_back(record.id);

@@ -100,8 +100,13 @@ class Scheduler {
 
   std::vector<TaskInfo> tasks_;
   std::vector<WorkUnit> units_;
-  // holds_by_participant_[p] = sorted vector of task indices p holds.
-  std::vector<std::vector<std::int64_t>> holds_by_participant_;
+  // holders_by_task_[t] = identities currently holding a copy of task t,
+  // unordered. A task has at most multiplicity + replicas holders, so a
+  // membership probe is a short linear scan over one cache line — the
+  // per-participant sorted index this replaces cost a binary search over
+  // hundreds of entries on every deal offer.
+  std::vector<std::vector<ParticipantId>> holders_by_task_;
+  std::vector<ParticipantId> eligible_scratch_;  ///< Reused by try_* paths.
 };
 
 }  // namespace redund::platform

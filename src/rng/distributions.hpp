@@ -56,6 +56,23 @@ template <typename Engine>
   return uniform01(engine) < p;
 }
 
+/// The first uniform01 of make_stream(master_seed, stream): bit-identical
+/// to uniform01 on a freshly built stream engine, at about half the cost
+/// (see first_draw). For the single-draw keyed coins the async runtime
+/// burns per issue and per fault window.
+[[nodiscard]] constexpr double first_uniform01(std::uint64_t master_seed,
+                                               std::uint64_t stream) noexcept {
+  return static_cast<double>(first_draw(master_seed, stream) >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli(p) over the first draw of make_stream(master_seed, stream);
+/// bit-identical to bernoulli(p, make_stream(master_seed, stream)).
+[[nodiscard]] constexpr bool first_bernoulli(double p,
+                                             std::uint64_t master_seed,
+                                             std::uint64_t stream) noexcept {
+  return first_uniform01(master_seed, stream) < p;
+}
+
 /// Standard normal draw (Box-Muller; one of the pair is discarded to keep
 /// the sampler stateless).
 template <typename Engine>

@@ -116,4 +116,23 @@ class Xoshiro256StarStar {
   return Xoshiro256StarStar(derived);
 }
 
+/// The first output of make_stream(master_seed, stream_index)'s engine,
+/// without constructing it. xoshiro256**'s first draw reads only
+/// state_[1] — rotl(s1 * 5, 7) * 9 — so two steps of the seeding
+/// SplitMix64 (after the two derivation steps) suffice: roughly half the
+/// work of building and stepping the full 256-bit engine. Bit-identical
+/// to make_stream(master_seed, stream_index)() by construction; most of
+/// the runtime's keyed coins (dropout, fault windows, cheat activation)
+/// consume exactly one draw per stream and take this path.
+[[nodiscard]] constexpr std::uint64_t first_draw(
+    std::uint64_t master_seed, std::uint64_t stream_index) noexcept {
+  SplitMix64 mixer(master_seed ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1)));
+  const std::uint64_t derived = mixer() ^ mixer();
+  SplitMix64 seeder(derived);
+  (void)seeder();                      // state_[0]: unused by draw one.
+  const std::uint64_t s1 = seeder();   // state_[1]: the whole first draw.
+  const std::uint64_t scaled = s1 * 5;
+  return ((scaled << 7) | (scaled >> 57)) * 9;
+}
+
 }  // namespace redund::rng

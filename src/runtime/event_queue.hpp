@@ -292,8 +292,18 @@ class CalendarQueue {
     }
     [[nodiscard]] const Event& front() const noexcept { return events[head]; }
 
+    // redund: hot
     void insert(const Event& event) {
-      events.insert(
+      // Append fast path: schedule() stamps monotonically increasing seq
+      // numbers and simulated time never runs backwards within a bucket's
+      // day in the common case, so most inserts land at the tail. The
+      // binary search + memmove-heavy vector::insert is kept only for the
+      // out-of-order minority (re-issues racing deadlines).
+      if (events.empty() || !fires_before(event, events.back())) {
+        events.push_back(event);  // redund-lint: allow(hot-alloc)
+        return;
+      }
+      events.insert(  // redund-lint: allow(hot-alloc)
           std::upper_bound(events.begin() +
                                static_cast<std::ptrdiff_t>(head),
                            events.end(), event,
@@ -335,11 +345,16 @@ class CalendarQueue {
   /// Finds the earliest event's bucket and caches it in peek_bucket_.
   /// Phase 1 walks at most one lap of days from current_day_; phase 2 (the
   /// next event is over a year away) takes the minimum over all fronts.
+  // redund: hot
   void locate_min_() {
     const std::size_t lap = buckets_.size();
     for (std::size_t step = 0; step < lap; ++step) {
       const double day = current_day_ + static_cast<double>(step);
       const std::size_t b = bucket_of_day_(day);
+      // The scan order is a fixed ring walk, so the bucket header one day
+      // ahead is a perfectly predictable miss — hide it behind this step's
+      // empty()/front() work.
+      __builtin_prefetch(&buckets_[bucket_of_day_(day + 1.0)]);
       if (!buckets_[b].empty() && day_(buckets_[b].front().time) == day) {
         current_day_ = day;
         peek_bucket_ = b;
@@ -367,8 +382,12 @@ class CalendarQueue {
   /// day + lap-step sums exact) up to 2^50. Shrinking the ring keeps the
   /// surviving buckets' vector capacity; clearing it never frees storage.
   void set_geometry_(double lo, double hi, const Event* min_event) {
+    // ~2 events per bucket instead of ~1: halves the ring footprint (and
+    // the zeroing each rebuild pays), trading a two-element sorted insert
+    // — which the append fast path usually turns into a push_back — for
+    // half the cache misses on the random-bucket distribution walk.
     std::size_t nbuckets = kMinBuckets;
-    while (nbuckets < size_) nbuckets *= 2;
+    while (nbuckets < size_ / 2) nbuckets *= 2;
 
     const double span = hi - lo;
     double width = size_ > 0 ? 2.0 * span / static_cast<double>(size_) : 0.0;
@@ -385,7 +404,11 @@ class CalendarQueue {
     }
     if (buckets_.size() < nbuckets) buckets_.resize(nbuckets);
     rebuild_hi_ = std::max<std::size_t>(2 * size_, 32);
-    rebuild_lo_ = size_ / 4;
+    // Shrink rebuilds trade one O(size) redistribution for a denser day
+    // scan. At /4 a draining campaign rebuilds on every quartering — the
+    // dominant rebuild cost in profiles; /8 halves that count and the
+    // prefetched lap scan absorbs the extra sparsity.
+    rebuild_lo_ = size_ / 8;
     peek_bucket_ = kNoBucket;
   }
 

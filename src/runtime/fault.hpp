@@ -47,6 +47,8 @@
 #include <string>
 #include <vector>
 
+#include "rng/distributions.hpp"
+
 namespace redund::runtime {
 
 /// What a scheduled fault does when its time arrives.
@@ -66,6 +68,25 @@ enum class FaultKind : std::uint8_t {
 
 /// Stable wire name of a fault kind ("leave", "blackout", ...).
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One deterministic coin of fault event `fault_index`: Bernoulli(p) on
+/// the first draw of the stream keyed by (master_seed ^ salt, fault
+/// index, stream). Keyed draws mean adding or removing one fault never
+/// perturbs another's coins, and processing order never matters; the
+/// single-draw closed form (rng::first_bernoulli) keeps the per-unit
+/// window checks off the engine-construction path.
+[[nodiscard]] constexpr bool fault_coin(std::uint64_t master_seed,
+                                        std::uint64_t salt,
+                                        std::size_t fault_index,
+                                        std::uint64_t stream,
+                                        double probability) noexcept {
+  return rng::first_bernoulli(
+      probability,
+      master_seed ^ salt ^
+          (0x9E3779B97F4A7C15ULL *
+           (static_cast<std::uint64_t>(fault_index) + 1)),
+      stream);
+}
 
 /// One scheduled fault. Fields beyond `time`/`kind` are used only by the
 /// kinds documented on them.

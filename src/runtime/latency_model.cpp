@@ -71,17 +71,36 @@ std::int64_t ParticipantPool::straggler_count() const noexcept {
       std::count(straggler_.begin(), straggler_.end(), char{1}));
 }
 
+void ParticipantPool::prime_dropout_coins(std::uint64_t unit_count,
+                                          std::int64_t attempt) {
+  if (model_.dropout_probability <= 0.0) return;
+  primed_attempt_ = attempt;
+  primed_coins_.resize(unit_count);
+  // Buffer-then-consume: each coin is the same (unit, attempt)-keyed draw
+  // issue() would make on its own, so pre-filling the whole batch here in
+  // one contiguous pass cannot change any outcome — only the cache
+  // behaviour of the mass-issue loop that consumes it.
+  const std::uint64_t lane = static_cast<std::uint64_t>(attempt & 63);
+  for (std::uint64_t u = 0; u < unit_count; ++u) {
+    primed_coins_[u] = rng::first_bernoulli(model_.dropout_probability,
+                                            seed_ ^ kDropoutSalt, u * 64 + lane)
+                           ? 1
+                           : 0;
+  }
+}
+
 ParticipantPool::Issue ParticipantPool::issue(platform::ParticipantId id,
                                               double now, double demand,
                                               std::uint64_t unit,
                                               std::int64_t attempt) {
   if (model_.dropout_probability > 0.0) {
-    auto coin = rng::make_stream(
-        seed_ ^ kDropoutSalt,
-        unit * 64 + static_cast<std::uint64_t>(attempt & 63));
-    if (rng::bernoulli(model_.dropout_probability, coin)) {
-      return {false, 0.0};
-    }
+    const bool dropped =
+        (attempt == primed_attempt_ && unit < primed_coins_.size())
+            ? primed_coins_[unit] != 0
+            : rng::first_bernoulli(
+                  model_.dropout_probability, seed_ ^ kDropoutSalt,
+                  unit * 64 + static_cast<std::uint64_t>(attempt & 63));
+    if (dropped) return {false, 0.0};
   }
   const double service = demand / speed_[id];
   const double start = std::max(now, free_at_[id]);

@@ -80,6 +80,13 @@ class ParticipantPool {
   Issue issue(platform::ParticipantId id, double now, double demand,
               std::uint64_t unit, std::int64_t attempt);
 
+  /// Pre-draws the dropout coins of units [0, unit_count) at `attempt`
+  /// into a contiguous buffer that subsequent issue() calls at that
+  /// attempt consume instead of re-deriving a stream each. A pure cache
+  /// over keyed coins: outcomes are byte-identical with or without it,
+  /// so it needs no checkpoint state. No-op when dropouts are disabled.
+  void prime_dropout_coins(std::uint64_t unit_count, std::int64_t attempt);
+
   /// The per-participant busy-until clocks — the pool's only mutable
   /// state, exposed for checkpoint serialization.
   [[nodiscard]] const std::vector<double>& busy_until() const noexcept {
@@ -95,6 +102,10 @@ class ParticipantPool {
   std::vector<double> speed_;
   std::vector<char> straggler_;
   std::vector<double> free_at_;
+  // Batched dropout coins (see prime_dropout_coins): coins for units
+  // [0, size) at primed_attempt_. Derived cache, never checkpointed.
+  std::vector<char> primed_coins_;
+  std::int64_t primed_attempt_ = -1;
 };
 
 }  // namespace redund::runtime

@@ -253,6 +253,13 @@ RuntimeReport ShardedSupervisor::merge(
 RuntimeReport run_sharded_campaign(const RuntimeConfig& base,
                                    std::int64_t shards,
                                    parallel::ThreadPool& pool) {
+  // Each shard's event loop owns a calendar ring, unit/task tables, and a
+  // participant pool that together dwarf L2 — spreading workers one per
+  // available CPU keeps each shard's working set resident on its core
+  // instead of migrating with the scheduler. Placement hint only: the
+  // merged report is bit-identical pinned or not, and on a single-CPU
+  // host pin_workers() is a no-op.
+  pool.pin_workers();
   const ShardedSupervisor sharded(base, shards);
   return sharded.run(pool);
 }

@@ -15,6 +15,7 @@
 #include "rng/distributions.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/journal.hpp"
+#include "runtime/quorum.hpp"
 #include "runtime/task_state.hpp"
 
 namespace redund::runtime {
@@ -47,37 +48,9 @@ std::uint64_t truth_value(std::uint64_t seed, std::int64_t task) {
   return mixer();
 }
 
-/// The colluders' agreed wrong value: identical across all their copies.
-std::uint64_t collusion_value(std::uint64_t seed, std::int64_t task) {
-  return truth_value(seed, task) ^ 0xBAD0BEEFCAFEF00DULL;
-}
-
-/// Mutable per-unit runtime record (parallel to Scheduler::units()).
-struct UnitRuntime {
-  UnitState state = UnitState::kUnsent;
-  std::int64_t attempts = 0;   ///< Issues so far (1 = initial deal).
-  std::uint64_t epoch = 0;     ///< Bumped to invalidate in-flight timers.
-  std::uint64_t value = 0;
-  bool has_value = false;
-};
-
-/// Mutable per-task runtime record (parallel to Scheduler::tasks()).
-struct TaskRuntime {
-  TaskState state = TaskState::kUnsent;
-  std::int64_t target_copies = 0;  ///< Planned multiplicity + replicas.
-  std::int64_t arrived = 0;        ///< Completed or recomputed copies.
-  std::int64_t extra_replicas = 0;
-  std::int64_t control_boosts = 0;   ///< Controller copies ever appended
-                                     ///< (slots consumed; <= max_boost).
-  std::int64_t control_released = 0; ///< Of those, copies given back.
-  bool adversary_committed = false;
-  bool adversary_cheats = false;
-  bool mismatch_counted = false;
-  bool ringer_counted = false;
-  bool inconclusive_counted = false;
-  bool detected = false;
-  std::uint64_t accepted = 0;
-};
+/// The colluders' agreed wrong value is truth ^ kCollusionMask: identical
+/// across all their copies, derivable from the precomputed truth lane.
+constexpr std::uint64_t kCollusionMask = 0xBAD0BEEFCAFEF00DULL;
 
 void validate_config(const RuntimeConfig& config) {
   if (config.honest_participants < 1) {
@@ -237,12 +210,22 @@ class Runner {
     // slack for replication units added mid-campaign.
     queue_.reserve(2 * unit_count + task_count + config.faults.events.size() +
                    32);
-    units_rt_.reserve(unit_count + 64);
-    units_rt_.resize(unit_count);
-    tasks_rt_.resize(task_count);
+    units_.reserve(unit_count + 64);
+    units_.resize(unit_count);
+    tasks_.resize(task_count);
     batch_.reserve(64);
     vote_scratch_.reserve(16);
     adversary_held_.assign(task_count, 0);
+    // Immutable per-participant principal bitmap: the hot result path only
+    // needs "is this an adversary identity", not the whole registry row.
+    is_adversary_.resize(static_cast<std::size_t>(registry_.size()));
+    for (std::int64_t p = 0; p < registry_.size(); ++p) {
+      is_adversary_[static_cast<std::size_t>(p)] =
+          registry_.record(static_cast<ParticipantId>(p)).principal ==
+                  Principal::kAdversary
+              ? 1
+              : 0;
+    }
 
     // Flat unit-per-task adjacency with the replica budget built into each
     // task's slot run, so mid-campaign replicas append without allocating.
@@ -267,11 +250,11 @@ class Runner {
     for (std::size_t u = 0; u < unit_count; ++u) {
       const auto& wu = scheduler_.units()[u];
       const auto t = static_cast<std::size_t>(wu.task);
+      units_.task[u] = static_cast<std::int32_t>(wu.task);
+      units_.assignee[u] = static_cast<std::uint32_t>(wu.assignee);
       unit_slots_[task_slot_begin_[t] +
                   static_cast<std::size_t>(task_unit_count_[t]++)] = u;
-      if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
-        ++adversary_held_[t];
-      }
+      adversary_held_[t] += is_adversary_[wu.assignee];
     }
     // Assignment conservation: the initial deal must place exactly the
     // plan's Σ i·x_i work units (plus ringers), and the slot table must
@@ -283,7 +266,11 @@ class Runner {
                      "slot table covers every dealt unit plus the per-task "
                      "replica budget");
     for (std::size_t t = 0; t < task_count; ++t) {
-      tasks_rt_[t].target_copies = scheduler_.tasks()[t].multiplicity;
+      tasks_.target_copies[t] =
+          static_cast<std::int32_t>(scheduler_.tasks()[t].multiplicity);
+      tasks_.truth[t] =
+          truth_value(config.seed, static_cast<std::int64_t>(t));
+      tasks_.is_ringer[t] = scheduler_.tasks()[t].is_ringer ? 1 : 0;
     }
     score_.assign(static_cast<std::size_t>(registry_.size()),
                   config.adaptive.score_init);
@@ -392,9 +379,13 @@ class Runner {
       queue_.schedule(config_.faults.events[i].time, EventKind::kFault,
                       static_cast<std::int64_t>(i));
     }
-    for (std::size_t u = 0; u < units_rt_.size(); ++u) issue_unit(u, 0.0);
+    // The t = 0 mass issue is the one spot where every unit draws its
+    // dropout coin at a known attempt (the first); batch the draws into
+    // one contiguous pass before the issue loop consumes them.
+    pool_->prime_dropout_coins(units_.size(), 1);
+    for (std::size_t u = 0; u < units_.size(); ++u) issue_unit(u, 0.0);
     if (config_.adaptive.enabled) {
-      for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
+      for (std::size_t t = 0; t < tasks_.size(); ++t) {
         queue_.schedule(check_interval_, EventKind::kAdaptiveCheck,
                         static_cast<std::int64_t>(t));
       }
@@ -492,16 +483,16 @@ class Runner {
     // get to declare first (e.g. a parked unit whose health timer already
     // drained) — degrade to a partial report, never throw.
     if (outcome_ == CampaignOutcome::kCompleted) {
-      for (const TaskRuntime& tr : tasks_rt_) {
-        if (tr.state != TaskState::kValid) {
+      for (const TaskState state : tasks_.state) {
+        if (state != TaskState::kValid) {
           outcome_ = CampaignOutcome::kStalled;
           break;
         }
       }
     }
     report_.outcome = outcome_;
-    for (const TaskRuntime& tr : tasks_rt_) {
-      if (tr.state != TaskState::kValid) ++report_.tasks_unfinished;
+    for (const TaskState state : tasks_.state) {
+      if (state != TaskState::kValid) ++report_.tasks_unfinished;
     }
     report_.min_live_fleet = min_live_;
     report_.progress_rate = ewma_;
@@ -514,10 +505,9 @@ class Runner {
 
     // Ground-truth audit of the accepted output — validated tasks only;
     // unfinished tasks have no accepted value to audit.
-    for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
-      if (tasks_rt_[t].state != TaskState::kValid) continue;
-      if (tasks_rt_[t].accepted ==
-          truth_value(config_.seed, static_cast<std::int64_t>(t))) {
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      if (tasks_.state[t] != TaskState::kValid) continue;
+      if (tasks_.accepted[t] == tasks_.truth[t]) {
         ++report_.final_correct_tasks;
       } else {
         ++report_.final_corrupt_tasks;
@@ -580,7 +570,7 @@ class Runner {
     StateWriter w;
     // Rough per-row upper bounds on token text; one reservation instead
     // of log2(20MB) growth copies.
-    w.reserve(512 + 48 * units_rt_.size() + 56 * tasks_rt_.size() +
+    w.reserve(512 + 48 * units_.size() + 56 * tasks_.size() +
               64 * registry_.size() + 40 * queue_.size() +
               64 * report_.series.size());
     w.f64(effective_deadline_);
@@ -648,27 +638,30 @@ class Runner {
       w.i64(wu.task);
       w.i64(static_cast<std::int64_t>(wu.assignee));
     }
-    for (const UnitRuntime& ur : units_rt_) {
-      w.i64(static_cast<std::int64_t>(ur.state));
-      w.i64(ur.attempts);
-      w.u64(ur.epoch);
-      w.u64(ur.value);
-      w.boolean(ur.has_value);
+    // Token order and widths predate the SoA tables (the lanes serialize
+    // as the old per-record rows; has_value writes its derived value), so
+    // blobs stay readable across the layout change.
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      w.i64(static_cast<std::int64_t>(units_.state[u]));
+      w.i64(units_.attempts[u]);
+      w.u64(units_.epoch[u]);
+      w.u64(units_.value[u]);
+      w.boolean(units_.has_value(u));
     }
-    for (const TaskRuntime& tr : tasks_rt_) {
-      w.i64(static_cast<std::int64_t>(tr.state));
-      w.i64(tr.target_copies);
-      w.i64(tr.arrived);
-      w.i64(tr.extra_replicas);
-      w.i64(tr.control_boosts);
-      w.i64(tr.control_released);
-      w.boolean(tr.adversary_committed);
-      w.boolean(tr.adversary_cheats);
-      w.boolean(tr.mismatch_counted);
-      w.boolean(tr.ringer_counted);
-      w.boolean(tr.inconclusive_counted);
-      w.boolean(tr.detected);
-      w.u64(tr.accepted);
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      w.i64(static_cast<std::int64_t>(tasks_.state[t]));
+      w.i64(tasks_.target_copies[t]);
+      w.i64(tasks_.arrived[t]);
+      w.i64(tasks_.extra_replicas[t]);
+      w.i64(tasks_.control_boosts[t]);
+      w.i64(tasks_.control_released[t]);
+      w.boolean(tasks_.test(t, TaskTable::kAdversaryCommitted));
+      w.boolean(tasks_.test(t, TaskTable::kAdversaryCheats));
+      w.boolean(tasks_.test(t, TaskTable::kMismatchCounted));
+      w.boolean(tasks_.test(t, TaskTable::kRingerCounted));
+      w.boolean(tasks_.test(t, TaskTable::kInconclusiveCounted));
+      w.boolean(tasks_.test(t, TaskTable::kDetected));
+      w.u64(tasks_.accepted[t]);
     }
     for (const double score : score_) w.f64(score);
     for (const char flag : flagged_) w.boolean(flag != 0);
@@ -781,28 +774,30 @@ class Runner {
       wu.assignee = static_cast<ParticipantId>(r.i64());
     }
     scheduler_.restore_units(std::move(units), registry_.size());
-    units_rt_.assign(static_cast<std::size_t>(unit_count), {});
-    for (UnitRuntime& ur : units_rt_) {
-      ur.state = static_cast<UnitState>(r.i64());
-      ur.attempts = r.i64();
-      ur.epoch = r.u64();
-      ur.value = r.u64();
-      ur.has_value = r.boolean();
+    units_.resize(0);
+    units_.resize(static_cast<std::size_t>(unit_count));
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      units_.state[u] = static_cast<UnitState>(r.i64());
+      units_.attempts[u] = static_cast<std::int32_t>(r.i64());
+      units_.epoch[u] = static_cast<std::uint32_t>(r.u64());
+      units_.value[u] = r.u64();
+      (void)r.boolean();  // has_value: derived from the state lane now.
     }
-    for (TaskRuntime& tr : tasks_rt_) {
-      tr.state = static_cast<TaskState>(r.i64());
-      tr.target_copies = r.i64();
-      tr.arrived = r.i64();
-      tr.extra_replicas = r.i64();
-      tr.control_boosts = r.i64();
-      tr.control_released = r.i64();
-      tr.adversary_committed = r.boolean();
-      tr.adversary_cheats = r.boolean();
-      tr.mismatch_counted = r.boolean();
-      tr.ringer_counted = r.boolean();
-      tr.inconclusive_counted = r.boolean();
-      tr.detected = r.boolean();
-      tr.accepted = r.u64();
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      tasks_.state[t] = static_cast<TaskState>(r.i64());
+      tasks_.target_copies[t] = static_cast<std::int32_t>(r.i64());
+      tasks_.arrived[t] = static_cast<std::int32_t>(r.i64());
+      tasks_.extra_replicas[t] = static_cast<std::int32_t>(r.i64());
+      tasks_.control_boosts[t] = static_cast<std::int32_t>(r.i64());
+      tasks_.control_released[t] = static_cast<std::int32_t>(r.i64());
+      tasks_.flags[t] = 0;
+      tasks_.assign(t, TaskTable::kAdversaryCommitted, r.boolean());
+      tasks_.assign(t, TaskTable::kAdversaryCheats, r.boolean());
+      tasks_.assign(t, TaskTable::kMismatchCounted, r.boolean());
+      tasks_.assign(t, TaskTable::kRingerCounted, r.boolean());
+      tasks_.assign(t, TaskTable::kInconclusiveCounted, r.boolean());
+      tasks_.assign(t, TaskTable::kDetected, r.boolean());
+      tasks_.accepted[t] = r.u64();
     }
     for (double& score : score_) score = r.f64();
     for (char& flag : flagged_) flag = r.boolean() ? 1 : 0;
@@ -825,16 +820,16 @@ class Runner {
     // Rebuild the derived adjacency exactly as the live loop built it:
     // units in index order — the initial deal first, then replicas in
     // creation order — is the same append order register_replica used.
-    task_unit_count_.assign(tasks_rt_.size(), 0);
-    adversary_held_.assign(tasks_rt_.size(), 0);
-    for (std::size_t u = 0; u < units_rt_.size(); ++u) {
+    task_unit_count_.assign(tasks_.size(), 0);
+    adversary_held_.assign(tasks_.size(), 0);
+    for (std::size_t u = 0; u < units_.size(); ++u) {
       const auto& wu = scheduler_.units()[u];
       const auto t = static_cast<std::size_t>(wu.task);
+      units_.task[u] = static_cast<std::int32_t>(wu.task);
+      units_.assignee[u] = static_cast<std::uint32_t>(wu.assignee);
       unit_slots_[task_slot_begin_[t] +
                   static_cast<std::size_t>(task_unit_count_[t]++)] = u;
-      if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
-        ++adversary_held_[t];
-      }
+      adversary_held_[t] += is_adversary_[wu.assignee];
     }
     const std::uint64_t seq = r.u64();
     const std::int64_t pending_count = r.i64();
@@ -859,12 +854,7 @@ class Runner {
   /// processing order.
   [[nodiscard]] bool fault_coin_(std::uint64_t salt, std::size_t fault_index,
                                  std::uint64_t stream, double p) const {
-    auto engine = rng::make_stream(
-        config_.seed ^ salt ^
-            (0x9E3779B97F4A7C15ULL *
-             (static_cast<std::uint64_t>(fault_index) + 1)),
-        stream);
-    return rng::bernoulli(p, engine);
+    return fault_coin(config_.seed, salt, fault_index, stream, p);
   }
 
   /// Per-(unit, attempt) stream index, same scheme as the benign-error and
@@ -951,15 +941,16 @@ class Runner {
     if (!was_offline && is_offline) {
       ++report_.churn_leaves;
       registry_.record(id).blacklisted = true;
-      for (std::size_t u = 0; u < units_rt_.size(); ++u) {
-        if (scheduler_.units()[u].assignee != id) continue;
-        UnitRuntime& ur = units_rt_[u];
-        if (ur.state != UnitState::kInProgress) continue;
-        ur.state = UnitState::kTimedOut;
-        ur.epoch += 1;  // The in-flight completion drains as a late result.
+      // Two-lane sweep: the assignee and state lanes are all this scan
+      // reads, 16 units per cache line each.
+      for (std::size_t u = 0; u < units_.size(); ++u) {
+        if (units_.assignee[u] != static_cast<std::uint32_t>(id)) continue;
+        if (units_.state[u] != UnitState::kInProgress) continue;
+        units_.state[u] = UnitState::kTimedOut;
+        units_.epoch[u] += 1;  // In-flight completion drains as late.
         ++report_.results_lost;
         queue_.schedule(now, EventKind::kReissue,
-                        static_cast<std::int64_t>(u), ur.epoch);
+                        static_cast<std::int64_t>(u), units_.epoch[u]);
       }
     } else if (was_offline && !is_offline) {
       ++report_.churn_rejoins;
@@ -979,8 +970,8 @@ class Runner {
     const std::int64_t live = std::max<std::int64_t>(
         1, registry_.active_count());
     std::int64_t inflight = 0;
-    for (const UnitRuntime& ur : units_rt_) {
-      if (ur.state == UnitState::kInProgress) ++inflight;
+    for (const UnitState state : units_.state) {
+      if (state == UnitState::kInProgress) ++inflight;
     }
     const double depth = std::max(1.0, static_cast<double>(inflight) /
                                            static_cast<double>(live));
@@ -1047,16 +1038,15 @@ class Runner {
   // ------------------------------------------------------------- issue loop
 
   void issue_unit(std::size_t u, double now) {
-    UnitRuntime& ur = units_rt_[u];
-    const auto& wu = scheduler_.units()[u];
-    ur.state = UnitState::kInProgress;
-    ur.attempts += 1;
-    ur.epoch += 1;
+    const auto t = static_cast<std::size_t>(units_.task[u]);
+    units_.state[u] = UnitState::kInProgress;
+    const std::int64_t attempt = units_.attempts[u] += 1;
+    units_.epoch[u] += 1;
     ++report_.units_issued;
 
     const auto outcome = pool_->issue(
-        wu.assignee, now, demand_[static_cast<std::size_t>(wu.task)],
-        static_cast<std::uint64_t>(u), ur.attempts);
+        static_cast<ParticipantId>(units_.assignee[u]), now, demand_[t],
+        static_cast<std::uint64_t>(u), attempt);
     bool delivered = outcome.replies;
     if (delivered) {
       // Active dropout-burst windows stack their coins on the static
@@ -1065,7 +1055,7 @@ class Runner {
         if (window_active_[i] == 0) continue;
         const FaultEvent& fault = config_.faults.events[i];
         if (fault.kind != FaultKind::kDropoutBurst) continue;
-        if (fault_coin_(kBurstSalt, i, unit_stream_(u, ur.attempts),
+        if (fault_coin_(kBurstSalt, i, unit_stream_(u, attempt),
                         fault.probability)) {
           delivered = false;
           break;
@@ -1074,42 +1064,42 @@ class Runner {
     }
     if (delivered) {
       queue_.schedule(outcome.completion_time, EventKind::kCompletion,
-                      static_cast<std::int64_t>(u), ur.epoch);
+                      static_cast<std::int64_t>(u), units_.epoch[u]);
       ++completions_pending_;
     } else {
       ++report_.units_dropped;
     }
     queue_.schedule(now + effective_deadline_, EventKind::kDeadline,
-                    static_cast<std::int64_t>(u), ur.epoch);
+                    static_cast<std::int64_t>(u), units_.epoch[u]);
 
-    TaskRuntime& tr = tasks_rt_[static_cast<std::size_t>(wu.task)];
-    if (tr.state == TaskState::kUnsent ||
-        tr.state == TaskState::kInconclusive) {
-      tr.state = TaskState::kInProgress;
+    if (tasks_.state[t] == TaskState::kUnsent ||
+        tasks_.state[t] == TaskState::kInconclusive) {
+      tasks_.state[t] = TaskState::kInProgress;
     }
   }
 
   void on_completion(const Event& event) {
     --completions_pending_;  // Every scheduled delivery drains exactly once.
     const auto u = static_cast<std::size_t>(event.subject);
-    UnitRuntime& ur = units_rt_[u];
-    if (ur.state != UnitState::kInProgress || ur.epoch != event.epoch) {
+    if (units_.state[u] != UnitState::kInProgress ||
+        units_.epoch[u] != event.epoch) {
       ++report_.late_results;  // Timed out (or requeued) before arriving.
       return;
     }
+    const std::int64_t attempt = units_.attempts[u];
     // Message-loss window: the work was done but the report vanishes in
     // transit; the unit stays in progress and its deadline will fire.
     for (std::size_t i = 0; i < window_active_.size(); ++i) {
       if (window_active_[i] == 0) continue;
       const FaultEvent& fault = config_.faults.events[i];
       if (fault.kind != FaultKind::kMessageLoss) continue;
-      if (fault_coin_(kLossSalt, i, unit_stream_(u, ur.attempts),
+      if (fault_coin_(kLossSalt, i, unit_stream_(u, attempt),
                       fault.probability)) {
         ++report_.results_lost;
         return;
       }
     }
-    ur.state = UnitState::kCompleted;
+    units_.state[u] = UnitState::kCompleted;
     ++report_.units_completed;
     if (config_.control.enabled) controller_.observe_issue(false);
     compute_value(u, event.time);
@@ -1122,12 +1112,14 @@ class Runner {
       if (window_active_[i] == 0) continue;
       const FaultEvent& fault = config_.faults.events[i];
       if (fault.kind != FaultKind::kCorruption) continue;
+      // Two draws (gate + flip), so this rare window keeps the full
+      // engine rather than the single-draw closed form.
       auto engine = rng::make_stream(
           config_.seed ^ kCorruptSalt ^
               (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(i) + 1)),
-          unit_stream_(u, ur.attempts));
+          unit_stream_(u, attempt));
       if (rng::bernoulli(fault.probability, engine)) {
-        ur.value ^= (engine() | 1ULL);  // Guaranteed non-zero flip.
+        units_.value[u] ^= (engine() | 1ULL);  // Guaranteed non-zero flip.
         ++report_.results_corrupted;
         break;
       }
@@ -1139,7 +1131,7 @@ class Runner {
       if (window_active_[i] == 0) continue;
       const FaultEvent& fault = config_.faults.events[i];
       if (fault.kind != FaultKind::kDuplication) continue;
-      if (fault_coin_(kDupSalt, i, unit_stream_(u, ur.attempts),
+      if (fault_coin_(kDupSalt, i, unit_stream_(u, attempt),
                       fault.probability)) {
         queue_.schedule(event.time + config_.latency.network_delay,
                         EventKind::kCompletion,
@@ -1153,15 +1145,17 @@ class Runner {
 
   void on_deadline(const Event& event) {
     const auto u = static_cast<std::size_t>(event.subject);
-    UnitRuntime& ur = units_rt_[u];
-    if (ur.state != UnitState::kInProgress || ur.epoch != event.epoch) return;
-    ur.state = UnitState::kTimedOut;
-    ur.epoch += 1;  // A straggling completion now lands as a late result.
+    if (units_.state[u] != UnitState::kInProgress ||
+        units_.epoch[u] != event.epoch) {
+      return;
+    }
+    units_.state[u] = UnitState::kTimedOut;
+    units_.epoch[u] += 1;  // A straggling completion now lands late.
     ++report_.units_timed_out;
-    score_down(scheduler_.units()[u].assignee);
+    score_down(static_cast<ParticipantId>(units_.assignee[u]));
     if (config_.control.enabled) controller_.observe_issue(true);
 
-    const std::int64_t retries_used = ur.attempts - 1;
+    const std::int64_t retries_used = units_.attempts[u] - 1;
     if (retries_used < config_.retry.max_retries) {
       const double backoff =
           std::max(config_.retry.backoff_base *
@@ -1169,7 +1163,7 @@ class Runner {
                                 static_cast<double>(retries_used)),
                    RetryPolicy::kMinReissueDelay);
       queue_.schedule(event.time + backoff, EventKind::kReissue,
-                      static_cast<std::int64_t>(u), ur.epoch);
+                      static_cast<std::int64_t>(u), units_.epoch[u]);
     } else {
       recompute_unit(u, event.time);
     }
@@ -1177,9 +1171,11 @@ class Runner {
 
   void on_reissue(const Event& event) {
     const auto u = static_cast<std::size_t>(event.subject);
-    UnitRuntime& ur = units_rt_[u];
-    if (ur.state != UnitState::kTimedOut || ur.epoch != event.epoch) return;
-    const ParticipantId old_assignee = scheduler_.units()[u].assignee;
+    if (units_.state[u] != UnitState::kTimedOut ||
+        units_.epoch[u] != event.epoch) {
+      return;
+    }
+    const std::uint32_t old_assignee = units_.assignee[u];
     const auto next =
         scheduler_.try_reassign_unit(u, registry_, deal_engine_);
     if (!next) {
@@ -1188,13 +1184,10 @@ class Runner {
       return;
     }
     ++report_.units_reissued;
-    const auto task = static_cast<std::size_t>(scheduler_.units()[u].task);
-    if (registry_.record(old_assignee).principal == Principal::kAdversary) {
-      --adversary_held_[task];
-    }
-    if (registry_.record(*next).principal == Principal::kAdversary) {
-      ++adversary_held_[task];
-    }
+    const auto task = static_cast<std::size_t>(units_.task[u]);
+    units_.assignee[u] = static_cast<std::uint32_t>(*next);
+    adversary_held_[task] +=
+        is_adversary_[*next] - is_adversary_[old_assignee];
     issue_unit(u, event.time);
   }
 
@@ -1204,18 +1197,16 @@ class Runner {
   /// budget an over-budget unit *parks* (timed out, no event scheduled)
   /// and the health monitor ends the campaign as stalled.
   void recompute_unit(std::size_t u, double now) {
-    UnitRuntime& ur = units_rt_[u];
     if (config_.health.recompute_budget >= 0 &&
         recompute_used_ >= config_.health.recompute_budget) {
-      ur.state = UnitState::kTimedOut;
-      ur.epoch += 1;
+      units_.state[u] = UnitState::kTimedOut;
+      units_.epoch[u] += 1;
       return;
     }
     ++recompute_used_;
-    ur.state = UnitState::kRecomputed;
-    ur.epoch += 1;
-    ur.value = truth_value(config_.seed, scheduler_.units()[u].task);
-    ur.has_value = true;
+    units_.state[u] = UnitState::kRecomputed;
+    units_.epoch[u] += 1;
+    units_.value[u] = tasks_.truth[static_cast<std::size_t>(units_.task[u])];
     ++report_.supervisor_recomputes;
     on_result(u, now);
   }
@@ -1223,75 +1214,78 @@ class Runner {
   // ------------------------------------------------------------ result path
 
   void compute_value(std::size_t u, double now) {
-    const auto& wu = scheduler_.units()[u];
-    UnitRuntime& ur = units_rt_[u];
-    const std::uint64_t truth = truth_value(config_.seed, wu.task);
-    platform::ParticipantRecord& record = registry_.record(wu.assignee);
+    const auto t = static_cast<std::size_t>(units_.task[u]);
+    const std::uint32_t assignee = units_.assignee[u];
+    const std::uint64_t truth = tasks_.truth[t];
     std::uint64_t value = truth;
-    if (record.principal == Principal::kAdversary) {
-      TaskRuntime& tr = tasks_rt_[static_cast<std::size_t>(wu.task)];
+    if (is_adversary_[assignee] != 0) {
       // The principal commits to a per-task plan the first time any of her
       // identities reports a copy, based on how many copies she holds then.
-      if (!tr.adversary_committed) {
-        tr.adversary_committed = true;
-        bool cheats = decision_.should_cheat(
-            adversary_held_[static_cast<std::size_t>(wu.task)]);
+      if (!tasks_.test(t, TaskTable::kAdversaryCommitted)) {
+        tasks_.set(t, TaskTable::kAdversaryCommitted);
+        bool cheats = decision_.should_cheat(adversary_held_[t]);
         // Under a kPDrift schedule the principal only plays a fraction of
         // her playable tuples; the coin is keyed per task, so commit
         // *order* never changes the draw, only the active fraction at
         // commit time does.
         if (cheats && has_drift_) {
-          auto drift_engine = rng::make_stream(
-              config_.seed ^ kPDriftSalt,
-              static_cast<std::uint64_t>(wu.task));
-          cheats = rng::bernoulli(active_cheat_fraction_(now), drift_engine);
+          cheats = rng::first_bernoulli(active_cheat_fraction_(now),
+                                        config_.seed ^ kPDriftSalt,
+                                        static_cast<std::uint64_t>(t));
         }
-        tr.adversary_cheats = cheats;
-        if (tr.adversary_cheats) ++report_.adversary_cheat_attempts;
+        tasks_.assign(t, TaskTable::kAdversaryCheats, cheats);
+        if (cheats) ++report_.adversary_cheat_attempts;
       }
-      if (tr.adversary_cheats) value = collusion_value(config_.seed, wu.task);
+      if (tasks_.test(t, TaskTable::kAdversaryCheats)) {
+        value = truth ^ kCollusionMask;
+      }
     } else if (config_.benign_error_rate > 0.0) {
-      // Per-(unit, attempt) stream so replay stays deterministic.
-      auto unit_engine = rng::make_stream(
-          config_.seed ^ kBenignSalt,
+      // Per-(unit, attempt) stream so replay stays deterministic. The
+      // Bernoulli gate takes the single-draw closed form; only a hit —
+      // rare by construction — pays for the full engine, whose second
+      // draw scrambles the value.
+      const std::uint64_t stream =
           static_cast<std::uint64_t>(u) * 64 +
-              static_cast<std::uint64_t>(ur.attempts & 63));
-      if (rng::bernoulli(config_.benign_error_rate, unit_engine)) {
+          static_cast<std::uint64_t>(units_.attempts[u] & 63);
+      if (rng::first_bernoulli(config_.benign_error_rate,
+                               config_.seed ^ kBenignSalt, stream)) {
+        auto unit_engine =
+            rng::make_stream(config_.seed ^ kBenignSalt, stream);
+        (void)unit_engine();
         value = truth ^ (0x1ULL + (unit_engine() | 0x2ULL));
       }
     }
-    if (value != truth) ++record.wrong_results;
-    ur.value = value;
-    ur.has_value = true;
+    if (value != truth) {
+      ++registry_.record(static_cast<ParticipantId>(assignee)).wrong_results;
+    }
+    units_.value[u] = value;
   }
 
   void on_result(std::size_t u, double now) {
-    const auto& wu = scheduler_.units()[u];
-    const auto t = static_cast<std::size_t>(wu.task);
-    TaskRuntime& tr = tasks_rt_[t];
+    const auto t = static_cast<std::size_t>(units_.task[u]);
     // A task can be VALID with copies still in flight only after the
     // controller released its target below the issued count; a straggler
     // arriving then is informational, never a re-validation.
-    if (tr.state == TaskState::kValid) {
+    if (tasks_.state[t] == TaskState::kValid) {
       ++report_.late_results;
       return;
     }
-    ++tr.arrived;
+    ++tasks_.arrived[t];
 
     // Ringer copies are checked the moment they arrive: the supervisor
     // knows the answer outright, so a wrong value is an immediate catch.
-    if (scheduler_.tasks()[t].is_ringer &&
-        units_rt_[u].state == UnitState::kCompleted &&
-        units_rt_[u].value != truth_value(config_.seed, wu.task)) {
-      if (!tr.ringer_counted) {
-        tr.ringer_counted = true;
+    if (tasks_.is_ringer[t] != 0 &&
+        units_.state[u] == UnitState::kCompleted &&
+        units_.value[u] != tasks_.truth[t]) {
+      if (!tasks_.test(t, TaskTable::kRingerCounted)) {
+        tasks_.set(t, TaskTable::kRingerCounted);
         ++report_.ringer_catches;
       }
-      record_detection(tr, now);
-      flag(wu.assignee, now);
+      record_detection(t, now);
+      flag(static_cast<ParticipantId>(units_.assignee[u]), now);
     }
 
-    if (tr.arrived >= tr.target_copies) validate(t, now);
+    if (tasks_.arrived[t] >= tasks_.target_copies[t]) validate(t, now);
   }
 
   // ---------------------------------------------------------- transitioner
@@ -1304,56 +1298,88 @@ class Runner {
     return task_units_begin(t) + task_unit_count_[t];
   }
 
-  void validate(std::size_t t, double now) {
-    TaskRuntime& tr = tasks_rt_[t];
-    tr.state = TaskState::kPendingValidation;
-    const std::uint64_t truth =
-        truth_value(config_.seed, static_cast<std::int64_t>(t));
+  /// Gathers the task's vote word: values of all slots into `values`
+  /// (lane = slot position) and a presence bit per value-bearing unit.
+  /// Requires task_unit_count_[t] <= kMaxPackedQuorum.
+  [[nodiscard]] std::uint64_t gather_votes_(std::size_t t,
+                                            std::uint64_t* values) const {
+    const std::size_t* slots = task_units_begin(t);
+    const int lanes = static_cast<int>(task_unit_count_[t]);
+    std::uint64_t present = 0;
+    for (int i = 0; i < lanes; ++i) {
+      const std::size_t u = slots[static_cast<std::size_t>(i)];
+      values[i] = units_.value[u];
+      present |= static_cast<std::uint64_t>(units_.has_value(u)) << i;
+    }
+    return present;
+  }
 
-    if (scheduler_.tasks()[t].is_ringer) {
+  void validate(std::size_t t, double now) {
+    tasks_.state[t] = TaskState::kPendingValidation;
+    const std::uint64_t truth = tasks_.truth[t];
+
+    if (tasks_.is_ringer[t] != 0) {
       accept(t, truth, now);
       return;
     }
 
-    bool all_equal = true;
-    std::uint64_t first_value = 0;
-    bool have_first = false;
-    for (const std::size_t* it = task_units_begin(t);
-         it != task_units_end(t); ++it) {
-      const UnitRuntime& ur = units_rt_[*it];
-      if (!ur.has_value) continue;
-      if (!have_first) {
-        first_value = ur.value;
-        have_first = true;
-      } else if (ur.value != first_value) {
-        all_equal = false;
+    // Vote word over the task's slot run: lane i is slot i's value, the
+    // presence mask selects the value-bearing units. Both validation
+    // questions (unanimity, plurality) run branchlessly over the word;
+    // the slot run outgrowing the word (multiplicity + replica budget
+    // past 64 — no realized plan does) falls back to the scalar tally.
+    const bool packed = task_unit_count_[t] <= kMaxPackedQuorum;
+    std::uint64_t vote_values[kMaxPackedQuorum];
+    std::uint64_t present = 0;
+    if (packed) {
+      present = gather_votes_(t, vote_values);
+      if (all_equal_packed(vote_values, present,
+                           static_cast<int>(task_unit_count_[t]))) {
+        const std::uint64_t first_value =
+            present != 0 ? vote_values[std::countr_zero(present)] : 0;
+        accept(t, first_value, now);
+        return;
       }
-    }
-    if (all_equal) {
-      accept(t, first_value, now);
-      return;
+    } else {
+      bool all_equal = true;
+      std::uint64_t first_value = 0;
+      bool have_first = false;
+      for (const std::size_t* it = task_units_begin(t);
+           it != task_units_end(t); ++it) {
+        if (!units_.has_value(*it)) continue;
+        if (!have_first) {
+          first_value = units_.value[*it];
+          have_first = true;
+        } else if (units_.value[*it] != first_value) {
+          all_equal = false;
+        }
+      }
+      if (all_equal) {
+        accept(t, first_value, now);
+        return;
+      }
     }
 
     // Copies disagree: the alarm condition of the paper's model.
-    record_detection(tr, now);
-    if (!tr.mismatch_counted) {
-      tr.mismatch_counted = true;
+    record_detection(t, now);
+    if (!tasks_.test(t, TaskTable::kMismatchCounted)) {
+      tasks_.set(t, TaskTable::kMismatchCounted);
       ++report_.mismatches_detected;
     }
-    if (!tr.inconclusive_counted) {
-      tr.inconclusive_counted = true;
+    if (!tasks_.test(t, TaskTable::kInconclusiveCounted)) {
+      tasks_.set(t, TaskTable::kInconclusiveCounted);
       ++report_.tasks_inconclusive;
     }
 
     // BOINC-style INCONCLUSIVE: buy information with an extra replica
     // before spending a trusted recompute.
-    if (tr.extra_replicas < config_.adaptive.max_extra_replicas) {
+    if (tasks_.extra_replicas[t] < config_.adaptive.max_extra_replicas) {
       if (const auto nu =
               scheduler_.try_add_replica(static_cast<std::int64_t>(t),
                                          registry_, deal_engine_)) {
-        tr.state = TaskState::kInconclusive;
-        ++tr.extra_replicas;
-        ++tr.target_copies;
+        tasks_.state[t] = TaskState::kInconclusive;
+        ++tasks_.extra_replicas[t];
+        ++tasks_.target_copies[t];
         ++report_.quorum_replicas;
         register_replica(*nu);
         issue_unit(*nu, now);
@@ -1361,28 +1387,38 @@ class Runner {
       }
     }
 
-    // Replicas exhausted: resolve by policy. The vote tally runs over a
-    // reusable flat scratch (values are few); the winner is independent of
-    // tally order — a unique plurality wins, any tie resolves to truth.
+    // Replicas exhausted: resolve by policy. The winner is independent
+    // of tally order — a unique plurality wins, any tie resolves to
+    // truth (tally_packed reports ties the same way the scalar scratch
+    // did; tests/test_quorum.cpp pins the equivalence).
     std::uint64_t resolved = 0;
     if (config_.resolution == platform::Resolution::kRecompute) {
       ++report_.supervisor_recomputes;
       resolved = truth;
+    } else if (packed) {
+      const QuorumTally tally = tally_packed(
+          vote_values, present, static_cast<int>(task_unit_count_[t]));
+      if (tally.tie) {
+        ++report_.supervisor_recomputes;
+        resolved = truth;
+      } else {
+        resolved = tally.winner;
+      }
     } else {
       vote_scratch_.clear();
       for (const std::size_t* it = task_units_begin(t);
            it != task_units_end(t); ++it) {
-        const UnitRuntime& ur = units_rt_[*it];
-        if (!ur.has_value) continue;
+        if (!units_.has_value(*it)) continue;
+        const std::uint64_t value = units_.value[*it];
         bool counted = false;
-        for (auto& [value, count] : vote_scratch_) {
-          if (value == ur.value) {
+        for (auto& [seen, count] : vote_scratch_) {
+          if (seen == value) {
             ++count;
             counted = true;
             break;
           }
         }
-        if (!counted) vote_scratch_.emplace_back(ur.value, 1);
+        if (!counted) vote_scratch_.emplace_back(value, 1);
       }
       int best = 0;
       bool tie = false;
@@ -1404,31 +1440,28 @@ class Runner {
   }
 
   void accept(std::size_t t, std::uint64_t value, double now) {
-    TaskRuntime& tr = tasks_rt_[t];
-    tr.accepted = value;
-    tr.state = TaskState::kValid;
+    tasks_.accepted[t] = value;
+    tasks_.state[t] = TaskState::kValid;
     ++report_.tasks_valid;
     report_.makespan = std::max(report_.makespan, now);
 
-    const std::uint64_t truth =
-        truth_value(config_.seed, static_cast<std::int64_t>(t));
+    const std::uint64_t truth = tasks_.truth[t];
     for (const std::size_t* it = task_units_begin(t);
          it != task_units_end(t); ++it) {
       const std::size_t u = *it;
-      const UnitRuntime& ur = units_rt_[u];
-      if (ur.state != UnitState::kCompleted) continue;  // Not a submission.
-      const ParticipantId submitter = scheduler_.units()[u].assignee;
+      if (units_.state[u] != UnitState::kCompleted) continue;  // No report.
+      const auto submitter = static_cast<ParticipantId>(units_.assignee[u]);
       // Every judged copy is one Bernoulli observation for the
       // controller's adversary-fraction posterior.
       if (config_.control.enabled) {
-        controller_.observe_outcome(ur.value != value);
+        controller_.observe_outcome(units_.value[u] != value);
         ++report_.control_observations;
       }
-      if (ur.value == value) {
+      if (units_.value[u] == value) {
         score_up(submitter);
       } else {
         score_down(submitter);
-        if (ur.value == truth) ++report_.false_accusations;
+        if (units_.value[u] == truth) ++report_.false_accusations;
         flag(submitter, now);
       }
     }
@@ -1443,22 +1476,20 @@ class Runner {
     flagged_[id] = 1;
     registry_.blacklist(id);
     ++report_.blacklisted_identities;
-    for (std::size_t u = 0; u < units_rt_.size(); ++u) {
-      if (scheduler_.units()[u].assignee != id) continue;
-      UnitRuntime& ur = units_rt_[u];
-      if (ur.state != UnitState::kInProgress) continue;
-      ur.state = UnitState::kTimedOut;
-      ur.epoch += 1;  // Invalidate its completion and deadline timers.
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      if (units_.assignee[u] != static_cast<std::uint32_t>(id)) continue;
+      if (units_.state[u] != UnitState::kInProgress) continue;
+      units_.state[u] = UnitState::kTimedOut;
+      units_.epoch[u] += 1;  // Invalidate its completion/deadline timers.
       queue_.schedule(now, EventKind::kReissue, static_cast<std::int64_t>(u),
-                      ur.epoch);
+                      units_.epoch[u]);
     }
     update_min_live_();
   }
 
   void on_adaptive_check(const Event& event) {
     const auto t = static_cast<std::size_t>(event.subject);
-    TaskRuntime& tr = tasks_rt_[t];
-    if (tr.state == TaskState::kValid) return;  // Timer drains, no re-arm.
+    if (tasks_.state[t] == TaskState::kValid) return;  // Drain, no re-arm.
 
     // Straggling by construction (still unfinished after a full review
     // period); replicate when the holders look unreliable too.
@@ -1467,22 +1498,22 @@ class Runner {
     for (const std::size_t* it = task_units_begin(t);
          it != task_units_end(t); ++it) {
       const std::size_t u = *it;
-      const UnitState state = units_rt_[u].state;
+      const UnitState state = units_.state[u];
       if (state != UnitState::kInProgress && state != UnitState::kTimedOut) {
         continue;
       }
-      score_total += score_[scheduler_.units()[u].assignee];
+      score_total += score_[units_.assignee[u]];
       ++outstanding;
     }
     if (outstanding > 0 &&
         score_total / static_cast<double>(outstanding) <
             config_.adaptive.reliability_floor &&
-        tr.extra_replicas < config_.adaptive.max_extra_replicas) {
+        tasks_.extra_replicas[t] < config_.adaptive.max_extra_replicas) {
       if (const auto nu =
               scheduler_.try_add_replica(static_cast<std::int64_t>(t),
                                          registry_, deal_engine_)) {
-        ++tr.extra_replicas;
-        ++tr.target_copies;
+        ++tasks_.extra_replicas[t];
+        ++tasks_.target_copies[t];
         ++report_.adaptive_replicas;
         register_replica(*nu);
         issue_unit(*nu, event.time);
@@ -1506,21 +1537,19 @@ class Runner {
   /// planner-verified and INCONCLUSIVE tasks are mid-quorum-resolution;
   /// both stay out of the controller's hands.
   [[nodiscard]] bool promotable_(std::size_t t) const {
-    const TaskRuntime& tr = tasks_rt_[t];
-    return tr.state == TaskState::kInProgress &&
-           !scheduler_.tasks()[t].is_ringer &&
-           tr.control_boosts < config_.control.max_boost;
+    return tasks_.state[t] == TaskState::kInProgress &&
+           tasks_.is_ringer[t] == 0 &&
+           tasks_.control_boosts[t] < config_.control.max_boost;
   }
 
   /// Eligibility to give one previously escalated copy back: there must
   /// be a live boost to return and an outstanding copy to cancel without
   /// dropping the target below the already-arrived count.
   [[nodiscard]] bool demotable_(std::size_t t) const {
-    const TaskRuntime& tr = tasks_rt_[t];
-    return tr.state == TaskState::kInProgress &&
-           !scheduler_.tasks()[t].is_ringer &&
-           tr.control_boosts > tr.control_released &&
-           tr.target_copies - 1 >= tr.arrived;
+    return tasks_.state[t] == TaskState::kInProgress &&
+           tasks_.is_ringer[t] == 0 &&
+           tasks_.control_boosts[t] > tasks_.control_released[t] &&
+           tasks_.target_copies[t] - 1 >= tasks_.arrived[t];
   }
 
   /// One re-plan round: build the residual multiplicity mix of the
@@ -1540,19 +1569,19 @@ class Runner {
 
     residual_scratch_.clear();
     std::int64_t unfinished = 0;
-    for (std::size_t t = 0; t < tasks_rt_.size(); ++t) {
-      const TaskRuntime& tr = tasks_rt_[t];
-      if (tr.state == TaskState::kValid) continue;
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      if (tasks_.state[t] == TaskState::kValid) continue;
       ++unfinished;
+      const auto target = static_cast<std::int64_t>(tasks_.target_copies[t]);
       control::ResidualClass* cls = nullptr;
       for (control::ResidualClass& existing : residual_scratch_) {
-        if (existing.multiplicity == tr.target_copies) {
+        if (existing.multiplicity == target) {
           cls = &existing;
           break;
         }
       }
       if (cls == nullptr) {
-        residual_scratch_.push_back({tr.target_copies, 0, 0, 0});
+        residual_scratch_.push_back({target, 0, 0, 0});
         cls = &residual_scratch_.back();
       }
       ++cls->tasks;
@@ -1578,18 +1607,18 @@ class Runner {
     std::fill(moved_scratch_.begin(), moved_scratch_.end(), 0);
     for (const control::ClassDelta& delta : decision.promotions) {
       std::int64_t remaining = delta.count;
-      for (std::size_t t = 0; t < tasks_rt_.size() && remaining > 0; ++t) {
-        TaskRuntime& tr = tasks_rt_[t];
+      for (std::size_t t = 0; t < tasks_.size() && remaining > 0; ++t) {
         if (moved_scratch_[t] != 0 ||
-            tr.target_copies != delta.multiplicity || !promotable_(t)) {
+            tasks_.target_copies[t] != delta.multiplicity ||
+            !promotable_(t)) {
           continue;
         }
         const auto nu = scheduler_.try_add_replica(
             static_cast<std::int64_t>(t), registry_, deal_engine_);
         if (!nu) continue;  // No eligible identity for this task.
         moved_scratch_[t] = 1;
-        ++tr.control_boosts;
-        ++tr.target_copies;
+        ++tasks_.control_boosts[t];
+        ++tasks_.target_copies[t];
         ++report_.control_boosts;
         register_replica(*nu);
         issue_unit(*nu, now);
@@ -1598,19 +1627,19 @@ class Runner {
     }
     for (const control::ClassDelta& delta : decision.demotions) {
       std::int64_t remaining = delta.count;
-      for (std::size_t t = 0; t < tasks_rt_.size() && remaining > 0; ++t) {
-        TaskRuntime& tr = tasks_rt_[t];
+      for (std::size_t t = 0; t < tasks_.size() && remaining > 0; ++t) {
         if (moved_scratch_[t] != 0 ||
-            tr.target_copies != delta.multiplicity || !demotable_(t)) {
+            tasks_.target_copies[t] != delta.multiplicity ||
+            !demotable_(t)) {
           continue;
         }
         if (!cancel_one_unit_(t)) continue;
         moved_scratch_[t] = 1;
-        ++tr.control_released;
-        --tr.target_copies;
+        ++tasks_.control_released[t];
+        --tasks_.target_copies[t];
         ++report_.control_releases;
         --remaining;
-        if (tr.arrived >= tr.target_copies) validate(t, now);
+        if (tasks_.arrived[t] >= tasks_.target_copies[t]) validate(t, now);
       }
     }
   }
@@ -1619,20 +1648,19 @@ class Runner {
   /// exists (its pending re-issue becomes stale — pure savings), else
   /// the latest in-flight unit (its completion drains as a late result).
   bool cancel_one_unit_(std::size_t t) {
-    std::size_t victim = units_rt_.size();
+    std::size_t victim = units_.size();
     for (const std::size_t* it = task_units_begin(t);
          it != task_units_end(t); ++it) {
-      const UnitState state = units_rt_[*it].state;
+      const UnitState state = units_.state[*it];
       if (state == UnitState::kTimedOut) {
         victim = *it;
         break;
       }
       if (state == UnitState::kInProgress) victim = *it;
     }
-    if (victim >= units_rt_.size()) return false;
-    UnitRuntime& ur = units_rt_[victim];
-    ur.state = UnitState::kTimedOut;
-    ur.epoch += 1;  // Stale-out its completion/deadline/re-issue timers.
+    if (victim >= units_.size()) return false;
+    units_.state[victim] = UnitState::kTimedOut;
+    units_.epoch[victim] += 1;  // Stale-out its pending timers.
     return true;
   }
 
@@ -1642,23 +1670,23 @@ class Runner {
   /// Scheduler::try_add_replica. The task's slot run was sized for
   /// max_extra_replicas extras up front, so the append cannot overflow it.
   void register_replica(std::size_t u) {
-    units_rt_.emplace_back();
+    units_.append();
     const auto& wu = scheduler_.units()[u];
     const auto t = static_cast<std::size_t>(wu.task);
+    units_.task[u] = static_cast<std::int32_t>(wu.task);
+    units_.assignee[u] = static_cast<std::uint32_t>(wu.assignee);
     REDUND_PRECONDITION(
         static_cast<std::size_t>(task_unit_count_[t]) <
             task_slot_begin_[t + 1] - task_slot_begin_[t],
         "replica append stays within the task's pre-sized slot run");
     unit_slots_[task_slot_begin_[t] +
                 static_cast<std::size_t>(task_unit_count_[t]++)] = u;
-    if (registry_.record(wu.assignee).principal == Principal::kAdversary) {
-      ++adversary_held_[t];
-    }
+    adversary_held_[t] += is_adversary_[wu.assignee];
   }
 
-  void record_detection(TaskRuntime& tr, double now) {
-    if (tr.detected) return;
-    tr.detected = true;
+  void record_detection(std::size_t t, double now) {
+    if (tasks_.test(t, TaskTable::kDetected)) return;
+    tasks_.set(t, TaskTable::kDetected);
     ++report_.detections;
     detection_time_total_ += now;
     first_detection_ = report_.detections == 1
@@ -1692,8 +1720,9 @@ class Runner {
   std::optional<JournalWriter> journal_;
 
   std::vector<double> demand_;              ///< Per task.
-  std::vector<UnitRuntime> units_rt_;
-  std::vector<TaskRuntime> tasks_rt_;
+  UnitTable units_;                         ///< SoA per-unit runtime state.
+  TaskTable tasks_;                         ///< SoA per-task runtime state.
+  std::vector<char> is_adversary_;          ///< Immutable, per identity.
   std::vector<std::size_t> task_slot_begin_;  ///< Slot-run start per task.
   std::vector<std::int64_t> task_unit_count_; ///< Occupied slots per task.
   std::vector<std::size_t> unit_slots_;       ///< Flat unit-index runs.

@@ -14,7 +14,9 @@
 // supervisor, and the resolution policies always produce an accepted value.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace redund::runtime {
 
@@ -57,5 +59,124 @@ enum class UnitState : std::uint8_t {
   }
   return "?";
 }
+
+/// Structure-of-arrays table of the mutable per-unit runtime state, plus
+/// read-mostly mirrors of each unit's task and current assignee.
+///
+/// The event loop touches exactly one or two lanes per event (a state
+/// check and an epoch compare dominate), and the stall sweeps
+/// (reestimate_deadline_, flag, set_offline_) walk one lane across every
+/// unit. The array-of-structs record this replaces spread those touches
+/// over 32-byte rows — one unit per half cache line; the hot lanes here
+/// pack 16-64 units per line. Lane widths are sized to the values'
+/// actual ranges (attempts is bounded by the retry policy, epoch by a
+/// few increments per attempt), not to their serialized width — the
+/// checkpoint blob still writes them as 64-bit tokens.
+///
+/// `has_value` is not stored: a unit has a reportable value iff its
+/// state is kCompleted or kRecomputed (the only transitions that assign
+/// `value`, and both are terminal), so the flag is derived from the
+/// state lane.
+struct UnitTable {
+  std::vector<UnitState> state;
+  std::vector<std::int32_t> attempts;   ///< Issues so far (1 = initial deal).
+  std::vector<std::uint32_t> epoch;     ///< Bumped to stale in-flight timers.
+  std::vector<std::uint64_t> value;
+  std::vector<std::int32_t> task;       ///< Owning task (scheduler mirror).
+  std::vector<std::uint32_t> assignee;  ///< Current holder (scheduler mirror).
+
+  [[nodiscard]] std::size_t size() const noexcept { return state.size(); }
+
+  void reserve(std::size_t capacity) {
+    state.reserve(capacity);
+    attempts.reserve(capacity);
+    epoch.reserve(capacity);
+    value.reserve(capacity);
+    task.reserve(capacity);
+    assignee.reserve(capacity);
+  }
+
+  void resize(std::size_t count) {
+    state.resize(count, UnitState::kUnsent);
+    attempts.resize(count, 0);
+    epoch.resize(count, 0);
+    value.resize(count, 0);
+    task.resize(count, 0);
+    assignee.resize(count, 0);
+  }
+
+  /// Appends one zero-initialized unit (a replica); the caller fills the
+  /// task/assignee mirrors.
+  void append() {
+    state.push_back(UnitState::kUnsent);
+    attempts.push_back(0);
+    epoch.push_back(0);
+    value.push_back(0);
+    task.push_back(0);
+    assignee.push_back(0);
+  }
+
+  /// True iff unit `u` holds a reportable value (completed or
+  /// supervisor-recomputed — the two terminal value-bearing states).
+  [[nodiscard]] bool has_value(std::size_t u) const noexcept {
+    return state[u] == UnitState::kCompleted ||
+           state[u] == UnitState::kRecomputed;
+  }
+};
+
+/// Structure-of-arrays table of the mutable per-task runtime state, plus
+/// the immutable per-task facts the validator consults on every result
+/// (ground truth, ringer membership).
+///
+/// The six per-task latch booleans pack into one flags byte: they are
+/// set-once markers the hot path only tests.
+struct TaskTable {
+  /// Latch bits in `flags`.
+  enum Flag : std::uint8_t {
+    kAdversaryCommitted = 1u << 0,
+    kAdversaryCheats = 1u << 1,
+    kMismatchCounted = 1u << 2,
+    kRingerCounted = 1u << 3,
+    kInconclusiveCounted = 1u << 4,
+    kDetected = 1u << 5,
+  };
+
+  std::vector<TaskState> state;
+  std::vector<std::uint8_t> flags;
+  std::vector<std::int32_t> target_copies;  ///< Multiplicity + replicas.
+  std::vector<std::int32_t> arrived;        ///< Completed/recomputed copies.
+  std::vector<std::int32_t> extra_replicas;
+  std::vector<std::int32_t> control_boosts;
+  std::vector<std::int32_t> control_released;
+  std::vector<std::uint64_t> accepted;
+  std::vector<std::uint64_t> truth;     ///< Immutable ground-truth values.
+  std::vector<std::uint8_t> is_ringer;  ///< Immutable ringer membership.
+
+  [[nodiscard]] std::size_t size() const noexcept { return state.size(); }
+
+  void resize(std::size_t count) {
+    state.resize(count, TaskState::kUnsent);
+    flags.resize(count, 0);
+    target_copies.resize(count, 0);
+    arrived.resize(count, 0);
+    extra_replicas.resize(count, 0);
+    control_boosts.resize(count, 0);
+    control_released.resize(count, 0);
+    accepted.resize(count, 0);
+    truth.resize(count, 0);
+    is_ringer.resize(count, 0);
+  }
+
+  [[nodiscard]] bool test(std::size_t t, Flag flag) const noexcept {
+    return (flags[t] & flag) != 0;
+  }
+  void set(std::size_t t, Flag flag) noexcept {
+    flags[t] = static_cast<std::uint8_t>(flags[t] | flag);
+  }
+  void assign(std::size_t t, Flag flag, bool on) noexcept {
+    flags[t] = static_cast<std::uint8_t>(on ? (flags[t] | flag)
+                                            : (flags[t] & ~flag));
+  }
+};
 
 }  // namespace redund::runtime

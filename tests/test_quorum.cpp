@@ -1,0 +1,151 @@
+// Exhaustive equivalence of the branchless packed quorum kernels
+// (src/runtime/quorum.hpp) against the scalar tally they replaced.
+//
+// The scalar reference below reproduces the supervisor's pre-refactor
+// vote loop exactly: distinct values tallied in first-seen order, the
+// winner is the first class to reach the running maximum, and a later
+// class matching the maximum raises the tie flag. The packed kernels
+// must agree on (all_equal, winner, best_count, tie) for every vote
+// pattern — enumerated exhaustively over all value assignments and all
+// presence masks up to the max quorum size any realized plan produces,
+// plus randomized spot checks at the full 64-lane width.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "runtime/quorum.hpp"
+
+namespace redund::runtime {
+namespace {
+
+struct ScalarVerdict {
+  bool all_equal = true;
+  std::uint64_t winner = 0;
+  int best_count = 0;
+  bool tie = false;
+};
+
+/// The supervisor's pre-refactor scalar tally, verbatim semantics.
+ScalarVerdict scalar_tally(const std::uint64_t* values, std::uint64_t present,
+                           int lanes) {
+  ScalarVerdict verdict;
+  std::uint64_t first_value = 0;
+  bool have_first = false;
+  std::vector<std::pair<std::uint64_t, int>> scratch;
+  for (int i = 0; i < lanes; ++i) {
+    if ((present & (1ULL << i)) == 0) continue;
+    if (!have_first) {
+      first_value = values[i];
+      have_first = true;
+    } else if (values[i] != first_value) {
+      verdict.all_equal = false;
+    }
+    bool counted = false;
+    for (auto& [value, count] : scratch) {
+      if (value == values[i]) {
+        ++count;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) scratch.emplace_back(values[i], 1);
+  }
+  for (const auto& [value, count] : scratch) {
+    if (count > verdict.best_count) {
+      verdict.best_count = count;
+      verdict.winner = value;
+      verdict.tie = false;
+    } else if (count == verdict.best_count) {
+      verdict.tie = true;
+    }
+  }
+  return verdict;
+}
+
+void expect_equivalent(const std::uint64_t* values, std::uint64_t present,
+                       int lanes) {
+  const ScalarVerdict scalar = scalar_tally(values, present, lanes);
+  const QuorumTally packed = tally_packed(values, present, lanes);
+  ASSERT_EQ(all_equal_packed(values, present, lanes), scalar.all_equal)
+      << "present=" << present;
+  ASSERT_EQ(packed.best_count, scalar.best_count) << "present=" << present;
+  ASSERT_EQ(packed.tie, scalar.tie) << "present=" << present;
+  if (!scalar.tie && scalar.best_count > 0) {
+    ASSERT_EQ(packed.winner, scalar.winner) << "present=" << present;
+  }
+}
+
+TEST(Quorum, EmptyMaskIsVacuouslyEqualWithNoWinner) {
+  const std::uint64_t values[1] = {42};
+  EXPECT_TRUE(all_equal_packed(values, 0, 1));
+  const QuorumTally tally = tally_packed(values, 0, 1);
+  EXPECT_EQ(tally.best_count, 0);
+  EXPECT_FALSE(tally.tie);
+}
+
+// All value assignments from a 3-symbol alphabet x all presence masks,
+// for every quorum size up to 6 (beyond any multiplicity + replica
+// budget the project's planners realize). 3 symbols are exhaustive in
+// the relevant sense: the tally only compares values for equality, so
+// any vote pattern over n copies is isomorphic to one over at most n
+// symbols, and 3 symbols already produce every partition shape that
+// majority/plurality/tie logic can distinguish at these sizes.
+TEST(Quorum, ExhaustiveEquivalenceThreeSymbolsUpToSixLanes) {
+  constexpr std::uint64_t kSymbols[3] = {0xAAAAAAAAAAAAAAAAULL,
+                                         0x5555555555555555ULL, 0x1ULL};
+  for (int lanes = 1; lanes <= 6; ++lanes) {
+    std::uint64_t assignments = 1;
+    for (int i = 0; i < lanes; ++i) assignments *= 3;
+    for (std::uint64_t a = 0; a < assignments; ++a) {
+      std::uint64_t values[6];
+      std::uint64_t code = a;
+      for (int i = 0; i < lanes; ++i) {
+        values[i] = kSymbols[code % 3];
+        code /= 3;
+      }
+      for (std::uint64_t present = 0; present < (1ULL << lanes); ++present) {
+        expect_equivalent(values, present, lanes);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// Wider words, binary alphabet: every 8-lane vote pattern x every mask.
+TEST(Quorum, ExhaustiveEquivalenceTwoSymbolsEightLanes) {
+  constexpr int kLanes = 8;
+  for (std::uint64_t a = 0; a < (1ULL << kLanes); ++a) {
+    std::uint64_t values[kLanes];
+    for (int i = 0; i < kLanes; ++i) {
+      values[i] = ((a >> i) & 1ULL) ? 0xDEADBEEFULL : 0xFEEDFACEULL;
+    }
+    for (std::uint64_t present = 0; present < (1ULL << kLanes); ++present) {
+      expect_equivalent(values, present, kLanes);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Full 64-lane width: randomized values over small alphabets (heavy
+// collision mass) and random presence masks.
+TEST(Quorum, RandomizedEquivalenceAtFullWidth) {
+  auto engine = rng::make_stream(0x90A11EDULL, 7);
+  for (int round = 0; round < 20000; ++round) {
+    const int lanes = 1 + static_cast<int>(rng::uniform_below(64, engine));
+    const int alphabet = 1 + static_cast<int>(rng::uniform_below(5, engine));
+    std::uint64_t values[kMaxPackedQuorum];
+    for (int i = 0; i < lanes; ++i) {
+      values[i] = 0x1000 + rng::uniform_below(
+                               static_cast<std::uint64_t>(alphabet), engine);
+    }
+    std::uint64_t present = engine();
+    if (lanes < 64) present &= (1ULL << lanes) - 1;
+    expect_equivalent(values, present, lanes);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace redund::runtime

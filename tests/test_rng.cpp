@@ -306,6 +306,41 @@ TEST(SampleWithoutReplacement, KClampedToN) {
   EXPECT_EQ(sample.size(), 5u);
 }
 
+TEST(FirstDraw, BitIdenticalToConstructedStreamEngine) {
+  // The closed form must reproduce make_stream(...)() exactly — it is
+  // the determinism contract behind every fast-path keyed coin. Sweep a
+  // grid of seeds and streams including adversarial values (0, all-ones,
+  // the golden-ratio increment itself).
+  constexpr std::uint64_t kSeeds[] = {
+      0ULL, 1ULL, ~0ULL, 0x9E3779B97F4A7C15ULL, 0xA57C0DEULL,
+      0xA0D17D15EEDULL, 0xDEADBEEFCAFEF00DULL};
+  constexpr std::uint64_t kStreams[] = {0ULL, 1ULL, 2ULL, 63ULL, 64ULL,
+                                        12345ULL, ~0ULL - 1, ~0ULL};
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint64_t stream : kStreams) {
+      auto engine = r::make_stream(seed, stream);
+      ASSERT_EQ(r::first_draw(seed, stream), engine())
+          << "seed=" << seed << " stream=" << stream;
+    }
+  }
+  // Dense sweep over consecutive streams, the runtime's actual pattern.
+  for (std::uint64_t stream = 0; stream < 4096; ++stream) {
+    auto engine = r::make_stream(0x5EEDFACEULL, stream);
+    ASSERT_EQ(r::first_draw(0x5EEDFACEULL, stream), engine());
+  }
+}
+
+TEST(FirstDraw, FirstUniform01AndBernoulliMatchSamplers) {
+  for (std::uint64_t stream = 0; stream < 512; ++stream) {
+    auto engine = r::make_stream(0xD40F0FFULL, stream);
+    const double expected = r::uniform01(engine);
+    ASSERT_EQ(r::first_uniform01(0xD40F0FFULL, stream), expected);
+    auto coin = r::make_stream(0xD40F0FFULL, stream);
+    ASSERT_EQ(r::first_bernoulli(0.3, 0xD40F0FFULL, stream),
+              r::bernoulli(0.3, coin));
+  }
+}
+
 TEST(SampleWithoutReplacement, MembershipIsUniform) {
   // Each of 10 items should appear in a 3-subset with probability 3/10.
   r::Xoshiro256StarStar engine(44);

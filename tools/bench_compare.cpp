@@ -3,27 +3,51 @@
 // beyond the tolerance.
 //
 //   bench_compare BASELINE.json CURRENT.json [--tolerance 0.15]
+//                 [--only PREFIX]...
+//
+// `--only PREFIX` (repeatable) restricts both the table and the regression
+// verdict to benchmarks whose name starts with PREFIX — how CI gates the
+// `event_loop*` headline family hard while the noisier rows stay
+// informational.
 //
 // Exit codes: 0 no regression, 1 regression detected, 2 usage/parse error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "perf/json.hpp"
+
+namespace {
+
+bool matches_only(const std::string& bench,
+                  const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&bench](const std::string& prefix) {
+                       return bench.rfind(prefix, 0) == 0;
+                     });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
+  std::vector<std::string> only;
   double tolerance = 0.15;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
       tolerance = std::atof(argv[++i]);
+    } else if (arg == "--only" && i + 1 < argc) {
+      only.emplace_back(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_compare BASELINE.json CURRENT.json "
-          "[--tolerance 0.15]\n");
+          "[--tolerance 0.15] [--only PREFIX]...\n");
       return 0;
     } else if (baseline_path.empty()) {
       baseline_path = arg;
@@ -45,8 +69,27 @@ int main(int argc, char** argv) {
   try {
     const auto baseline = redund::perf::read_report(baseline_path);
     const auto current = redund::perf::read_report(current_path);
-    const auto result =
+    auto result =
         redund::perf::compare_reports(baseline, current, tolerance);
+    if (!only.empty()) {
+      result.rows.erase(
+          std::remove_if(result.rows.begin(), result.rows.end(),
+                         [&only](const redund::perf::Comparison& row) {
+                           return !matches_only(row.bench, only);
+                         }),
+          result.rows.end());
+      result.unmatched.erase(
+          std::remove_if(result.unmatched.begin(), result.unmatched.end(),
+                         [&only](const std::string& name) {
+                           return !matches_only(name, only);
+                         }),
+          result.unmatched.end());
+      result.any_regression =
+          std::any_of(result.rows.begin(), result.rows.end(),
+                      [](const redund::perf::Comparison& row) {
+                        return row.regressed;
+                      });
+    }
 
     std::printf("%-28s %10s %8s %14s %14s %8s\n", "bench", "n", "threads",
                 "baseline", "current", "ratio");

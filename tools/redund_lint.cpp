@@ -18,6 +18,13 @@
 //                            annotated `// redund: hot` (supervisor/queue
 //                            steady-state paths are contractually
 //                            allocation-free).
+//   hot-per-element-insert   push_back / emplace / insert grown one element
+//                            at a time inside a loop in a `redund: hot`
+//                            function. Even pre-sized (an allowed
+//                            hot-alloc), per-element growth in a loop is
+//                            the pattern the SoA refactor removed — batch
+//                            with resize() + index writes or a bulk
+//                            insert outside the loop.
 //   include-c-header         C headers (<stdio.h>, ...) instead of their
 //                            <cstdio>-style C++ spellings.
 //   include-iostream         <iostream> included from a header (drags in
@@ -415,7 +422,9 @@ class Linter {
 
   /// From a `// redund: hot` annotation, finds the next function body
   /// (first '{' before any top-level ';') and scans it for
-  /// allocation-prone calls until the matching '}'.
+  /// allocation-prone calls until the matching '}'. Loop bodies inside the
+  /// function are tracked by brace depth so per-element container growth
+  /// in a loop gets the stricter hot-per-element-insert diagnostic.
   void scan_hot_body_(std::size_t annotation) {
     static const char* kAllocating[] = {
         "malloc(",       "calloc(",      "realloc(",  "free(",
@@ -423,10 +432,20 @@ class Linter {
         "resize(",       "reserve(",     "make_unique(", "make_shared(",
         "to_string(",    "std::string(",
     };
+    static const char* kPerElementGrowth[] = {
+        "push_back(", "emplace_back(", "insert(", "emplace(", "try_emplace(",
+    };
     int depth = 0;
+    int paren_depth = 0;
     bool in_body = false;
+    bool pending_loop = false;       // Saw for/while; its '{' is next.
+    std::vector<int> loop_depths;    // Brace depth of enclosing loop bodies.
     for (std::size_t i = annotation; i < lines_.size(); ++i) {
       const std::string& code = lines_[i].code;
+      const bool line_opens_loop =
+          in_body && (contains_token(code, "for") ||
+                      contains_token(code, "while") ||
+                      contains_token(code, "do"));
       if (in_body) {
         static const std::regex kNew(R"((^|[^:\w])new\s*[\w(<])");
         if (std::regex_search(code, kNew)) {
@@ -443,15 +462,47 @@ class Linter {
             }
           }
         }
+        // Per-element growth in a loop (or on a brace-less loop line): the
+        // batch-processing hazard, reported separately from hot-alloc so a
+        // pre-sized push_back allowed there is still visible here.
+        if (!loop_depths.empty() || line_opens_loop) {
+          for (const char* call : kPerElementGrowth) {
+            if (contains_token(code, call)) {
+              report_(i, "hot-per-element-insert",
+                      std::string("per-element ") + call +
+                          ") inside a loop in a `redund: hot` function — "
+                          "batch the growth (resize + index writes or bulk "
+                          "insert) outside the per-element loop");
+              break;
+            }
+          }
+        }
       }
+      if (line_opens_loop) pending_loop = true;
       for (const char c : code) {
-        if (c == '{') {
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')') {
+          if (paren_depth > 0) --paren_depth;
+        } else if (c == '{') {
           ++depth;
           in_body = true;
+          if (pending_loop) {
+            loop_depths.push_back(depth);
+            pending_loop = false;
+          }
         } else if (c == '}') {
+          if (!loop_depths.empty() && loop_depths.back() == depth) {
+            loop_depths.pop_back();
+          }
           if (--depth == 0 && in_body) return;
-        } else if (c == ';' && !in_body && i > annotation) {
-          return;  // Declaration without a body: nothing to scan.
+        } else if (c == ';') {
+          if (!in_body && i > annotation) {
+            return;  // Declaration without a body: nothing to scan.
+          }
+          // A ';' outside parentheses ends a brace-less loop body (or a
+          // do-while tail) before any '{' arrives.
+          if (paren_depth == 0) pending_loop = false;
         }
       }
     }
@@ -589,6 +640,53 @@ const Fixture kFixtures[] = {
      "}\n"
      "void g(std::vector<int>& v) {\n"
      "  v.push_back(1);\n"
+     "}\n",
+     nullptr, 0},
+    {"hot-loop-push-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v, int n) {\n"
+     "  for (int i = 0; i < n; ++i) {\n"
+     "    v.push_back(i);  // redund-lint: allow(hot-alloc)\n"
+     "  }\n"
+     "}\n",
+     "hot-per-element-insert", 4},
+    {"hot-loop-map-insert-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::map<int, int>& m, int n) {\n"
+     "  while (n-- > 0) {\n"
+     "    m.insert({n, n});  // redund-lint: allow(hot-alloc)\n"
+     "  }\n"
+     "}\n",
+     "hot-per-element-insert", 4},
+    {"hot-loop-braceless-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v, int n) {\n"
+     "  for (int i = 0; i < n; ++i) v.push_back(i);  "
+     "// redund-lint: allow(hot-alloc)\n"
+     "}\n",
+     "hot-per-element-insert", 3},
+    {"hot-loop-allow-suppresses", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v, int n) {\n"
+     "  for (int i = 0; i < n; ++i) {\n"
+     "    // redund-lint: allow(hot-alloc, hot-per-element-insert)\n"
+     "    v.push_back(i);\n"
+     "  }\n"
+     "}\n",
+     nullptr, 0},
+    {"hot-push-outside-loop-only-hot-alloc", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v) {\n"
+     "  v.push_back(1);  // redund-lint: allow(hot-alloc)\n"
+     "}\n",
+     nullptr, 0},
+    {"hot-do-while-tail-not-a-loop-opener", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v, int n) {\n"
+     "  do {\n"
+     "    --n;\n"
+     "  } while (n > 0);\n"
+     "  v.push_back(n);  // redund-lint: allow(hot-alloc)\n"
      "}\n",
      nullptr, 0},
     {"c-header-fires", "src/core/x.cpp",
