@@ -8,6 +8,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "core/realize.hpp"
 #include "core/schemes/balanced.hpp"
 #include "parallel/parallel_for.hpp"
@@ -266,6 +270,16 @@ void bench_parallel_reduce(std::vector<BenchRecord>& records,
 }  // namespace
 
 std::vector<BenchRecord> run_suite(const SuiteOptions& options) {
+#if defined(__GLIBC__)
+  // Each campaign iteration allocates tens of MB of event/lane storage;
+  // glibc's default thresholds hand those chunks straight back to the
+  // kernel on free, so every iteration re-faults its pages and the suite
+  // measures page-fault service instead of the simulator. Keeping large
+  // chunks on the heap across iterations removes that noise; it changes
+  // nothing about what the benchmarks compute.
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
   std::vector<BenchRecord> records;
   bench_replica_kernels(records, options);
   bench_event_loop(records, options);

@@ -1,5 +1,6 @@
 #include "platform/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace redund::platform {
@@ -25,7 +26,20 @@ ParticipantId Registry::enroll_sybils(std::int64_t count) {
   return first;
 }
 
-void Registry::blacklist(ParticipantId id) { record(id).blacklisted = true; }
+void Registry::blacklist(ParticipantId id) { set_blacklisted(id, true); }
+
+void Registry::set_blacklisted(ParticipantId id, bool on) {
+  ParticipantRecord& target = record(id);
+  if (target.blacklisted == on) return;
+  target.blacklisted = on;
+  const auto at =
+      std::lower_bound(blacklisted_ids_.begin(), blacklisted_ids_.end(), id);
+  if (on) {
+    blacklisted_ids_.insert(at, id);
+  } else {
+    blacklisted_ids_.erase(at);
+  }
+}
 
 const ParticipantRecord& Registry::record(ParticipantId id) const {
   if (id >= records_.size()) {
@@ -42,13 +56,11 @@ ParticipantRecord& Registry::record(ParticipantId id) {
 }
 
 std::int64_t Registry::active_count() const noexcept {
-  std::int64_t active = 0;
-  for (const auto& r : records_) active += r.blacklisted ? 0 : 1;
-  return active;
+  return size() - blacklisted_count();
 }
 
 std::int64_t Registry::blacklisted_count() const noexcept {
-  return size() - active_count();
+  return static_cast<std::int64_t>(blacklisted_ids_.size());
 }
 
 std::int64_t Registry::adversary_count() const noexcept {

@@ -25,6 +25,12 @@ class Registry {
   /// Marks an identity blacklisted; its future work requests are refused.
   void blacklist(ParticipantId id);
 
+  /// Sets or clears the blacklist mark, keeping the sorted blacklist
+  /// index in sync. Every mutation of ParticipantRecord::blacklisted must
+  /// go through here (or blacklist()) — the schedulers' eligible-count
+  /// arithmetic reads the index instead of scanning the records.
+  void set_blacklisted(ParticipantId id, bool on);
+
   [[nodiscard]] const ParticipantRecord& record(ParticipantId id) const;
   [[nodiscard]] ParticipantRecord& record(ParticipantId id);
 
@@ -39,8 +45,15 @@ class Registry {
     return records_;
   }
 
+  /// Blacklisted ids in ascending order (maintained by set_blacklisted).
+  [[nodiscard]] const std::vector<ParticipantId>& blacklisted_ids()
+      const noexcept {
+    return blacklisted_ids_;
+  }
+
  private:
   std::vector<ParticipantRecord> records_;
+  std::vector<ParticipantId> blacklisted_ids_;  ///< Ascending id order.
 };
 
 }  // namespace redund::platform

@@ -75,11 +75,17 @@ void Scheduler::deal(Registry& registry, rng::Xoshiro256StarStar& engine) {
 
   std::size_t cursor = 0;
   for (WorkUnit& unit : units_) {
+    // Hoisted once per unit: holds_() would re-index holders_by_task_ on
+    // every candidate probe of the round-robin below.
+    const std::vector<ParticipantId>& holders =
+        holders_by_task_[static_cast<std::size_t>(unit.task)];
     // Round-robin with skip: try up to |active| identities.
     for (std::size_t tries = 0; tries < active.size(); ++tries) {
       const ParticipantId candidate = active[cursor];
       cursor = (cursor + 1) % active.size();
-      if (!holds_(candidate, unit.task)) {
+      bool held = false;
+      for (const ParticipantId holder : holders) held |= holder == candidate;
+      if (!held) {
         unit.assignee = candidate;
         record_hold_(candidate, unit.task);
         registry.record(candidate).assignments_completed += 1;
@@ -94,6 +100,50 @@ void Scheduler::deal(Registry& registry, rng::Xoshiro256StarStar& engine) {
   }
 }
 
+namespace {
+
+/// Uniform pick over the active identities minus `excluded` (tiny,
+/// active-only, duplicate-free; sorted in place here) — without
+/// materializing the eligible list. Ids are dense record indices, so the
+/// eligible list in record order is just the ascending ids with two
+/// sorted exclusion lists (the registry's blacklist index and `excluded`)
+/// punched out; the k-th eligible id falls out of one order-statistics
+/// walk over those lists. Draws uniform_below with exactly the count the
+/// materialized scan produced, so the chosen identity is bit-identical —
+/// at O(blacklisted + excluded) instead of O(identities x holders).
+std::optional<ParticipantId> pick_active_excluding(
+    const Registry& registry, std::vector<ParticipantId>& excluded,
+    rng::Xoshiro256StarStar& engine) {
+  const std::int64_t eligible =
+      registry.active_count() - static_cast<std::int64_t>(excluded.size());
+  if (eligible <= 0) return std::nullopt;
+  std::sort(excluded.begin(), excluded.end());
+  std::uint64_t cursor =
+      rng::uniform_below(static_cast<std::uint64_t>(eligible), engine);
+  // Every excluded id at or below the cursor shifts it one id higher.
+  // The two lists are disjoint (excluded holds no blacklisted id), so the
+  // merged ascending walk visits each exclusion exactly once.
+  const std::vector<ParticipantId>& black = registry.blacklisted_ids();
+  std::size_t bi = 0;
+  std::size_t ei = 0;
+  while (bi < black.size() || ei < excluded.size()) {
+    const bool from_black =
+        bi < black.size() &&
+        (ei >= excluded.size() || black[bi] < excluded[ei]);
+    const ParticipantId at = from_black ? black[bi] : excluded[ei];
+    if (static_cast<std::uint64_t>(at) > cursor) break;
+    ++cursor;
+    if (from_black) {
+      ++bi;
+    } else {
+      ++ei;
+    }
+  }
+  return static_cast<ParticipantId>(cursor);
+}
+
+}  // namespace
+
 std::optional<ParticipantId> Scheduler::try_reassign_unit(
     std::size_t unit_index, Registry& registry,
     rng::Xoshiro256StarStar& engine) {
@@ -101,19 +151,31 @@ std::optional<ParticipantId> Scheduler::try_reassign_unit(
     throw std::out_of_range("Scheduler::try_reassign_unit: bad unit index");
   }
   WorkUnit& unit = units_[unit_index];
-  std::vector<ParticipantId>& eligible = eligible_scratch_;
-  eligible.clear();
-  for (const auto& record : registry.records()) {
-    if (record.blacklisted || record.id == unit.assignee) continue;
-    if (!holds_(record.id, unit.task)) eligible.push_back(record.id);
+  // The exclusion set is the current assignee plus the task's holders —
+  // a handful of ids. Blacklisted ones are dropped (the blacklist index
+  // already excludes them); the assignee is usually a holder too, so the
+  // membership probe also deduplicates.
+  std::vector<ParticipantId>& excluded = eligible_scratch_;
+  excluded.clear();
+  const auto exclude_active = [&](ParticipantId id) {
+    if (registry.record(id).blacklisted) return;
+    for (const ParticipantId seen : excluded) {
+      if (seen == id) return;
+    }
+    excluded.push_back(id);
+  };
+  exclude_active(unit.assignee);
+  for (const ParticipantId holder :
+       holders_by_task_[static_cast<std::size_t>(unit.task)]) {
+    exclude_active(holder);
   }
-  if (eligible.empty()) return std::nullopt;
-  const ParticipantId next = eligible[static_cast<std::size_t>(
-      rng::uniform_below(eligible.size(), engine))];
+  const std::optional<ParticipantId> next =
+      pick_active_excluding(registry, excluded, engine);
+  if (!next) return std::nullopt;
   drop_hold_(unit.assignee, unit.task);
-  unit.assignee = next;
-  record_hold_(next, unit.task);
-  registry.record(next).assignments_completed += 1;
+  unit.assignee = *next;
+  record_hold_(*next, unit.task);
+  registry.record(*next).assignments_completed += 1;
   return next;
 }
 
@@ -122,18 +184,21 @@ std::optional<std::size_t> Scheduler::try_add_replica(
   if (task < 0 || task >= task_count()) {
     throw std::out_of_range("Scheduler::try_add_replica: bad task index");
   }
-  std::vector<ParticipantId>& eligible = eligible_scratch_;
-  eligible.clear();
-  for (const auto& record : registry.records()) {
-    if (record.blacklisted || holds_(record.id, task)) continue;
-    eligible.push_back(record.id);
+  // Holders are unique per task (one-copy rule) and the holder index
+  // never retains a blacklisted id past its leave, but the cheap filter
+  // keeps this path safe against either invariant loosening.
+  std::vector<ParticipantId>& excluded = eligible_scratch_;
+  excluded.clear();
+  for (const ParticipantId holder :
+       holders_by_task_[static_cast<std::size_t>(task)]) {
+    if (!registry.record(holder).blacklisted) excluded.push_back(holder);
   }
-  if (eligible.empty()) return std::nullopt;
-  const ParticipantId assignee = eligible[static_cast<std::size_t>(
-      rng::uniform_below(eligible.size(), engine))];
-  units_.push_back({task, assignee});
-  record_hold_(assignee, task);
-  registry.record(assignee).assignments_completed += 1;
+  const std::optional<ParticipantId> assignee =
+      pick_active_excluding(registry, excluded, engine);
+  if (!assignee) return std::nullopt;
+  units_.push_back({task, *assignee});
+  record_hold_(*assignee, task);
+  registry.record(*assignee).assignments_completed += 1;
   return units_.size() - 1;
 }
 

@@ -1,0 +1,260 @@
+#include "platform/simd.hpp"
+
+namespace redund::platform::simd {
+
+namespace {
+
+bool g_force_scalar = false;
+
+// ------------------------------------------------------------ scalar bodies
+//
+// These are the definitions; the vector bodies below must match them
+// byte-for-byte on every input.
+
+void lanes_live_scalar(const std::uint8_t* state, std::uint8_t want_state,
+                       const std::uint32_t* epoch,
+                       const std::uint32_t* want_epoch, std::size_t n,
+                       std::uint8_t* live) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    live[i] =
+        (state[i] == want_state && epoch[i] == want_epoch[i]) ? 1 : 0;
+  }
+}
+
+std::size_t count_eq_u8_scalar(const std::uint8_t* p, std::size_t n,
+                               std::uint8_t want) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += p[i] == want ? 1 : 0;
+  return count;
+}
+
+std::size_t count_flag_bits_scalar(const std::uint8_t* flags, std::size_t n,
+                                   std::uint8_t bit_mask) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += (flags[i] & bit_mask) == bit_mask ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t collect_matches_scalar(const std::uint32_t* keys,
+                                   std::uint32_t key,
+                                   const std::uint8_t* state,
+                                   std::uint8_t want, std::size_t n,
+                                   std::uint32_t* out) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys[i] == key && state[i] == want) {
+      out[count++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return count;
+}
+
+#if REDUND_SIMD_ENABLED
+
+// ------------------------------------------------------------ vector bodies
+//
+// GCC vector extensions: ==/&/| on these types produce lane masks
+// (all-ones / all-zero per lane) and lower to the target's native compare
+// instructions. 16-byte vectors map to one SSE2/NEON register and two of
+// them to one AVX2 lane pair — wide enough that the state-lane loops run
+// at cache speed either way.
+
+using v16u8 = std::uint8_t __attribute__((vector_size(16)));
+using v4u32 = std::uint32_t __attribute__((vector_size(16)));
+using v16s8 = std::int8_t __attribute__((vector_size(16)));
+
+inline v16u8 load16(const std::uint8_t* p) noexcept {
+  v16u8 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline v4u32 load4(const std::uint32_t* p) noexcept {
+  v4u32 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store16(std::uint8_t* p, v16u8 v) noexcept {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline v16u8 splat16(std::uint8_t v) noexcept {
+  return v16u8{v, v, v, v, v, v, v, v, v, v, v, v, v, v, v, v};
+}
+
+/// Sums 16 lanes each holding 0 or 1.
+inline std::size_t sum01_16(v16u8 ones) noexcept {
+  std::uint64_t halves[2];
+  __builtin_memcpy(halves, &ones, sizeof(halves));
+  // Each byte is 0 or 1, so the byte-sum fits a byte times 8 lanes; the
+  // multiply-accumulate trick folds one 8-byte half per multiply.
+  return static_cast<std::size_t>(
+      ((halves[0] * 0x0101010101010101ULL) >> 56) +
+      ((halves[1] * 0x0101010101010101ULL) >> 56));
+}
+
+void lanes_live_vector(const std::uint8_t* state, std::uint8_t want_state,
+                       const std::uint32_t* epoch,
+                       const std::uint32_t* want_epoch, std::size_t n,
+                       std::uint8_t* live) noexcept {
+  const v16u8 want = splat16(want_state);
+  const v16u8 one = splat16(1);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const v16u8 state_eq =
+        static_cast<v16u8>(load16(state + i) == want);
+    // Four u32 sub-blocks of epoch compares narrow to one byte mask each:
+    // lane masks are all-ones/all-zero, so taking byte 0 of each u32 lane
+    // via the truncating gather below is exact.
+    std::uint8_t epoch_eq_bytes[16];
+    for (std::size_t b = 0; b < 4; ++b) {
+      const v4u32 eq = static_cast<v4u32>(load4(epoch + i + b * 4) ==
+                                          load4(want_epoch + i + b * 4));
+      std::uint32_t words[4];
+      __builtin_memcpy(words, &eq, sizeof(words));
+      epoch_eq_bytes[b * 4 + 0] = static_cast<std::uint8_t>(words[0]);
+      epoch_eq_bytes[b * 4 + 1] = static_cast<std::uint8_t>(words[1]);
+      epoch_eq_bytes[b * 4 + 2] = static_cast<std::uint8_t>(words[2]);
+      epoch_eq_bytes[b * 4 + 3] = static_cast<std::uint8_t>(words[3]);
+    }
+    const v16u8 both = state_eq & load16(epoch_eq_bytes);
+    store16(live + i, both & one);
+  }
+  lanes_live_scalar(state + i, want_state, epoch + i, want_epoch + i, n - i,
+                    live + i);
+}
+
+std::size_t count_eq_u8_vector(const std::uint8_t* p, std::size_t n,
+                               std::uint8_t want) noexcept {
+  const v16u8 wantv = splat16(want);
+  const v16u8 one = splat16(1);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    count += sum01_16(static_cast<v16u8>(load16(p + i) == wantv) & one);
+  }
+  return count + count_eq_u8_scalar(p + i, n - i, want);
+}
+
+std::size_t count_flag_bits_vector(const std::uint8_t* flags, std::size_t n,
+                                   std::uint8_t bit_mask) noexcept {
+  const v16u8 maskv = splat16(bit_mask);
+  const v16u8 one = splat16(1);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    count +=
+        sum01_16(static_cast<v16u8>((load16(flags + i) & maskv) == maskv) &
+                 one);
+  }
+  return count + count_flag_bits_scalar(flags + i, n - i, bit_mask);
+}
+
+std::size_t collect_matches_vector(const std::uint32_t* keys,
+                                   std::uint32_t key,
+                                   const std::uint8_t* state,
+                                   std::uint8_t want, std::size_t n,
+                                   std::uint32_t* out) noexcept {
+  // Blocks of 16: compare the state bytes wide, fold the four u32 key
+  // sub-blocks into a 16-bit hit mask, then emit indices from the (rare)
+  // non-zero masks bit-by-bit. The fast case — nobody in this block held
+  // by this participant — is two compares and one branch.
+  const v16u8 wantv = splat16(want);
+  const v4u32 keyv = {key, key, key, key};
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const v16u8 state_eq = static_cast<v16u8>(load16(state + i) == wantv);
+    std::uint64_t state_halves[2];
+    __builtin_memcpy(state_halves, &state_eq, sizeof(state_halves));
+    std::uint32_t hits = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const v4u32 eq = static_cast<v4u32>(load4(keys + i + b * 4) == keyv);
+      std::uint32_t words[4];
+      __builtin_memcpy(words, &eq, sizeof(words));
+      hits |= (words[0] & 1u) << (b * 4 + 0);
+      hits |= (words[1] & 1u) << (b * 4 + 1);
+      hits |= (words[2] & 1u) << (b * 4 + 2);
+      hits |= (words[3] & 1u) << (b * 4 + 3);
+    }
+    // Pack the byte mask's MSBs into bits 0..15 (multiply gathers one
+    // 8-byte half per step), then intersect with the key hits.
+    const std::uint32_t state_bits = static_cast<std::uint32_t>(
+        (((state_halves[0] & 0x8080808080808080ULL) *
+          0x0002040810204081ULL) >>
+         56) |
+        ((((state_halves[1] & 0x8080808080808080ULL) *
+           0x0002040810204081ULL) >>
+          56)
+         << 8));
+    std::uint32_t both = hits & state_bits;
+    while (both != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(both));
+      out[count++] = static_cast<std::uint32_t>(i + lane);
+      both &= both - 1;
+    }
+  }
+  // Tail indices come back relative to the tail start; rebase to absolute.
+  const std::size_t tail = collect_matches_scalar(keys + i, key, state + i,
+                                                  want, n - i, out + count);
+  for (std::size_t k = 0; k < tail; ++k) {
+    out[count + k] += static_cast<std::uint32_t>(i);
+  }
+  return count + tail;
+}
+
+#endif  // REDUND_SIMD_ENABLED
+
+}  // namespace
+
+void set_force_scalar(bool force) noexcept { g_force_scalar = force; }
+
+bool force_scalar() noexcept { return g_force_scalar; }
+
+const char* active_impl() noexcept {
+  return (kCompiledVector && !g_force_scalar) ? "vector" : "scalar";
+}
+
+void lanes_live(const std::uint8_t* state, std::uint8_t want_state,
+                const std::uint32_t* epoch, const std::uint32_t* want_epoch,
+                std::size_t n, std::uint8_t* live) noexcept {
+#if REDUND_SIMD_ENABLED
+  if (!g_force_scalar) {
+    lanes_live_vector(state, want_state, epoch, want_epoch, n, live);
+    return;
+  }
+#endif
+  lanes_live_scalar(state, want_state, epoch, want_epoch, n, live);
+}
+
+std::size_t count_eq_u8(const std::uint8_t* p, std::size_t n,
+                        std::uint8_t want) noexcept {
+#if REDUND_SIMD_ENABLED
+  if (!g_force_scalar) return count_eq_u8_vector(p, n, want);
+#endif
+  return count_eq_u8_scalar(p, n, want);
+}
+
+std::size_t count_flag_bits(const std::uint8_t* flags, std::size_t n,
+                            std::uint8_t bit_mask) noexcept {
+#if REDUND_SIMD_ENABLED
+  if (!g_force_scalar) return count_flag_bits_vector(flags, n, bit_mask);
+#endif
+  return count_flag_bits_scalar(flags, n, bit_mask);
+}
+
+std::size_t collect_matches(const std::uint32_t* keys, std::uint32_t key,
+                            const std::uint8_t* state, std::uint8_t want,
+                            std::size_t n, std::uint32_t* out) noexcept {
+#if REDUND_SIMD_ENABLED
+  if (!g_force_scalar) {
+    return collect_matches_vector(keys, key, state, want, n, out);
+  }
+#endif
+  return collect_matches_scalar(keys, key, state, want, n, out);
+}
+
+}  // namespace redund::platform::simd

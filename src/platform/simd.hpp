@@ -1,0 +1,74 @@
+// Portable SIMD lane primitives for the supervisor's SoA hot paths.
+//
+// The runtime's data-oriented tables (u8 unit-state bytes, u32 epoch
+// words, u32 assignee ids, packed task-latch flags, the u8 adversary
+// bitmap) are exactly the layouts wide compares want: one cache line of
+// the state lane holds 64 units. The primitives here process those lanes
+// 16/32 at a time using GCC/Clang vector extensions — portable "intrinsics
+// by type", lowered to SSE2/AVX2/NEON by the target — behind the
+// REDUND_SIMD build option (CMake -DREDUND_SIMD=OFF forces the scalar
+// fallback at compile time).
+//
+// Determinism contract: every primitive is a pure function over integer
+// lanes, and the scalar fallback is the definition — the vector bodies
+// must produce byte-identical results (tests/test_simd.cpp pins this on
+// every lane-boundary size, and the CI matrix diffs full campaign
+// fingerprints between the two builds). To let ONE binary prove the
+// equivalence, `set_force_scalar(true)` routes every call to the scalar
+// body at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef REDUND_SIMD_ENABLED
+#if defined(__GNUC__) || defined(__clang__)
+#define REDUND_SIMD_ENABLED 1
+#else
+#define REDUND_SIMD_ENABLED 0
+#endif
+#endif
+
+namespace redund::platform::simd {
+
+/// True when the vector bodies were compiled in (REDUND_SIMD=ON and a
+/// compiler with vector extensions).
+inline constexpr bool kCompiledVector = REDUND_SIMD_ENABLED != 0;
+
+/// Runtime escape hatch: force every primitive onto its scalar body so a
+/// single binary can compare the two implementations. Test-only; reads of
+/// the flag are unsynchronized, so flip it only between campaigns.
+void set_force_scalar(bool force) noexcept;
+[[nodiscard]] bool force_scalar() noexcept;
+
+/// "vector" or "scalar" — whichever implementation calls currently take.
+[[nodiscard]] const char* active_impl() noexcept;
+
+/// live[i] = 1 when state[i] == want_state && epoch[i] == want_epoch[i],
+/// else 0, for i in [0, n). The batch-drain liveness test over a
+/// consecutive-subject event wave: `state`/`epoch` point into the unit
+/// table's lanes, `want_epoch` is the wave's per-event epoch stamps.
+void lanes_live(const std::uint8_t* state, std::uint8_t want_state,
+                const std::uint32_t* epoch, const std::uint32_t* want_epoch,
+                std::size_t n, std::uint8_t* live) noexcept;
+
+/// Number of bytes in [p, p + n) equal to `want` — state-lane census
+/// (in-flight counts, unfinished-task counts, straggler counts).
+[[nodiscard]] std::size_t count_eq_u8(const std::uint8_t* p, std::size_t n,
+                                      std::uint8_t want) noexcept;
+
+/// Number of bytes in [flags, flags + n) with all bits of `bit_mask` set —
+/// the packed task-latch census (e.g. how many tasks latched a mismatch).
+[[nodiscard]] std::size_t count_flag_bits(const std::uint8_t* flags,
+                                          std::size_t n,
+                                          std::uint8_t bit_mask) noexcept;
+
+/// Writes the ascending indices i with keys[i] == key && state[i] == want
+/// into out (capacity >= n) and returns how many matched. The two-lane
+/// participant sweep (assignee id + unit state) behind churn/blacklist
+/// reassignment.
+std::size_t collect_matches(const std::uint32_t* keys, std::uint32_t key,
+                            const std::uint8_t* state, std::uint8_t want,
+                            std::size_t n, std::uint32_t* out) noexcept;
+
+}  // namespace redund::platform::simd

@@ -164,7 +164,11 @@ class AgreementGroup {
         result_.divergences.size() - divergences_before_;
     log_ << "  " << name_ << ": " << cells_ << " cell(s), ";
     if (diverged == 0) {
-      log_ << "all agree\n";
+      // The agreed fingerprint is part of the log so two *builds* can be
+      // cross-checked by diffing their audit logs — the in-process matrix
+      // only proves agreement within one binary.
+      log_ << "all agree, fingerprint 0x" << std::hex << reference_
+           << std::dec << "\n";
     } else {
       log_ << diverged << " DIVERGENCE(S)\n";
     }

@@ -26,6 +26,12 @@
 //     times always land in the same bucket (same day), buckets are kept
 //     sorted, and the day scan visits strictly increasing times.
 //
+// Both queues also expose pop_run(): the maximal same-timestamp run at the
+// head removed in one call and returned as a contiguous view — the
+// supervisor's batch drain consumes runs, not single events, and the
+// calendar returns the common single-bucket run (every initial deadline of
+// a campaign shares one timestamp) zero-copy from its arena.
+//
 // The supervisor selects between them via RuntimeConfig::queue; because the
 // pop order is contractually identical, the choice cannot change any
 // simulation result — only its speed.
@@ -34,6 +40,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/contracts.hpp"
@@ -114,6 +123,22 @@ class EventQueue {
     return event;
   }
 
+  /// Removes the maximal run of events sharing the head timestamp and
+  /// returns a view of it in (time, seq) order, backed by `scratch`. The
+  /// view is valid until the next call on this queue or on `scratch`.
+  // redund: hot
+  std::span<const Event> pop_run(std::vector<Event>& scratch) {
+    scratch.clear();
+    scratch.push_back(pop());  // redund-lint: allow(hot-alloc)
+    const double time = scratch.front().time;
+    while (!heap_.empty() && heap_.front().time == time) {
+      // Amortized by the caller's reused scratch buffer; the run replaces
+      // the per-event pops the supervisor would otherwise issue anyway.
+      scratch.push_back(pop());  // redund-lint: allow(hot-alloc, hot-per-element-insert)
+    }
+    return {scratch.data(), scratch.size()};
+  }
+
   /// Sequence number the next schedule() will stamp (checkpoint state).
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
 
@@ -147,102 +172,161 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
 };
 
-/// Calendar queue: a ring of day buckets over simulated time.
+/// Calendar queue: a ring of day buckets over simulated time, stored as a
+/// packed arena with a separate cache-line-packed header array.
 ///
 /// An event at time t belongs to day floor(t / width); its bucket is
-/// day mod nbuckets (nbuckets a power of two). Every bucket keeps its live
-/// events sorted by (time, seq), so its front is its earliest event. pop()
-/// scans days forward from the current day: the first bucket whose front
-/// actually belongs to the day under inspection holds the global minimum,
-/// because equal times share a day and later days hold strictly later
-/// times. If a whole lap (nbuckets days) finds nothing, the next event is
-/// more than one "year" away and a direct scan over all bucket fronts
-/// relocates the cursor — the standard sparse-queue fallback.
+/// day mod nbuckets (nbuckets a power of two). The live events sit in one
+/// flat arena grouped by bucket, each bucket's slice sorted by
+/// (time, seq); a 16-byte header per bucket carries (min_time, count), so
+/// the pop-side day scan touches *only* the header array — four headers
+/// per cache line — and never the event storage until it has found the
+/// minimum's bucket. pop() scans days forward from the current day: the
+/// first bucket whose header's min actually belongs to the day under
+/// inspection holds the global minimum, because equal times share a day
+/// and later days hold strictly later times. If a whole lap (nbuckets
+/// days) finds nothing, the next event is more than one "year" away and a
+/// direct min over the headers relocates the cursor — the standard
+/// sparse-queue fallback, also header-only.
 ///
-/// Buckets are vectors with a consumed-prefix head index: pop advances the
-/// head (O(1)) and the storage compacts once the dead prefix dominates, so
-/// a burst of equal-time events (every initial deadline of a campaign
-/// lands on one timestamp, hence in one bucket) drains in O(1) amortized
-/// instead of the O(n) front-erase would cost.
-///
-/// The structure rebuilds itself (new bucket count ~ size, new width ~ the
-/// observed mean gap between event times) whenever the size leaves the
-/// band set at the previous rebuild, keeping occupancy O(1) per bucket and
-/// day density O(1) — the conditions under which every operation is O(1)
-/// amortized. Rebuilds preserve (time, seq) order exactly.
+/// The arena is built in bulk — histogram, prefix-sum, scatter, per-slice
+/// insertion sort — from the staging buffer at the first pop (a cold
+/// campaign schedules every initial event up front) and again at every
+/// rebuild. Bulk building into one flat array replaces the per-bucket
+/// vector ring of the previous layout, whose initial distribution paid a
+/// malloc and a cache miss per bucket. Events scheduled after a build go
+/// to a small side min-heap (the overflow); pop compares the arena front
+/// with the overflow front, and a rebuild folds the overflow back into
+/// the arena whenever it outgrows a fraction of the live set (or the
+/// arena drains past the shrink band). Every event scheduled after a
+/// build carries a larger seq than every arena event, so on a shared
+/// timestamp the arena run drains strictly before the overflow run —
+/// (time, seq) order holds across the two stores by construction.
 ///
 /// Days are compared as exact integers held in doubles; width_ is clamped
 /// so day numbers stay below 2^50 and the floor/step/compare arithmetic is
 /// exact. Negative times are not supported (the runtime starts at t = 0).
 class CalendarQueue {
  public:
-  CalendarQueue() { buckets_.resize(kMinBuckets); }
+  CalendarQueue() { reset_geometry_(); }
 
   /// Pre-sizes the staging buffer for the initial bulk load (see
-  /// schedule()) and the ring arrays for the first build after it.
+  /// schedule()); the arena allocates lazily at the first build.
   void reserve(std::size_t capacity) {
     if (size_ != 0) return;  // Only meaningful before the first schedule.
-    std::size_t nbuckets = kMinBuckets;
-    while (nbuckets < capacity) nbuckets *= 2;
     staged_.reserve(capacity);
-    buckets_.reserve(nbuckets);
-    spare_.reserve(nbuckets);
   }
 
+  // redund: hot
   void schedule(double time, EventKind kind, std::int64_t subject,
                 std::uint64_t epoch = 0) {
     const Event event{time, next_seq_++, kind, subject, epoch};
+    ++size_;
+    max_time_ = time > max_time_ ? time : max_time_;
     // Until the first pop the queue only accumulates (a cold campaign
     // schedules every initial event up front), so events are staged in a
-    // plain vector and the ring is built once, with the width learned from
-    // the whole initial set. Building day buckets before any time is known
-    // would pack hundreds of events per bucket and pay a memmove-heavy
-    // sorted insert for each — the bulk load replaces all of that with one
-    // O(n) distribution pass at first pop.
+    // plain vector and the arena is built once, with the width learned
+    // from the whole initial set.
     if (staging_) {
-      staged_.push_back(event);
-      ++size_;
+      staged_.push_back(event);  // redund-lint: allow(hot-alloc)
       return;
     }
-    const std::size_t b = bucket_index_(time);
-    buckets_[b].insert(event);
-    ++size_;
-    if (size_ == 1) {
-      current_day_ = day_(time);
-      peek_bucket_ = b;
-    } else {
-      if (const double d = day_(time); d < current_day_) current_day_ = d;
-      if (peek_bucket_ != kNoBucket &&
-          fires_before(event, buckets_[peek_bucket_].front())) {
-        peek_bucket_ = b;
-      }
-    }
-    if (size_ > rebuild_hi_) rebuild_();
+    overflow_.push_back(event);  // redund-lint: allow(hot-alloc)
+    std::push_heap(overflow_.begin(), overflow_.end(), After_{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// Earliest pending event, or nullptr when empty. Amortized O(1); the
-  /// pointer is invalidated by the next schedule()/pop().
+  /// pointer is invalidated by the next schedule()/pop()/pop_run().
   [[nodiscard]] const Event* peek() {
     if (size_ == 0) return nullptr;
     if (staging_) flush_();
-    if (peek_bucket_ == kNoBucket) locate_min_();
-    return &buckets_[peek_bucket_].front();
+    const Event* arena_front = arena_min_();
+    if (overflow_.empty()) return arena_front;
+    const Event* overflow_front = overflow_.data();
+    if (arena_front == nullptr ||
+        fires_before(*overflow_front, *arena_front)) {
+      return overflow_front;
+    }
+    return arena_front;
   }
 
   /// Removes and returns the earliest event (schedule order on time ties).
   // redund: hot
   Event pop() {
     REDUND_PRECONDITION(size_ != 0, "pop() requires a pending event");
-    (void)peek();
-    const Event event = buckets_[peek_bucket_].pop_front();
+    if (staging_) flush_();
+    maybe_rebuild_();
+    const Event* arena_front = arena_min_();
+    if (arena_front != nullptr &&
+        (overflow_.empty() ||
+         fires_before(*arena_front, overflow_.front()))) {
+      const Event event = *arena_front;
+      pop_arena_front_();
+      --size_;
+      current_day_ = day_(event.time);  // Same-day successors hit on step 0.
+      return event;
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), After_{});
+    const Event event = overflow_.back();
+    overflow_.pop_back();
     --size_;
-    peek_bucket_ = kNoBucket;
-    current_day_ = day_(event.time);  // Same-day successors hit on step 0.
-    if (size_ < rebuild_lo_) rebuild_();
+    current_day_ = day_(event.time);
     return event;
+  }
+
+  /// Removes the maximal run of events sharing the head timestamp and
+  /// returns a view of it in (time, seq) order. A run wholly inside the
+  /// arena — the common case, and the campaign-wide same-timestamp
+  /// deadline waves especially — is returned zero-copy from the arena
+  /// slice; `scratch` backs the view only when the run spans the overflow
+  /// heap. The view is valid until the next call on this queue.
+  // redund: hot
+  std::span<const Event> pop_run(std::vector<Event>& scratch) {
+    REDUND_PRECONDITION(size_ != 0, "pop_run() requires a pending event");
+    if (staging_) flush_();
+    maybe_rebuild_();
+    const Event* arena_front = arena_min_();
+    const bool arena_first =
+        arena_front != nullptr &&
+        (overflow_.empty() || fires_before(*arena_front, overflow_.front()));
+    const double time =
+        arena_first ? arena_front->time : overflow_.front().time;
+    current_day_ = day_(time);
+    if (arena_first) {
+      // All equal times share the bucket, and the slice is sorted, so the
+      // run is a contiguous prefix of the minimum's slice.
+      const std::size_t b = peek_bucket_;
+      Header& header = headers_[b];
+      const Event* front = arena_.data() + begin_[b];
+      std::size_t run = 1;
+      while (run < header.count && front[run].time == time) ++run;
+      begin_[b] += static_cast<std::uint32_t>(run);
+      header.count -= static_cast<std::uint32_t>(run);
+      if (header.count != 0) header.min_time = arena_.data()[begin_[b]].time;
+      arena_live_ -= run;
+      size_ -= run;
+      peek_bucket_ = kNoBucket;
+      if (overflow_.empty() || overflow_.front().time != time) {
+        return {front, run};  // Zero-copy: the slice outlives this call.
+      }
+      scratch.assign(front, front + run);
+    } else {
+      scratch.clear();
+    }
+    // Overflow events on the shared timestamp: strictly later seqs than
+    // any arena event (see class comment), so appending keeps the order.
+    while (!overflow_.empty() && overflow_.front().time == time) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), After_{});
+      // Rare path (overflow sharing the head timestamp); scratch is the
+      // caller's reused buffer, so the growth amortizes away.
+      scratch.push_back(overflow_.back());  // redund-lint: allow(hot-alloc, hot-per-element-insert)
+      overflow_.pop_back();
+      --size_;
+    }
+    return {scratch.data(), scratch.size()};
   }
 
   /// Sequence number the next schedule() will stamp (checkpoint state).
@@ -253,12 +337,11 @@ class CalendarQueue {
     std::vector<Event> events;
     events.reserve(size_);
     events.insert(events.end(), staged_.begin(), staged_.end());
-    for (const Bucket& bucket : buckets_) {
-      events.insert(events.end(),
-                    bucket.events.begin() +
-                        static_cast<std::ptrdiff_t>(bucket.head),
-                    bucket.events.end());
+    for (std::size_t b = 0; b < headers_.size(); ++b) {
+      const Event* slice = arena_.data() + begin_[b];
+      events.insert(events.end(), slice, slice + headers_[b].count);
     }
+    events.insert(events.end(), overflow_.begin(), overflow_.end());
     std::sort(events.begin(), events.end(),
               [](const Event& a, const Event& b) noexcept {
                 return fires_before(a, b);
@@ -280,50 +363,20 @@ class CalendarQueue {
   static constexpr std::size_t kMinBuckets = 16;
   static constexpr std::size_t kNoBucket = ~std::size_t{0};
 
-  /// One day-ring slot: live events are events[head..), sorted ascending by
-  /// (time, seq). pop_front advances head; the dead prefix is compacted
-  /// away once it outgrows the live suffix (amortized O(1) per pop).
-  struct Bucket {
-    std::vector<Event> events;
-    std::size_t head = 0;
+  /// One day-ring header: the bucket's earliest pending time and its live
+  /// event count. 16 bytes — four headers per cache line — so the day
+  /// scan streams through headers without touching event storage.
+  struct Header {
+    double min_time = 0.0;
+    std::uint32_t count = 0;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(Header) == 16);
 
-    [[nodiscard]] bool empty() const noexcept {
-      return head == events.size();
-    }
-    [[nodiscard]] const Event& front() const noexcept { return events[head]; }
-
-    // redund: hot
-    void insert(const Event& event) {
-      // Append fast path: schedule() stamps monotonically increasing seq
-      // numbers and simulated time never runs backwards within a bucket's
-      // day in the common case, so most inserts land at the tail. The
-      // binary search + memmove-heavy vector::insert is kept only for the
-      // out-of-order minority (re-issues racing deadlines).
-      if (events.empty() || !fires_before(event, events.back())) {
-        events.push_back(event);  // redund-lint: allow(hot-alloc)
-        return;
-      }
-      events.insert(  // redund-lint: allow(hot-alloc)
-          std::upper_bound(events.begin() +
-                               static_cast<std::ptrdiff_t>(head),
-                           events.end(), event,
-                           [](const Event& a, const Event& b) noexcept {
-                             return fires_before(a, b);
-                           }),
-          event);
-    }
-
-    Event pop_front() {
-      const Event event = events[head++];
-      if (head >= 32 && head * 2 >= events.size()) {
-        events.erase(events.begin(),
-                     events.begin() + static_cast<std::ptrdiff_t>(head));
-        head = 0;
-      } else if (head == events.size()) {
-        events.clear();
-        head = 0;
-      }
-      return event;
+  // "a fires after b" — makes the max-heap algorithms yield a min-heap.
+  struct After_ {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return fires_before(b, a);
     }
   };
 
@@ -336,157 +389,281 @@ class CalendarQueue {
     return std::floor(time * inv_width_);
   }
   [[nodiscard]] std::size_t bucket_of_day_(double day) const noexcept {
-    return static_cast<std::size_t>(day) & (buckets_.size() - 1);
+    return static_cast<std::size_t>(day) & (headers_.size() - 1);
   }
   [[nodiscard]] std::size_t bucket_index_(double time) const noexcept {
     return bucket_of_day_(day_(time));
   }
 
-  /// Finds the earliest event's bucket and caches it in peek_bucket_.
-  /// Phase 1 walks at most one lap of days from current_day_; phase 2 (the
-  /// next event is over a year away) takes the minimum over all fronts.
+  /// The arena's earliest event (cached via peek_bucket_), or nullptr
+  /// when the arena is drained.
+  [[nodiscard]] const Event* arena_min_() {
+    if (arena_live_ == 0) return nullptr;
+    if (peek_bucket_ == kNoBucket) locate_min_();
+    return arena_.data() + begin_[peek_bucket_];
+  }
+
+  void pop_arena_front_() {
+    const std::size_t b = peek_bucket_;
+    Header& header = headers_[b];
+    ++begin_[b];
+    --header.count;
+    if (header.count != 0) header.min_time = arena_.data()[begin_[b]].time;
+    --arena_live_;
+    peek_bucket_ = kNoBucket;
+  }
+
+  /// Finds the arena's earliest event's bucket and caches it in
+  /// peek_bucket_. Phase 1 walks at most one lap of days from
+  /// current_day_; phase 2 (the next event is over a year away) takes the
+  /// minimum over all headers. Both phases read only the 16-byte headers.
+  /// min_time ties across buckets cannot happen — equal times share a day
+  /// and therefore a bucket — so no seq tie-break is needed here.
   // redund: hot
   void locate_min_() {
-    const std::size_t lap = buckets_.size();
+
+    const std::size_t lap = headers_.size();
+    const Header* headers = headers_.data();
     for (std::size_t step = 0; step < lap; ++step) {
       const double day = current_day_ + static_cast<double>(step);
       const std::size_t b = bucket_of_day_(day);
-      // The scan order is a fixed ring walk, so the bucket header one day
-      // ahead is a perfectly predictable miss — hide it behind this step's
-      // empty()/front() work.
-      __builtin_prefetch(&buckets_[bucket_of_day_(day + 1.0)]);
-      if (!buckets_[b].empty() && day_(buckets_[b].front().time) == day) {
+      // The scan order is a fixed ring walk over the header array; at
+      // four headers a line, +8 days is two lines ahead — far enough to
+      // hide the miss behind this step's compare, close enough to stay
+      // in the L1 streaming window.
+      __builtin_prefetch(headers + bucket_of_day_(day + 8.0));
+      if (headers[b].count != 0 && day_(headers[b].min_time) == day) {
         current_day_ = day;
         peek_bucket_ = b;
         return;
       }
     }
-    const Event* best = nullptr;
-    std::size_t best_bucket = kNoBucket;
-    for (std::size_t b = 0; b < buckets_.size(); ++b) {
-      if (buckets_[b].empty()) continue;
-      const Event& front = buckets_[b].front();
-      if (best == nullptr || fires_before(front, *best)) {
-        best = &front;
-        best_bucket = b;
+    std::size_t best = kNoBucket;
+    for (std::size_t b = 0; b < lap; ++b) {
+      if (headers[b].count == 0) continue;
+      if (best == kNoBucket ||
+          headers[b].min_time < headers[best].min_time) {
+        best = b;
       }
     }
-    current_day_ = day_(best->time);
-    peek_bucket_ = best_bucket;
+    current_day_ = day_(headers[best].min_time);
+    peek_bucket_ = best;
   }
 
-  /// Sizes the ring to ~size_ buckets and derives the width from the time
-  /// spread [lo, hi] of the current event set: ~ twice the mean gap
-  /// (Brown's rule of thumb), so one day holds a couple of events on
-  /// average. Clamped below so day numbers remain exact integers (and
-  /// day + lap-step sums exact) up to 2^50. Shrinking the ring keeps the
-  /// surviving buckets' vector capacity; clearing it never frees storage.
-  void set_geometry_(double lo, double hi, const Event* min_event) {
-    // ~2 events per bucket instead of ~1: halves the ring footprint (and
-    // the zeroing each rebuild pays), trading a two-element sorted insert
-    // — which the append fast path usually turns into a push_back — for
-    // half the cache misses on the random-bucket distribution walk.
+  /// Folds the overflow back into the arena when it outgrows the live
+  /// set, and re-learns the geometry when the arena drains past the
+  /// shrink band. Called at pop boundaries only, so a view returned by
+  /// the previous pop_run() is never invalidated mid-batch. Both
+  /// thresholds are deliberately lazy: each fold costs O(arena +
+  /// overflow), so folding at a fraction f of the arena pays (1 + f)/f
+  /// rebuild passes per overflow event — under a sustained reissue storm
+  /// (a chaos schedule's dropout bursts) f = 1/4 meant ~5x write
+  /// amplification and the rebuild dominated the whole campaign. At
+  /// f = 1 the amplification is ~2x, and in the meantime the overflow
+  /// min-heap serves pops at the reference queue's O(log n) — strictly
+  /// better than rebuilding more eagerly.
+  void maybe_rebuild_() {
+    const bool overflow_heavy =
+        overflow_.size() > 4096 && overflow_.size() > arena_live_;
+    if (arena_live_ < rebuild_lo_ || overflow_heavy) rebuild_();
+  }
+
+  /// Sizes the ring to ~size/2 buckets (~2 events per bucket — halves the
+  /// header footprint and the build's scatter misses, and the slice
+  /// insertion sort stays O(1) per bucket) and derives the width from the
+  /// time spread [lo, hi]: ~twice the mean gap (Brown's rule of thumb).
+  /// Clamped below so day numbers remain exact integers (and day +
+  /// lap-step sums exact) up to 2^50.
+  void set_geometry_(std::size_t n, double lo, double hi) {
     std::size_t nbuckets = kMinBuckets;
-    while (nbuckets < size_ / 2) nbuckets *= 2;
+    while (nbuckets < n / 2) nbuckets *= 2;
 
     const double span = hi - lo;
-    double width = size_ > 0 ? 2.0 * span / static_cast<double>(size_) : 0.0;
+    double width = n > 0 ? 2.0 * span / static_cast<double>(n) : 0.0;
     const double magnitude = std::max({std::abs(hi), std::abs(lo), 1.0});
     width = std::max(width, magnitude / 1.125899906842624e15);  // 2^50
     width_ = std::max(width, 1e-300);
     inv_width_ = 1.0 / width_;
-    if (min_event != nullptr) current_day_ = day_(min_event->time);
 
-    if (buckets_.size() > nbuckets) buckets_.resize(nbuckets);
-    for (Bucket& bucket : buckets_) {
-      bucket.events.clear();
-      bucket.head = 0;
-    }
-    if (buckets_.size() < nbuckets) buckets_.resize(nbuckets);
-    rebuild_hi_ = std::max<std::size_t>(2 * size_, 32);
-    // Shrink rebuilds trade one O(size) redistribution for a denser day
-    // scan. At /4 a draining campaign rebuilds on every quartering — the
-    // dominant rebuild cost in profiles; /8 halves that count and the
-    // prefetched lap scan absorbs the extra sparsity.
-    rebuild_lo_ = size_ / 8;
+    headers_.assign(nbuckets, Header{});
+    begin_.resize(nbuckets);
+    counts_.assign(nbuckets, 0);
+    rebuild_lo_ = n / 16;
     peek_bucket_ = kNoBucket;
   }
 
-  /// Ends the staging phase at the first pop: one pass over the staged
-  /// events learns the geometry, a second distributes them in schedule
-  /// order (so equal-time runs land already sorted, appending).
+  void reset_geometry_() {
+    width_ = 1.0;
+    inv_width_ = 1.0;
+    current_day_ = 0.0;
+    max_time_ = 0.0;  // The queue is empty; the span restarts fresh.
+    headers_.assign(kMinBuckets, Header{});
+    begin_.assign(kMinBuckets, 0);
+    rebuild_lo_ = 0;
+    arena_live_ = 0;
+    peek_bucket_ = kNoBucket;
+  }
+
+  /// Bulk build core: histogram, prefix-sum, scatter, per-slice insertion
+  /// sort. O(n) plus the (tiny, mostly-sorted) slice sorts; no per-bucket
+  /// allocation — the arena double-buffers through arena_spare_ and every
+  /// auxiliary array recycles its storage across builds. `for_each` must
+  /// visit the same n events in the same order on every invocation.
+  template <typename ForEach>
+  void build_core_(std::size_t n, double lo, double hi, double min_time,
+                   const ForEach& for_each) {
+    set_geometry_(n, lo, hi);
+    current_day_ = day_(min_time);
+
+    for_each([&](const Event& event) {
+      ++counts_[bucket_index_(event.time)];
+    });
+    std::uint32_t cursor = 0;
+    for (std::size_t b = 0; b < headers_.size(); ++b) {
+      begin_[b] = cursor;
+      cursor += counts_[b];
+      counts_[b] = begin_[b];  // Reused as the scatter cursor below.
+    }
+    arena_spare_.ensure(n);
+    Event* spare = arena_spare_.data();
+    for_each([&](const Event& event) {
+      spare[counts_[bucket_index_(event.time)]++] = event;
+    });
+    std::swap(arena_, arena_spare_);
+    arena_live_ = n;
+    Event* arena = arena_.data();
+    for (std::size_t b = 0; b < headers_.size(); ++b) {
+      const std::uint32_t begin = begin_[b];
+      const std::uint32_t count = counts_[b] - begin;
+      if (count == 0) continue;
+      sort_slice_(arena + begin, count);
+      headers_[b].min_time = arena[begin].time;
+      headers_[b].count = count;
+    }
+  }
+
+  /// Builds the arena from a materialized event vector (the staging
+  /// flush and snapshot restore paths).
+  void build_(std::vector<Event>& source) {
+    overflow_.clear();
+    arena_live_ = source.size();
+    if (source.empty()) {
+      reset_geometry_();
+      return;
+    }
+    double lo = source.front().time;
+    double hi = lo;
+    for (const Event& event : source) {
+      lo = std::min(lo, event.time);
+      hi = std::max(hi, event.time);
+    }
+    // Restored snapshots bypass schedule(); fold their span into the
+    // monotone high-water mark the in-place rebuild relies on.
+    max_time_ = std::max(max_time_, hi);
+    build_core_(source.size(), lo, hi, lo, [&](const auto& visit) {
+      for (const Event& event : source) visit(event);
+    });
+  }
+
+  /// Insertion sort by (time, seq). Slices average ~2 events, and the one
+  /// large slice a campaign produces — the shared-deadline storm — arrives
+  /// already sorted (scatter preserves seq order), costing O(n).
+  static void sort_slice_(Event* events, std::size_t n) noexcept {
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!fires_before(events[i], events[i - 1])) continue;
+      const Event event = events[i];
+      std::size_t j = i;
+      do {
+        events[j] = events[j - 1];
+        --j;
+      } while (j > 0 && fires_before(event, events[j - 1]));
+      events[j] = event;
+    }
+  }
+
+  /// Ends the staging phase at the first pop with one bulk build.
   void flush_() {
     staging_ = false;
-    double lo = 0.0;
-    double hi = 0.0;
-    const Event* min_event = nullptr;
-    for (const Event& event : staged_) {
-      if (min_event == nullptr) {
-        lo = hi = event.time;
-        min_event = &event;
-      } else {
-        lo = std::min(lo, event.time);
-        hi = std::max(hi, event.time);
-        if (fires_before(event, *min_event)) min_event = &event;
-      }
-    }
-    set_geometry_(lo, hi, min_event);
-    for (const Event& event : staged_) {
-      buckets_[bucket_index_(event.time)].insert(event);
-    }
+    build_(staged_);
     staged_.clear();
     staged_.shrink_to_fit();  // The bulk load happens at most once.
   }
 
-  /// Re-learns the geometry from the live event set whenever the size
-  /// leaves the band set last time, keeping occupancy O(1) per bucket and
-  /// day density O(1). Events move bucket-by-bucket (each already sorted)
-  /// through sorted re-insertion into the small new buckets — no global
-  /// sort. The old and new rings double-buffer through spare_, and
-  /// draining only clear()s the small per-bucket vectors, so steady-state
-  /// rebuilds recycle all their storage instead of re-allocating it.
+  /// Folds the live arena slices plus the overflow into a fresh arena —
+  /// without materializing a gather buffer. An earlier version copied
+  /// everything into a collect vector and rebuilt from that, paying one
+  /// extra full write+read pass over every live event per fold; here the
+  /// histogram and scatter passes read the old slice map (swapped aside,
+  /// since set_geometry_ overwrites it) and the overflow directly, in
+  /// exactly the order the gather produced — the resulting arena is
+  /// byte-identical. The span comes cheap: lo is exact from the old
+  /// 16-byte headers and the overflow min-heap front (no event touched),
+  /// hi is the monotone high-water mark of every scheduled time — an
+  /// upper bound, which only widens Brown's-rule bucket width and never
+  /// affects pop order.
   void rebuild_() {
-    std::swap(buckets_, spare_);  // Live events are now in spare_.
-    double lo = 0.0;
-    double hi = 0.0;
-    const Event* min_event = nullptr;
-    for (const Bucket& bucket : spare_) {
-      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
-        const Event& event = bucket.events[i];
-        if (min_event == nullptr) {
-          lo = hi = event.time;
-          min_event = &event;
-        } else {
-          lo = std::min(lo, event.time);
-          hi = std::max(hi, event.time);
-          if (fires_before(event, *min_event)) min_event = &event;
-        }
+    const std::size_t n = arena_live_ + overflow_.size();
+    if (n == 0) {
+      overflow_.clear();
+      reset_geometry_();
+      return;
+    }
+    double lo = std::numeric_limits<double>::infinity();
+    for (const Header& header : headers_) {
+      if (header.count != 0) lo = std::min(lo, header.min_time);
+    }
+    if (!overflow_.empty()) lo = std::min(lo, overflow_.front().time);
+
+    headers_spare_.swap(headers_);
+    begin_spare_.swap(begin_);
+    // Both build_core_ passes run before the arena buffers swap, so the
+    // old slices stay addressable through arena_ for the whole fold.
+    build_core_(n, lo, max_time_, lo, [&](const auto& visit) {
+      const Event* old_arena = arena_.data();
+      for (std::size_t b = 0; b < headers_spare_.size(); ++b) {
+        const Event* slice = old_arena + begin_spare_[b];
+        const std::uint32_t count = headers_spare_[b].count;
+        for (std::uint32_t i = 0; i < count; ++i) visit(slice[i]);
       }
-    }
-    set_geometry_(lo, hi, min_event);
-    for (const Bucket& bucket : spare_) {
-      for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
-        const Event& event = bucket.events[i];
-        buckets_[bucket_index_(event.time)].insert(event);
-      }
-    }
-    for (Bucket& bucket : spare_) {  // Drop events, keep vector capacity.
-      bucket.events.clear();
-      bucket.head = 0;
-    }
+      for (const Event& event : overflow_) visit(event);
+    });
+    overflow_.clear();
   }
 
-  std::vector<Bucket> buckets_;
-  std::vector<Bucket> spare_;      ///< Rebuild double-buffer (recycled).
-  std::vector<Event> staged_;      ///< Initial bulk load, pre-first-pop.
-  bool staging_ = true;            ///< True until the first pop.
+  /// Grow-only uninitialized event buffer. The build scatter overwrites
+  /// exactly the [0, live) prefix and every read goes through
+  /// begin_/Header::count, so elements are never default-constructed — a
+  /// std::vector here would value-initialize megabytes per build.
+  struct Arena {
+    std::unique_ptr<Event[]> events;
+    std::size_t capacity = 0;
+
+    void ensure(std::size_t n) {
+      if (capacity >= n) return;
+      events = std::make_unique_for_overwrite<Event[]>(n);
+      capacity = n;
+    }
+    [[nodiscard]] Event* data() const noexcept { return events.get(); }
+  };
+
+  std::vector<Header> headers_;        ///< Packed (min_time, count) ring.
+  std::vector<std::uint32_t> begin_;   ///< Arena offset of each slice front.
+  std::vector<Header> headers_spare_;  ///< Old slice map during a fold.
+  std::vector<std::uint32_t> begin_spare_;  ///< Its begin array (recycled).
+  Arena arena_;                        ///< Live events grouped by bucket.
+  Arena arena_spare_;                  ///< Build double-buffer (recycled).
+  std::vector<Event> overflow_;        ///< Min-heap of post-build schedules.
+  std::vector<std::uint32_t> counts_;  ///< Build histogram (recycled).
+  std::vector<Event> staged_;          ///< Initial bulk load, pre-first-pop.
+  bool staging_ = true;                ///< True until the first pop.
   double width_ = 1.0;
-  double inv_width_ = 1.0;         ///< Cached 1 / width_ for day_().
-  double current_day_ = 0.0;       ///< Day the pop scan resumes from.
+  double inv_width_ = 1.0;             ///< Cached 1 / width_ for day_().
+  double current_day_ = 0.0;           ///< Day the pop scan resumes from.
+  double max_time_ = 0.0;              ///< High-water mark of schedule times.
   std::size_t peek_bucket_ = kNoBucket;  ///< Bucket holding the cached min.
-  std::size_t size_ = 0;
-  std::size_t rebuild_hi_ = 32;    ///< Rebuild when size grows past this.
-  std::size_t rebuild_lo_ = 0;     ///< ... or shrinks below this.
+  std::size_t size_ = 0;               ///< Staged + arena + overflow.
+  std::size_t arena_live_ = 0;         ///< Live events in the arena.
+  std::size_t rebuild_lo_ = 0;         ///< Rebuild when arena drains below.
   std::uint64_t next_seq_ = 0;
 };
 

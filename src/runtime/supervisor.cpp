@@ -12,6 +12,7 @@
 #include "core/contracts.hpp"
 #include "platform/registry.hpp"
 #include "platform/scheduler.hpp"
+#include "platform/simd.hpp"
 #include "rng/distributions.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/journal.hpp"
@@ -305,6 +306,7 @@ class Runner {
     for (const FaultEvent& fault : config.faults.events) {
       if (fault.kind == FaultKind::kPDrift) has_drift_ = true;
     }
+    judgments_moot_ = !config.adaptive.enabled && !config.control.enabled;
     next_checkpoint_ = config.journal.checkpoint_interval;
 
     report_.tasks = scheduler_.task_count();
@@ -402,6 +404,14 @@ class Runner {
   /// handler schedules at the same timestamp carry later seqs and so form
   /// the next batch). Sampling, journal checkpoints, and the kill/abort
   /// checks run at batch boundaries.
+  ///
+  /// When nothing observes the per-event order (no journal, no replay
+  /// verification, no compiled invariants), same-timestamp deadline waves
+  /// take a vectorized fast path: drain_deadline_segment_ classifies whole
+  /// lanes of units stale/live with one SIMD pass and dispatches only the
+  /// live minority through the full handler. Handler calls, counters, and
+  /// every draw are identical either way — the fast path only skips
+  /// per-event dispatch of events whose handler would return immediately.
   LoopExit loop_(std::int64_t max_events) {
 #if REDUND_ENABLE_INVARIANTS
     // Pop-order contract: the queue must deliver events in strictly
@@ -412,6 +422,9 @@ class Runner {
     bool have_last_popped = false;
     Event last_popped{};
 #endif
+    // journal_event_ is a no-op exactly when both sinks are absent; only
+    // then may the drain skip its per-event call sites.
+    const bool fast_drain = !journal_.has_value() && verify_tail_ == nullptr;
     while (!queue_.empty()) {
       if (max_events >= 0 && report_.events_processed >= max_events) {
         return LoopExit::kKilled;
@@ -424,25 +437,56 @@ class Runner {
             std::max(report_.end_time, config_.health.max_sim_time);
         return LoopExit::kStopped;
       }
-      const Event head = queue_.pop();
-      batch_.clear();
-      batch_.push_back(head);
-      while (const Event* next = queue_.peek()) {
-        if (next->time != head.time) break;
-        batch_.push_back(queue_.pop());
+      const std::span<const Event> batch = queue_.pop_run(batch_);
+      const double batch_time = batch.front().time;
+      // The completion stream visits units in completion-time order —
+      // random in unit space, so each handler opens with dependent misses
+      // on the unit lanes. The next batch's head is already known here;
+      // warming its lanes now overlaps those misses with this batch's
+      // processing. (A subject that is not a unit index — fault or task
+      // subjects — just warms harmless nearby lines.)
+      if (const Event* next_head = queue_.peek()) {
+        const auto nu = static_cast<std::size_t>(next_head->subject);
+        if (nu < units_.size()) {
+          __builtin_prefetch(units_.state.data() + nu);
+          __builtin_prefetch(units_.epoch.data() + nu);
+          __builtin_prefetch(units_.attempts.data() + nu);
+          __builtin_prefetch(units_.task.data() + nu);
+          __builtin_prefetch(units_.value.data() + nu);
+        }
       }
       // Sample only until the campaign is fully valid: later events are
       // stale-timer drains, and the closing sample at the makespan in
       // epilogue_() must stay the last (and latest) row of the series.
       if (config_.sample_interval > 0.0 &&
           report_.tasks_valid < report_.tasks) {
-        while (next_sample_ <= head.time) {
+        while (next_sample_ <= batch_time) {
           record_sample(next_sample_);
           next_sample_ += config_.sample_interval;
         }
       }
-      report_.end_time = std::max(report_.end_time, head.time);
-      for (const Event& event : batch_) {
+      report_.end_time = std::max(report_.end_time, batch_time);
+      if (fast_drain) prime_reissue_wave_(batch);
+      std::size_t i = 0;
+      while (i < batch.size()) {
+        const Event& event = batch[i];
+#if !REDUND_ENABLE_INVARIANTS
+        if (fast_drain && event.kind == EventKind::kDeadline) {
+          // Maximal consecutive-subject deadline run: the storm shape the
+          // prologue's unit-order mass issue produces (and every reissue
+          // wave reproduces in miniature).
+          std::size_t j = i + 1;
+          while (j < batch.size() && batch[j].kind == EventKind::kDeadline &&
+                 batch[j].subject == batch[j - 1].subject + 1) {
+            ++j;
+          }
+          if (j - i >= 16) {
+            drain_deadline_segment_(batch.data() + i, j - i);
+            i = j;
+            continue;
+          }
+        }
+#endif
 #if REDUND_ENABLE_INVARIANTS
         contracts::set_campaign_context(
             {config_.seed, event.time, report_.events_processed});
@@ -465,6 +509,7 @@ class Runner {
           case EventKind::kReplan: on_replan(event); break;
         }
         if (stop_) break;
+        ++i;
       }
       if (stop_) return LoopExit::kStopped;
       if (journal_ && report_.events_processed >= next_checkpoint_) {
@@ -476,6 +521,62 @@ class Runner {
       }
     }
     return LoopExit::kDrained;
+  }
+
+  /// Pre-draws the dropout coins a batch of live kReissue events is about
+  /// to burn, in one vectorized pass. Coins are keyed off (unit, attempt) —
+  /// pure functions of the seed — so priming is unconditionally safe: a
+  /// primed coin that goes unconsumed (the reissue lands on recompute
+  /// instead) is just a cache entry nobody reads, and a consumed one is the
+  /// byte-identical value issue() would have derived on its own.
+  void prime_reissue_wave_(std::span<const Event> batch) {
+    if (batch.size() < 16 || batch.front().kind != EventKind::kReissue) {
+      return;
+    }
+    wave_units_.clear();
+    wave_attempts_.clear();
+    for (const Event& event : batch) {
+      if (event.kind != EventKind::kReissue) continue;
+      const auto u = static_cast<std::size_t>(event.subject);
+      if (units_.state[u] != UnitState::kTimedOut ||
+          units_.epoch[u] != event.epoch) {
+        continue;  // Stale: on_reissue will drop it without a draw.
+      }
+      wave_units_.push_back(static_cast<std::uint64_t>(u));  // redund-lint: allow(hot-alloc)
+      wave_attempts_.push_back(units_.attempts[u] + 1);  // redund-lint: allow(hot-alloc)
+    }
+    if (wave_units_.size() >= 8) {
+      pool_->prime_dropout_coins_wave(wave_units_.data(),
+                                      wave_attempts_.data(),
+                                      wave_units_.size());
+    }
+  }
+
+  /// Vectorized drain of a same-timestamp run of kDeadline events on
+  /// consecutive subjects u0, u0+1, ...: one SIMD pass over the state and
+  /// epoch lanes classifies every unit stale/live, stale events (the
+  /// overwhelming majority — every completed unit still has its deadline
+  /// timer pending) are counted in bulk, and the live minority goes
+  /// through the full on_deadline handler one by one. on_deadline re-checks
+  /// liveness itself, so the lane mask is purely a dispatch filter — state
+  /// changes and draws happen only inside the handler, in event order.
+  /// (Deadline handling never sets stop_, so the segment is atomic.)
+  void drain_deadline_segment_(const Event* events, std::size_t n) {
+    const auto u0 = static_cast<std::size_t>(events[0].subject);
+    epoch_scratch_.resize(n);  // redund-lint: allow(hot-alloc)
+    live_scratch_.resize(n);   // redund-lint: allow(hot-alloc)
+    for (std::size_t i = 0; i < n; ++i) {
+      epoch_scratch_[i] = static_cast<std::uint32_t>(events[i].epoch);
+    }
+    platform::simd::lanes_live(
+        reinterpret_cast<const std::uint8_t*>(units_.state.data()) + u0,
+        static_cast<std::uint8_t>(UnitState::kInProgress),
+        units_.epoch.data() + u0, epoch_scratch_.data(), n,
+        live_scratch_.data());
+    report_.events_processed += static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live_scratch_[i] != 0) on_deadline(events[i]);
+    }
   }
 
   RuntimeReport epilogue_() {
@@ -491,9 +592,11 @@ class Runner {
       }
     }
     report_.outcome = outcome_;
-    for (const TaskState state : tasks_.state) {
-      if (state != TaskState::kValid) ++report_.tasks_unfinished;
-    }
+    report_.tasks_unfinished = static_cast<std::int64_t>(
+        tasks_.size() -
+        platform::simd::count_eq_u8(
+            reinterpret_cast<const std::uint8_t*>(tasks_.state.data()),
+            tasks_.size(), static_cast<std::uint8_t>(TaskState::kValid)));
     report_.min_live_fleet = min_live_;
     report_.progress_rate = ewma_;
     report_.end_time = std::max(report_.end_time, report_.makespan);
@@ -753,8 +856,9 @@ class Runner {
       report_.series.push_back(sample);
     }
     for (std::int64_t p = 0; p < registry_.size(); ++p) {
-      auto& record = registry_.record(static_cast<ParticipantId>(p));
-      record.blacklisted = r.boolean();
+      const auto id = static_cast<ParticipantId>(p);
+      auto& record = registry_.record(id);
+      registry_.set_blacklisted(id, r.boolean());
       record.assignments_completed = r.i64();
       record.credit = r.i64();
       record.wrong_results = r.i64();
@@ -820,6 +924,10 @@ class Runner {
     // Rebuild the derived adjacency exactly as the live loop built it:
     // units in index order — the initial deal first, then replicas in
     // creation order — is the same append order register_replica used.
+    // The vote aggregate refolds here too (flags were zeroed above, so
+    // kVoteSeen starts clear): index order differs from arrival order,
+    // but fold_vote is order-insensitive in everything behavior depends
+    // on — see the TaskTable::vote_value lane comment.
     task_unit_count_.assign(tasks_.size(), 0);
     adversary_held_.assign(tasks_.size(), 0);
     for (std::size_t u = 0; u < units_.size(); ++u) {
@@ -830,6 +938,7 @@ class Runner {
       unit_slots_[task_slot_begin_[t] +
                   static_cast<std::size_t>(task_unit_count_[t]++)] = u;
       adversary_held_[t] += is_adversary_[wu.assignee];
+      if (units_.has_value(u)) tasks_.fold_vote(t, units_.value[u]);
     }
     const std::uint64_t seq = r.u64();
     const std::int64_t pending_count = r.i64();
@@ -940,13 +1049,20 @@ class Runner {
     const bool is_offline = count > 0;
     if (!was_offline && is_offline) {
       ++report_.churn_leaves;
-      registry_.record(id).blacklisted = true;
-      // Two-lane sweep: the assignee and state lanes are all this scan
-      // reads, 16 units per cache line each.
-      for (std::size_t u = 0; u < units_.size(); ++u) {
-        if (units_.assignee[u] != static_cast<std::uint32_t>(id)) continue;
-        if (units_.state[u] != UnitState::kInProgress) continue;
-        units_.state[u] = UnitState::kTimedOut;
+      registry_.set_blacklisted(id, true);
+      // Two-lane SIMD sweep: the assignee and state lanes are all this
+      // scan reads; collect_matches compresses the (held by id,
+      // in-progress) units into an index list in ascending unit order —
+      // the same order the scalar walk visited them.
+      collect_scratch_.resize(units_.size());  // redund-lint: allow(hot-alloc)
+      const std::size_t hits = platform::simd::collect_matches(
+          units_.assignee.data(), static_cast<std::uint32_t>(id),
+          reinterpret_cast<const std::uint8_t*>(units_.state.data()),
+          static_cast<std::uint8_t>(UnitState::kInProgress), units_.size(),
+          collect_scratch_.data());
+      for (std::size_t i = 0; i < hits; ++i) {
+        const auto u = static_cast<std::size_t>(collect_scratch_[i]);
+units_.state[u] = UnitState::kTimedOut;
         units_.epoch[u] += 1;  // In-flight completion drains as late.
         ++report_.results_lost;
         queue_.schedule(now, EventKind::kReissue,
@@ -955,7 +1071,7 @@ class Runner {
     } else if (was_offline && !is_offline) {
       ++report_.churn_rejoins;
       // A rejoin clears the availability hold, never a validator verdict.
-      if (flagged_[id] == 0) registry_.record(id).blacklisted = false;
+      if (flagged_[id] == 0) registry_.set_blacklisted(id, false);
     }
     update_min_live_();
   }
@@ -969,10 +1085,9 @@ class Runner {
     if (config_.retry.deadline > 0.0) return;
     const std::int64_t live = std::max<std::int64_t>(
         1, registry_.active_count());
-    std::int64_t inflight = 0;
-    for (const UnitState state : units_.state) {
-      if (state == UnitState::kInProgress) ++inflight;
-    }
+    const auto inflight = static_cast<std::int64_t>(platform::simd::count_eq_u8(
+        reinterpret_cast<const std::uint8_t*>(units_.state.data()),
+        units_.size(), static_cast<std::uint8_t>(UnitState::kInProgress)));
     const double depth = std::max(1.0, static_cast<double>(inflight) /
                                            static_cast<double>(live));
     effective_deadline_ = config_.latency.network_delay +
@@ -1149,7 +1264,7 @@ class Runner {
         units_.epoch[u] != event.epoch) {
       return;
     }
-    units_.state[u] = UnitState::kTimedOut;
+units_.state[u] = UnitState::kTimedOut;
     units_.epoch[u] += 1;  // A straggling completion now lands late.
     ++report_.units_timed_out;
     score_down(static_cast<ParticipantId>(units_.assignee[u]));
@@ -1199,7 +1314,7 @@ class Runner {
   void recompute_unit(std::size_t u, double now) {
     if (config_.health.recompute_budget >= 0 &&
         recompute_used_ >= config_.health.recompute_budget) {
-      units_.state[u] = UnitState::kTimedOut;
+units_.state[u] = UnitState::kTimedOut;
       units_.epoch[u] += 1;
       return;
     }
@@ -1271,6 +1386,11 @@ class Runner {
       return;
     }
     ++tasks_.arrived[t];
+    // Every value-bearing unit passes through here exactly once with its
+    // final value (completions are epoch-guarded, corruption happens
+    // upstream, and flag() never touches value-bearing states), so the
+    // running fold sees exactly the values a slot gather would.
+    tasks_.fold_vote(t, units_.value[u]);
 
     // Ringer copies are checked the moment they arrive: the supervisor
     // knows the answer outright, so a wrong value is an immediate catch.
@@ -1323,42 +1443,28 @@ class Runner {
       return;
     }
 
-    // Vote word over the task's slot run: lane i is slot i's value, the
-    // presence mask selects the value-bearing units. Both validation
-    // questions (unanimity, plurality) run branchlessly over the word;
-    // the slot run outgrowing the word (multiplicity + replica budget
-    // past 64 — no realized plan does) falls back to the scalar tally.
+    // Unanimity fast path: on_result folded every arriving value into the
+    // per-task vote aggregate as it landed, so the common all-agree case
+    // answers from two task lanes instead of gathering the (randomly
+    // scattered) unit slots. kVoteSeen clear means zero value-bearing
+    // copies — the gather's present==0 case, which accepts 0.
+    if (!tasks_.test(t, TaskTable::kVoteMismatch)) {
+      accept(t,
+             tasks_.test(t, TaskTable::kVoteSeen) ? tasks_.vote_value[t] : 0,
+             now);
+      return;
+    }
+
+    // Copies disagree — gather the vote word over the task's slot run:
+    // lane i is slot i's value, the presence mask selects the
+    // value-bearing units. The plurality tally runs branchlessly over the
+    // word; the slot run outgrowing the word (multiplicity + replica
+    // budget past 64 — no realized plan does) falls back to the scalar
+    // tally.
     const bool packed = task_unit_count_[t] <= kMaxPackedQuorum;
     std::uint64_t vote_values[kMaxPackedQuorum];
     std::uint64_t present = 0;
-    if (packed) {
-      present = gather_votes_(t, vote_values);
-      if (all_equal_packed(vote_values, present,
-                           static_cast<int>(task_unit_count_[t]))) {
-        const std::uint64_t first_value =
-            present != 0 ? vote_values[std::countr_zero(present)] : 0;
-        accept(t, first_value, now);
-        return;
-      }
-    } else {
-      bool all_equal = true;
-      std::uint64_t first_value = 0;
-      bool have_first = false;
-      for (const std::size_t* it = task_units_begin(t);
-           it != task_units_end(t); ++it) {
-        if (!units_.has_value(*it)) continue;
-        if (!have_first) {
-          first_value = units_.value[*it];
-          have_first = true;
-        } else if (units_.value[*it] != first_value) {
-          all_equal = false;
-        }
-      }
-      if (all_equal) {
-        accept(t, first_value, now);
-        return;
-      }
-    }
+    if (packed) present = gather_votes_(t, vote_values);
 
     // Copies disagree: the alarm condition of the paper's model.
     record_detection(t, now);
@@ -1445,6 +1551,20 @@ class Runner {
     ++report_.tasks_valid;
     report_.makespan = std::max(report_.makespan, now);
 
+    // Per-copy judgments feed exactly three consumers: the adaptive
+    // reliability scores, the controller's posterior, and the reactive
+    // flag/false-accusation path for copies that disagree with the
+    // accepted value. With the first two disabled by config and every
+    // folded value equal to the accepted one (unanimity latch clear and
+    // the aggregate matches), the sweep below is dead work — skip it.
+    // The guard is config-keyed plus latch state, never a fresh draw, so
+    // replay and resume take the same branch.
+    if (judgments_moot_ && !tasks_.test(t, TaskTable::kVoteMismatch) &&
+        (!tasks_.test(t, TaskTable::kVoteSeen) ||
+         tasks_.vote_value[t] == value)) {
+      return;
+    }
+
     const std::uint64_t truth = tasks_.truth[t];
     for (const std::size_t* it = task_units_begin(t);
          it != task_units_end(t); ++it) {
@@ -1479,7 +1599,7 @@ class Runner {
     for (std::size_t u = 0; u < units_.size(); ++u) {
       if (units_.assignee[u] != static_cast<std::uint32_t>(id)) continue;
       if (units_.state[u] != UnitState::kInProgress) continue;
-      units_.state[u] = UnitState::kTimedOut;
+units_.state[u] = UnitState::kTimedOut;
       units_.epoch[u] += 1;  // Invalidate its completion/deadline timers.
       queue_.schedule(now, EventKind::kReissue, static_cast<std::int64_t>(u),
                       units_.epoch[u]);
@@ -1659,7 +1779,7 @@ class Runner {
       if (state == UnitState::kInProgress) victim = *it;
     }
     if (victim >= units_.size()) return false;
-    units_.state[victim] = UnitState::kTimedOut;
+units_.state[victim] = UnitState::kTimedOut;
     units_.epoch[victim] += 1;  // Stale-out its pending timers.
     return true;
   }
@@ -1732,6 +1852,11 @@ class Runner {
   std::vector<std::int64_t> offline_count_; ///< Churn nesting per identity.
   std::vector<char> window_active_;         ///< Open windows per fault event.
   std::vector<Event> batch_;                ///< Same-timestamp drain scratch.
+  std::vector<std::uint32_t> epoch_scratch_;  ///< Gathered wave epochs.
+  std::vector<std::uint8_t> live_scratch_;    ///< SIMD stale/live lane mask.
+  std::vector<std::uint32_t> collect_scratch_;  ///< Offline-sweep hit list.
+  std::vector<std::uint64_t> wave_units_;     ///< Reissue-wave coin units.
+  std::vector<std::int32_t> wave_attempts_;   ///< ... and their attempts.
   std::vector<std::pair<std::uint64_t, int>> vote_scratch_;
   std::vector<control::ResidualClass> residual_scratch_;
   std::vector<char> moved_scratch_;         ///< Per-task moved-this-round.
@@ -1739,6 +1864,8 @@ class Runner {
   control::CampaignController controller_;
   double replan_period_ = 0.0;
   bool has_drift_ = false;
+  /// No consumer of per-copy judgments is active (see accept()).
+  bool judgments_moot_ = false;
   // Current kPDrift segment (identity before any drift event fires).
   double drift_from_ = 1.0;
   double drift_target_ = 1.0;

@@ -128,7 +128,7 @@ struct UnitTable {
 /// the immutable per-task facts the validator consults on every result
 /// (ground truth, ringer membership).
 ///
-/// The six per-task latch booleans pack into one flags byte: they are
+/// The eight per-task latch booleans pack into one flags byte: they are
 /// set-once markers the hot path only tests.
 struct TaskTable {
   /// Latch bits in `flags`.
@@ -139,6 +139,8 @@ struct TaskTable {
     kRingerCounted = 1u << 3,
     kInconclusiveCounted = 1u << 4,
     kDetected = 1u << 5,
+    kVoteSeen = 1u << 6,      ///< At least one copy's value folded in.
+    kVoteMismatch = 1u << 7,  ///< Two folded values disagreed.
   };
 
   std::vector<TaskState> state;
@@ -151,6 +153,14 @@ struct TaskTable {
   std::vector<std::uint64_t> accepted;
   std::vector<std::uint64_t> truth;     ///< Immutable ground-truth values.
   std::vector<std::uint8_t> is_ringer;  ///< Immutable ringer membership.
+  /// Running unanimity aggregate: the first value folded in (arrival
+  /// order). Valid only while kVoteMismatch is clear — once two values
+  /// disagree the validator re-gathers the full vote word anyway. Folding
+  /// order cannot change behavior: the mismatch latch is symmetric in its
+  /// inputs, and when it stays clear every folded value equals this one.
+  /// Derived state — checkpoints skip it; restore refolds from the
+  /// value-bearing units.
+  std::vector<std::uint64_t> vote_value;
 
   [[nodiscard]] std::size_t size() const noexcept { return state.size(); }
 
@@ -165,6 +175,17 @@ struct TaskTable {
     accepted.resize(count, 0);
     truth.resize(count, 0);
     is_ringer.resize(count, 0);
+    vote_value.resize(count, 0);
+  }
+
+  /// Folds one arriving copy's value into the unanimity aggregate.
+  void fold_vote(std::size_t t, std::uint64_t value) noexcept {
+    if (!test(t, kVoteSeen)) {
+      set(t, kVoteSeen);
+      vote_value[t] = value;
+    } else if (value != vote_value[t]) {
+      set(t, kVoteMismatch);
+    }
   }
 
   [[nodiscard]] bool test(std::size_t t, Flag flag) const noexcept {

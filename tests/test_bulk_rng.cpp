@@ -1,0 +1,247 @@
+// Bulk keyed-draw kernels (rng/bulk.hpp): every wave kernel must be
+// bit-identical to issuing the scalar keyed draw at each element's natural
+// call site — that identity is what makes bulk generation legal in a
+// deterministic, resumable runtime. Pinned on each lane-boundary batch
+// size (1, 15, 16, 17, 63, 64, 65: below/at/above the 4-lane vector width
+// and around a cache line) against the scalar reference functions, for
+// both the vectorized main loop and the scalar tail it hands off to, plus
+// the two-phase Monte Carlo wave consumer end to end.
+#include "rng/bulk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/distributions.hpp"
+#include "rng/engines.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace redund::rng {
+namespace {
+
+// Below / at / above one 4-wide vector block, and around a 64-key sweep —
+// every size leaves a different scalar-tail length.
+const std::size_t kSizes[] = {1, 15, 16, 17, 63, 64, 65};
+
+/// Key fixtures: contiguous (replica ids), strided (unit*64 + attempt
+/// layout), and scattered (mid-campaign reissue waves).
+std::vector<std::uint64_t> scattered_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys(n);
+  std::uint64_t x = 0x0DDB1A5E5BAD5EEDULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    keys[i] = x;
+  }
+  return keys;
+}
+
+TEST(BulkRng, FirstDrawMatchesScalarClosedForm) {
+  constexpr std::uint64_t kSeed = 0xA5EED0FBADC0FFEEULL;
+  for (const std::size_t n : kSizes) {
+    SCOPED_TRACE(testing::Message() << "n=" << n);
+    const auto keys = scattered_keys(n);
+    std::vector<std::uint64_t> out(n, 0);
+    bulk_first_draw(kSeed, keys.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], first_draw(kSeed, keys[i])) << "i=" << i;
+    }
+  }
+}
+
+TEST(BulkRng, FirstDrawMatchesFullEngineFirstOutput) {
+  // first_draw is itself a closed form; pin the bulk kernel all the way
+  // back to the real engine, not just to another shortcut.
+  constexpr std::uint64_t kSeed = 0x5EEDULL;
+  const std::size_t n = 65;
+  const auto keys = scattered_keys(n);
+  std::vector<std::uint64_t> out(n, 0);
+  bulk_first_draw(kSeed, keys.data(), n, out.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    Xoshiro256StarStar engine = make_stream(kSeed, keys[i]);
+    ASSERT_EQ(out[i], engine()) << "i=" << i;
+  }
+}
+
+TEST(BulkRng, StridedFirstDrawMatchesMaterializedKeys) {
+  constexpr std::uint64_t kSeed = 0xF00DULL;
+  constexpr std::uint64_t kBase = 12345;   // unit * 64 + attempt layouts
+  constexpr std::uint64_t kStride = 64;    // step by whole units.
+  for (const std::size_t n : kSizes) {
+    SCOPED_TRACE(testing::Message() << "n=" << n);
+    std::vector<std::uint64_t> out(n, 0);
+    bulk_first_draw_strided(kSeed, kBase, kStride, n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], first_draw(kSeed, kBase + i * kStride)) << "i=" << i;
+    }
+  }
+}
+
+TEST(BulkRng, BernoulliWavesMatchScalarCoins) {
+  const std::uint64_t seed = 0xC0117055ULL;
+  const double kProbs[] = {0.0, 0.01, 0.5, 0.99, 1.0};
+  for (const std::size_t n : kSizes) {
+    const auto keys = scattered_keys(n);
+    std::vector<std::uint64_t> scratch(n);
+    std::vector<std::uint8_t> out(n);
+    for (const double p : kProbs) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " p=" << p);
+      bulk_first_bernoulli(p, seed, keys.data(), n, scratch.data(),
+                           out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i] != 0, first_bernoulli(p, seed, keys[i]))
+            << "i=" << i;
+      }
+      bulk_first_bernoulli_strided(p, seed, /*base=*/7, /*stride=*/64, n,
+                                   scratch.data(), out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i] != 0, first_bernoulli(p, seed, 7 + i * 64))
+            << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BulkRng, BinomialWaveMatchesScalarInBothRegimes) {
+  const std::uint64_t seed = 0xB1D0ULL;
+  struct Case {
+    std::int64_t trials;
+    double p;
+  };
+  // BINV inversion regime (n*min(p,1-p) < 30), its flipped twin, the
+  // waiting-time fallback regime, and the degenerate edges.
+  const Case cases[] = {{20, 0.3},  {20, 0.9},   {4000, 0.5},
+                        {10, 0.0},  {10, 1.0},   {0, 0.5}};
+  for (const std::size_t n : kSizes) {
+    const auto keys = scattered_keys(n);
+    std::vector<std::uint64_t> scratch(n);
+    std::vector<std::int64_t> out(n);
+    for (const Case& c : cases) {
+      SCOPED_TRACE(testing::Message()
+                   << "n=" << n << " trials=" << c.trials << " p=" << c.p);
+      bulk_binomial(c.trials, c.p, seed, keys.data(), n, scratch.data(),
+                    out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        Xoshiro256StarStar engine = make_stream(seed, keys[i]);
+        ASSERT_EQ(out[i], binomial(c.trials, c.p, engine)) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BulkRng, HypergeometricWaveMatchesScalar) {
+  const std::uint64_t seed = 0x447EULL;
+  struct Case {
+    std::int64_t population, marked, sample;
+  };
+  // Small overlaps, the degenerate lo==hi range, and the large-parameter
+  // regime whose lo-anchored pmf would underflow (the mode-anchored
+  // inversion's reason to exist).
+  const Case cases[] = {
+      {100, 10, 10}, {5, 5, 5}, {50, 0, 25}, {100000, 3000, 3000}};
+  for (const std::size_t n : kSizes) {
+    const auto keys = scattered_keys(n);
+    std::vector<std::uint64_t> scratch(n);
+    std::vector<std::int64_t> out(n);
+    for (const Case& c : cases) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " N=" << c.population
+                                      << " m=" << c.marked
+                                      << " k=" << c.sample);
+      bulk_hypergeometric(c.population, c.marked, c.sample, seed, keys.data(),
+                          n, scratch.data(), out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        Xoshiro256StarStar engine = make_stream(seed, keys[i]);
+        ASSERT_EQ(out[i], hypergeometric(c.population, c.marked, c.sample,
+                                         engine))
+            << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BulkRng, PoissonWaveMatchesScalarInBothRegimes) {
+  const std::uint64_t seed = 0x0150ULL;
+  // Knuth-walk regime (single and multi-uniform elements) and the
+  // chunked gamma > 30 fallback.
+  const double kGammas[] = {0.05, 2.5, 29.0, 45.0};
+  for (const std::size_t n : kSizes) {
+    const auto keys = scattered_keys(n);
+    std::vector<std::uint64_t> scratch(n);
+    std::vector<std::int64_t> out(n);
+    for (const double gamma : kGammas) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " gamma=" << gamma);
+      bulk_poisson(gamma, seed, keys.data(), n, scratch.data(), out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        Xoshiro256StarStar engine = make_stream(seed, keys[i]);
+        ASSERT_EQ(out[i], poisson(gamma, engine)) << "i=" << i;
+      }
+    }
+  }
+}
+
+// End-to-end wave consumer: the two-phase Monte Carlo's bulk
+// hypergeometric path must reproduce the per-replica scalar engines
+// exactly — same overlap moments, same cheat counts, bit for bit.
+TEST(BulkRng, TwoPhaseMonteCarloBulkPathMatchesPerReplicaEngines) {
+  parallel::ThreadPool pool(2);
+  sim::MonteCarloConfig config;
+  config.replicas = 4097;  // Not a multiple of any block or lane width.
+  config.master_seed = 0x770A5E2ULL;
+  const std::int64_t task_count = 400;
+  const std::int64_t adversary_work = 20;
+
+  const sim::TwoPhaseAggregate bulk = sim::run_two_phase_monte_carlo(
+      pool, task_count, adversary_work, config,
+      sim::TwoPhaseMethod::kHypergeometric);
+
+  // Scalar reference: the pre-bulk implementation verbatim — per-replica
+  // engines folded through parallel_reduce, whose block layout and fold
+  // order the bulk path must reproduce bit for bit.
+  const sim::TwoPhaseAggregate reference =
+      parallel::parallel_reduce<sim::TwoPhaseAggregate>(
+          pool, static_cast<std::size_t>(config.replicas),
+          sim::TwoPhaseAggregate{},
+          [&](std::size_t replica) {
+            Xoshiro256StarStar engine =
+                make_stream(config.master_seed, replica);
+            const std::int64_t overlap = hypergeometric(
+                task_count, adversary_work, adversary_work, engine);
+            sim::TwoPhaseAggregate one;
+            one.overlap.add(static_cast<double>(overlap));
+            one.can_cheat.add(overlap > 0);
+            return one;
+          },
+          [](sim::TwoPhaseAggregate merged,
+             const sim::TwoPhaseAggregate& next) {
+            merged.overlap.merge(next.overlap);
+            merged.can_cheat.merge(next.can_cheat);
+            return merged;
+          });
+
+  EXPECT_EQ(bulk.overlap.count(), reference.overlap.count());
+  EXPECT_EQ(bulk.overlap.mean(), reference.overlap.mean());
+  EXPECT_EQ(bulk.overlap.variance(), reference.overlap.variance());
+  EXPECT_EQ(bulk.overlap.min(), reference.overlap.min());
+  EXPECT_EQ(bulk.overlap.max(), reference.overlap.max());
+  EXPECT_EQ(bulk.can_cheat.trials(), reference.can_cheat.trials());
+  EXPECT_EQ(bulk.can_cheat.successes(), reference.can_cheat.successes());
+}
+
+TEST(BulkRng, TwoPhaseMonteCarloBulkPathValidatesArguments) {
+  parallel::ThreadPool pool(1);
+  sim::MonteCarloConfig config;
+  config.replicas = 8;
+  EXPECT_THROW(static_cast<void>(sim::run_two_phase_monte_carlo(
+                   pool, 10, 11, config, sim::TwoPhaseMethod::kHypergeometric)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(sim::run_two_phase_monte_carlo(
+                   pool, 0, 0, config, sim::TwoPhaseMethod::kHypergeometric)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace redund::rng

@@ -5,7 +5,9 @@
 // queue selection cannot change a RuntimeReport.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -148,6 +150,113 @@ TEST(EventQueueEquivalence, ReservedBulkLoadPopsIdentically) {
     ASSERT_TRUE(same_event(heap.pop(), calendar.pop()));
   }
   EXPECT_TRUE(calendar.empty());
+}
+
+// ------------------------------------------------------------- pop_run
+
+/// Drains `queue` via pop_run and checks against a reference drained via
+/// single pops: identical event stream, and every run maximal — all
+/// members share the head timestamp and the next pending event (if any)
+/// fires strictly later.
+template <typename Queue>
+void expect_pop_run_matches_single_pops(Queue& runner, Queue& reference) {
+  std::vector<Event> scratch;
+  while (!runner.empty()) {
+    const std::span<const Event> run = runner.pop_run(scratch);
+    ASSERT_FALSE(run.empty());
+    const double time = run.front().time;
+    for (const Event& event : run) {
+      ASSERT_EQ(event.time, time);
+      ASSERT_FALSE(reference.empty());
+      ASSERT_TRUE(same_event(event, reference.pop()));
+    }
+    if (!runner.empty()) {
+      ASSERT_GT(runner.peek()->time, time) << "run was not maximal";
+    }
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+TEST(EventQueuePopRun, MatchesSinglePopsOnBothQueues) {
+  auto engine = rng::make_stream(0x60B7ULL, 3);
+  std::vector<double> times;
+  // Heavy ties (quantized times) plus scattered singletons: runs of many
+  // and runs of one.
+  for (int i = 0; i < 4000; ++i) {
+    const double raw = rng::exponential(1.0, engine) * 50.0;
+    times.push_back(i % 3 == 0 ? raw : std::floor(raw));
+  }
+  runtime::EventQueue heap_runner, heap_reference;
+  runtime::CalendarQueue cal_runner, cal_reference;
+  std::int64_t subject = 0;
+  for (const double t : times) {
+    heap_runner.schedule(t, EventKind::kCompletion, subject);
+    heap_reference.schedule(t, EventKind::kCompletion, subject);
+    cal_runner.schedule(t, EventKind::kCompletion, subject);
+    cal_reference.schedule(t, EventKind::kCompletion, subject);
+    ++subject;
+  }
+  expect_pop_run_matches_single_pops(heap_runner, heap_reference);
+  expect_pop_run_matches_single_pops(cal_runner, cal_reference);
+}
+
+TEST(EventQueuePopRun, EqualTimeStormDrainsAsOneRun) {
+  runtime::EventQueue heap;
+  runtime::CalendarQueue calendar;
+  for (std::int64_t s = 0; s < 1000; ++s) {
+    heap.schedule(42.0, EventKind::kDeadline, s);
+    calendar.schedule(42.0, EventKind::kDeadline, s);
+  }
+  std::vector<Event> scratch;
+  const std::span<const Event> heap_run = heap.pop_run(scratch);
+  ASSERT_EQ(heap_run.size(), 1000u);
+  for (std::size_t i = 0; i < heap_run.size(); ++i) {
+    EXPECT_EQ(heap_run[i].subject, static_cast<std::int64_t>(i));
+  }
+  EXPECT_TRUE(heap.empty());
+  std::vector<Event> cal_scratch;
+  const std::span<const Event> cal_run = calendar.pop_run(cal_scratch);
+  ASSERT_EQ(cal_run.size(), 1000u);
+  for (std::size_t i = 0; i < cal_run.size(); ++i) {
+    ASSERT_TRUE(same_event(cal_run[i], heap_run[i]));
+  }
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(EventQueuePopRun, InterleavedSchedulesKeepQueuesIdentical) {
+  // Schedule between pop_run calls, including at timestamps equal to runs
+  // already drained and inside the calendar's current day — the staging
+  // flush and ring rebuild must not reorder anything.
+  auto engine = rng::make_stream(0x1A7E2ULL, 4);
+  runtime::EventQueue heap;
+  runtime::CalendarQueue calendar;
+  std::int64_t subject = 0;
+  const auto schedule_burst = [&](double base, int count) {
+    for (int i = 0; i < count; ++i) {
+      const double t = base + std::floor(rng::exponential(0.5, engine) * 4.0);
+      heap.schedule(t, EventKind::kCompletion, subject);
+      calendar.schedule(t, EventKind::kCompletion, subject);
+      ++subject;
+    }
+  };
+  schedule_burst(0.0, 500);
+  std::vector<Event> heap_scratch, cal_scratch;
+  double last_time = 0.0;
+  int drained_runs = 0;
+  while (!heap.empty()) {
+    const std::span<const Event> h = heap.pop_run(heap_scratch);
+    const std::span<const Event> c = calendar.pop_run(cal_scratch);
+    ASSERT_EQ(h.size(), c.size());
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ASSERT_TRUE(same_event(h[i], c[i]));
+    }
+    last_time = h.front().time;
+    if (++drained_runs % 4 == 0 && drained_runs < 40) {
+      schedule_burst(last_time, 50);  // Future events near the live day.
+    }
+  }
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_GT(drained_runs, 4);
 }
 
 // --------------------------------------------------------- stale epochs

@@ -1,0 +1,318 @@
+// SIMD lane primitives (platform/simd.hpp): the scalar fallback is the
+// definition, so every vector body must match it byte-for-byte on every
+// input — exercised here on each lane-boundary size (1, 15, 16, 17, 63,
+// 64, 65: below/at/above one 16-lane block and one cache line) and on
+// all-match / no-match / mixed patterns, with a whole-campaign fingerprint
+// comparison on top. A single binary proves the equivalence via
+// set_force_scalar(), which routes the public entry points onto the
+// scalar bodies at runtime.
+#include "platform/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/realize.hpp"
+#include "core/schemes/balanced.hpp"
+#include "runtime/audit.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace redund::platform::simd {
+namespace {
+
+/// Restores the global force_scalar flag on scope exit so a failing
+/// assertion cannot leak scalar mode into later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) : saved_(force_scalar()) {
+    set_force_scalar(force);
+  }
+  ~ScopedForceScalar() { set_force_scalar(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// The lane-boundary sizes: one element, one short of a block, one block,
+// one into the second block, and the same pattern around the 64-lane line.
+const std::size_t kSizes[] = {1, 15, 16, 17, 63, 64, 65};
+
+/// Deterministic pattern bytes (SplitMix64-ish; seeds the mixed fixtures).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+enum class Pattern { kAll, kNone, kMixed };
+
+const Pattern kPatterns[] = {Pattern::kAll, Pattern::kNone, Pattern::kMixed};
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kAll: return "all";
+    case Pattern::kNone: return "none";
+    case Pattern::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+TEST(SimdPrimitives, LanesLiveMatchesScalarOnEveryBoundarySize) {
+  constexpr std::uint8_t kWantState = 1;
+  for (const std::size_t n : kSizes) {
+    for (const Pattern pattern : kPatterns) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " pattern="
+                                      << pattern_name(pattern));
+      std::vector<std::uint8_t> state(n);
+      std::vector<std::uint32_t> epoch(n);
+      std::vector<std::uint32_t> want_epoch(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = mix(i * 3 + 1);
+        switch (pattern) {
+          case Pattern::kAll:
+            state[i] = kWantState;
+            epoch[i] = want_epoch[i] = static_cast<std::uint32_t>(r);
+            break;
+          case Pattern::kNone:
+            // Half fail the state compare, half fail the epoch compare.
+            state[i] = (r & 1) ? kWantState : 0;
+            epoch[i] = static_cast<std::uint32_t>(r >> 8);
+            want_epoch[i] = (r & 1) ? epoch[i] + 1 : epoch[i];
+            break;
+          case Pattern::kMixed:
+            state[i] = (r >> 1) & 1 ? kWantState : 2;
+            epoch[i] = static_cast<std::uint32_t>(r >> 8);
+            want_epoch[i] = epoch[i] + ((r >> 2) & 1);
+            break;
+        }
+      }
+      std::vector<std::uint8_t> vec(n, 0xCD), sca(n, 0xEE);
+      {
+        ScopedForceScalar scalar(false);
+        lanes_live(state.data(), kWantState, epoch.data(), want_epoch.data(),
+                   n, vec.data());
+      }
+      {
+        ScopedForceScalar scalar(true);
+        lanes_live(state.data(), kWantState, epoch.data(), want_epoch.data(),
+                   n, sca.data());
+      }
+      EXPECT_EQ(vec, sca);
+      // And against a naive reference, so the scalar body itself is pinned.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t want =
+            (state[i] == kWantState && epoch[i] == want_epoch[i]) ? 1 : 0;
+        ASSERT_EQ(sca[i], want) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, CountEqU8MatchesScalarOnEveryBoundarySize) {
+  constexpr std::uint8_t kWant = 3;
+  for (const std::size_t n : kSizes) {
+    for (const Pattern pattern : kPatterns) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " pattern="
+                                      << pattern_name(pattern));
+      std::vector<std::uint8_t> bytes(n);
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (pattern) {
+          case Pattern::kAll: bytes[i] = kWant; break;
+          case Pattern::kNone: bytes[i] = kWant + 1; break;
+          case Pattern::kMixed:
+            bytes[i] = static_cast<std::uint8_t>(mix(i) & 7);
+            break;
+        }
+        expected += bytes[i] == kWant ? 1 : 0;
+      }
+      std::size_t vec, sca;
+      {
+        ScopedForceScalar scalar(false);
+        vec = count_eq_u8(bytes.data(), n, kWant);
+      }
+      {
+        ScopedForceScalar scalar(true);
+        sca = count_eq_u8(bytes.data(), n, kWant);
+      }
+      EXPECT_EQ(vec, sca);
+      EXPECT_EQ(sca, expected);
+    }
+  }
+}
+
+TEST(SimdPrimitives, CountFlagBitsMatchesScalarOnEveryBoundarySize) {
+  constexpr std::uint8_t kMask = 0b1100'0000;  // The two vote latches.
+  for (const std::size_t n : kSizes) {
+    for (const Pattern pattern : kPatterns) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " pattern="
+                                      << pattern_name(pattern));
+      std::vector<std::uint8_t> flags(n);
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (pattern) {
+          case Pattern::kAll: flags[i] = 0xFF; break;
+          case Pattern::kNone:
+            flags[i] = static_cast<std::uint8_t>(mix(i)) & ~kMask;
+            break;
+          case Pattern::kMixed:
+            flags[i] = static_cast<std::uint8_t>(mix(i * 7 + 5));
+            break;
+        }
+        expected += (flags[i] & kMask) == kMask ? 1 : 0;
+      }
+      std::size_t vec, sca;
+      {
+        ScopedForceScalar scalar(false);
+        vec = count_flag_bits(flags.data(), n, kMask);
+      }
+      {
+        ScopedForceScalar scalar(true);
+        sca = count_flag_bits(flags.data(), n, kMask);
+      }
+      EXPECT_EQ(vec, sca);
+      EXPECT_EQ(sca, expected);
+    }
+  }
+}
+
+TEST(SimdPrimitives, CollectMatchesMatchesScalarOnEveryBoundarySize) {
+  constexpr std::uint32_t kKey = 17;
+  constexpr std::uint8_t kWant = 1;
+  for (const std::size_t n : kSizes) {
+    for (const Pattern pattern : kPatterns) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " pattern="
+                                      << pattern_name(pattern));
+      std::vector<std::uint32_t> keys(n);
+      std::vector<std::uint8_t> state(n);
+      std::vector<std::uint32_t> expected;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = mix(i * 11 + 3);
+        switch (pattern) {
+          case Pattern::kAll:
+            keys[i] = kKey;
+            state[i] = kWant;
+            break;
+          case Pattern::kNone:
+            keys[i] = (r & 1) ? kKey : kKey + 1;
+            state[i] = (r & 1) ? kWant + 1 : kWant;
+            break;
+          case Pattern::kMixed:
+            keys[i] = (r & 3) == 0 ? kKey : static_cast<std::uint32_t>(r);
+            state[i] = static_cast<std::uint8_t>((r >> 2) & 1);
+            break;
+        }
+        if (keys[i] == kKey && state[i] == kWant) {
+          expected.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      std::vector<std::uint32_t> vec(n + 1, 0xFFFF), sca(n + 1, 0xAAAA);
+      std::size_t vec_n, sca_n;
+      {
+        ScopedForceScalar scalar(false);
+        vec_n = collect_matches(keys.data(), kKey, state.data(), kWant, n,
+                                vec.data());
+      }
+      {
+        ScopedForceScalar scalar(true);
+        sca_n = collect_matches(keys.data(), kKey, state.data(), kWant, n,
+                                sca.data());
+      }
+      ASSERT_EQ(vec_n, sca_n);
+      ASSERT_EQ(sca_n, expected.size());
+      vec.resize(vec_n);
+      sca.resize(sca_n);
+      EXPECT_EQ(vec, sca);
+      EXPECT_EQ(sca, expected);
+    }
+  }
+}
+
+// Regression: the vector body sweeps full 16-lane blocks and hands the
+// remainder to the scalar loop, which indexes from the tail start. An
+// early version forgot to rebase those indices — a match at absolute
+// index 64 came back as 0, and the churn sweep then timed out the wrong
+// (possibly already-completed) unit, corrupting the event stream. Pin
+// matches that live ONLY past the last full block.
+TEST(SimdPrimitives, CollectMatchesRebasesTailIndices) {
+  constexpr std::uint32_t kKey = 9;
+  constexpr std::uint8_t kWant = 1;
+  struct Case {
+    std::size_t n;
+    std::vector<std::uint32_t> match_at;  // All strictly past n/16*16.
+  };
+  const Case cases[] = {
+      {17, {16}},
+      {63, {48, 60, 62}},
+      {65, {64}},
+      {33, {32}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(testing::Message() << "n=" << c.n);
+    std::vector<std::uint32_t> keys(c.n, kKey + 1);
+    std::vector<std::uint8_t> state(c.n, kWant);
+    for (const std::uint32_t at : c.match_at) {
+      ASSERT_GE(at, c.n / 16 * 16) << "fixture must target the tail";
+      keys[at] = kKey;
+    }
+    std::vector<std::uint32_t> out(c.n, 0);
+    const std::size_t count =
+        collect_matches(keys.data(), kKey, state.data(), kWant, c.n,
+                        out.data());
+    out.resize(count);
+    EXPECT_EQ(out, c.match_at);
+  }
+}
+
+TEST(SimdPrimitives, ActiveImplReflectsForceScalar) {
+  {
+    ScopedForceScalar scalar(true);
+    EXPECT_STREQ(active_impl(), "scalar");
+  }
+  ScopedForceScalar vector(false);
+  if (kCompiledVector) {
+    EXPECT_STREQ(active_impl(), "vector");
+  } else {
+    EXPECT_STREQ(active_impl(), "scalar");
+  }
+}
+
+// Whole-campaign equivalence: the same faulted campaign — churn (leave /
+// rejoin) drives the collect_matches participant sweep, stragglers and
+// dropouts drive the batch-drain liveness lanes — must fingerprint
+// byte-identically with the vector bodies and with every call forced onto
+// the scalar fallback.
+TEST(SimdCampaign, FingerprintIdenticalUnderForcedScalar) {
+  namespace runtime = redund::runtime;
+  runtime::RuntimeConfig config;
+  config.plan = core::realize(
+      core::make_balanced(300.0, 0.5, {.truncate_below = 1e-9}), 300, 0.5);
+  config.honest_participants = 40;
+  config.sybil_identities = 8;
+  config.latency.straggler_fraction = 0.1;
+  config.latency.dropout_probability = 0.05;
+  config.seed = 0x51D0CAFEULL;
+  for (std::uint32_t p = 0; p < 12; ++p) {
+    config.faults.events.push_back({.time = 20.0 + 10.0 * p,
+                                    .kind = runtime::FaultKind::kLeave,
+                                    .participant = p});
+    config.faults.events.push_back({.time = 45.0 + 10.0 * p,
+                                    .kind = runtime::FaultKind::kRejoin,
+                                    .participant = p});
+  }
+  std::uint64_t vec, sca;
+  {
+    ScopedForceScalar scalar(false);
+    vec = runtime::report_fingerprint(runtime::run_async_campaign(config));
+  }
+  {
+    ScopedForceScalar scalar(true);
+    sca = runtime::report_fingerprint(runtime::run_async_campaign(config));
+  }
+  EXPECT_EQ(vec, sca);
+}
+
+}  // namespace
+}  // namespace redund::platform::simd

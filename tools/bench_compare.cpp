@@ -4,18 +4,27 @@
 //
 //   bench_compare BASELINE.json CURRENT.json [--tolerance 0.15]
 //                 [--only PREFIX]...
+//   bench_compare --trend REPORT.json... [--only PREFIX]...
 //
 // `--only PREFIX` (repeatable) restricts both the table and the regression
 // verdict to benchmarks whose name starts with PREFIX — how CI gates the
 // `event_loop*` headline family hard while the noisier rows stay
 // informational.
 //
+// `--trend` takes any number of report files (typically BENCH_PR*.json),
+// orders them by the number embedded in the filename, and prints one
+// throughput trajectory table: a row per (bench, n, threads), a column per
+// report, and a final last/first ratio. Purely informational — trend mode
+// never fails on a regression; docs/performance.md embeds its output.
+//
 // Exit codes: 0 no regression, 1 regression detected, 2 usage/parse error.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "perf/json.hpp"
@@ -31,12 +40,107 @@ bool matches_only(const std::string& bench,
                      });
 }
 
+/// "path/to/BENCH_PR7.json" -> "PR7"; falls back to the basename sans
+/// extension when the BENCH_ prefix is absent.
+std::string column_label(const std::string& path) {
+  std::string name = path;
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const auto dot = name.rfind('.');
+  if (dot != std::string::npos) name.erase(dot);
+  if (name.rfind("BENCH_", 0) == 0) name.erase(0, 6);
+  return name;
+}
+
+/// Last integer embedded in the label, or -1 — orders PR2 before PR10
+/// where a lexicographic sort would not.
+long label_number(const std::string& label) {
+  long value = -1;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(label[i]))) {
+      value = std::strtol(label.c_str() + i, nullptr, 10);
+      while (i < label.size() &&
+             std::isdigit(static_cast<unsigned char>(label[i]))) {
+        ++i;
+      }
+    }
+  }
+  return value;
+}
+
+int run_trend(std::vector<std::string> paths,
+              const std::vector<std::string>& only) {
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "bench_compare: --trend needs at least two report files\n");
+    return 2;
+  }
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return label_number(column_label(a)) <
+                            label_number(column_label(b));
+                   });
+
+  std::vector<std::vector<redund::perf::BenchRecord>> reports;
+  for (const std::string& path : paths) {
+    reports.push_back(redund::perf::read_report(path));
+  }
+
+  // Row keys in first-appearance order across the report sequence, so a
+  // benchmark added in PR4 sorts after the ones the suite started with.
+  using Key = std::tuple<std::string, std::int64_t, int>;
+  std::vector<Key> keys;
+  for (const auto& report : reports) {
+    for (const auto& record : report) {
+      if (!matches_only(record.bench, only)) continue;
+      const Key key{record.bench, record.n, record.threads};
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
+
+  std::printf("%-28s %10s %8s", "bench", "n", "threads");
+  for (const std::string& path : paths) {
+    std::printf(" %10s", column_label(path).c_str());
+  }
+  std::printf(" %8s\n", "overall");
+  for (const Key& key : keys) {
+    std::printf("%-28s %10lld %8d", std::get<0>(key).c_str(),
+                static_cast<long long>(std::get<1>(key)), std::get<2>(key));
+    double first = 0.0;
+    double last = 0.0;
+    for (const auto& report : reports) {
+      const auto hit = std::find_if(
+          report.begin(), report.end(),
+          [&key](const redund::perf::BenchRecord& record) {
+            return Key{record.bench, record.n, record.threads} == key;
+          });
+      if (hit == report.end()) {
+        std::printf(" %10s", "-");
+        continue;
+      }
+      std::printf(" %10.3e", hit->items_per_sec);
+      if (first == 0.0) first = hit->items_per_sec;
+      last = hit->items_per_sec;
+    }
+    if (first > 0.0) {
+      std::printf(" %7.2fx\n", last / first);
+    } else {
+      std::printf(" %8s\n", "-");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   std::vector<std::string> only;
+  std::vector<std::string> trend_paths;
+  bool trend = false;
   double tolerance = 0.15;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,11 +148,16 @@ int main(int argc, char** argv) {
       tolerance = std::atof(argv[++i]);
     } else if (arg == "--only" && i + 1 < argc) {
       only.emplace_back(argv[++i]);
+    } else if (arg == "--trend") {
+      trend = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_compare BASELINE.json CURRENT.json "
-          "[--tolerance 0.15] [--only PREFIX]...\n");
+          "[--tolerance 0.15] [--only PREFIX]...\n"
+          "       bench_compare --trend REPORT.json... [--only PREFIX]...\n");
       return 0;
+    } else if (trend) {
+      trend_paths.push_back(arg);
     } else if (baseline_path.empty()) {
       baseline_path = arg;
     } else if (current_path.empty()) {
@@ -56,6 +165,19 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n",
                    arg.c_str());
+      return 2;
+    }
+  }
+  if (trend) {
+    trend_paths.insert(trend_paths.end(),
+                       {baseline_path, current_path});
+    trend_paths.erase(std::remove(trend_paths.begin(), trend_paths.end(),
+                                  std::string{}),
+                      trend_paths.end());
+    try {
+      return run_trend(std::move(trend_paths), only);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "bench_compare: %s\n", error.what());
       return 2;
     }
   }

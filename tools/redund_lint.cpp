@@ -25,6 +25,15 @@
 //                            the pattern the SoA refactor removed — batch
 //                            with resize() + index writes or a bulk
 //                            insert outside the loop.
+//   scalar-draw-in-wave      A fresh keyed stream (rng::make_stream) built
+//                            inside a loop in src/sim/. Replica waves draw
+//                            one value per key; the rng::bulk_* kernels
+//                            evaluate those draws four streams per
+//                            instruction, so a scalar make_stream-per-
+//                            iteration loop is the pattern the bulk layer
+//                            exists to replace. Sequential draws from one
+//                            shared engine are fine — only per-iteration
+//                            stream construction fires.
 //   include-c-header         C headers (<stdio.h>, ...) instead of their
 //                            <cstdio>-style C++ spellings.
 //   include-iostream         <iostream> included from a header (drags in
@@ -227,6 +236,7 @@ bool contains_token(const std::string& text, const std::string& token) {
 struct LintOptions {
   bool runtime_rules = false;  // unordered-iteration (runtime/sim/control).
   bool header = false;         // Header-only rules.
+  bool wave_rules = false;     // scalar-draw-in-wave (sim only).
 };
 
 class Linter {
@@ -250,6 +260,7 @@ class Linter {
       if (options_.runtime_rules) check_unordered_iteration_(i);
     }
     check_hot_functions_();
+    if (options_.wave_rules) check_wave_draws_();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line < b.line;
@@ -410,6 +421,55 @@ class Linter {
     }
   }
 
+  // -------------------------------------------------- scalar draw in wave
+  /// Walks the whole file tracking loop bodies by brace depth (same walk
+  /// as scan_hot_body_) and flags rng::make_stream construction inside a
+  /// loop — or on a brace-less loop line. One keyed engine per iteration
+  /// is the scalar half of an independent-draw wave; the bulk kernels
+  /// compute the identical draws four streams per instruction.
+  void check_wave_draws_() {
+    int depth = 0;
+    int paren_depth = 0;
+    bool pending_loop = false;
+    std::vector<int> loop_depths;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const std::string& code = lines_[i].code;
+      const bool line_opens_loop = contains_token(code, "for") ||
+                                   contains_token(code, "while") ||
+                                   contains_token(code, "do");
+      // pending_loop covers a brace-less body (or an open '{') on the line
+      // after the loop header.
+      if ((!loop_depths.empty() || line_opens_loop || pending_loop) &&
+          contains_token(code, "make_stream(")) {
+        report_(i, "scalar-draw-in-wave",
+                "make_stream() per loop iteration — a wave of independent "
+                "keyed draws belongs in an rng::bulk_* kernel (four streams "
+                "per instruction), not a scalar loop");
+      }
+      if (line_opens_loop) pending_loop = true;
+      for (const char c : code) {
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')') {
+          if (paren_depth > 0) --paren_depth;
+        } else if (c == '{') {
+          ++depth;
+          if (pending_loop) {
+            loop_depths.push_back(depth);
+            pending_loop = false;
+          }
+        } else if (c == '}') {
+          if (!loop_depths.empty() && loop_depths.back() == depth) {
+            loop_depths.pop_back();
+          }
+          if (depth > 0) --depth;
+        } else if (c == ';') {
+          if (paren_depth == 0) pending_loop = false;
+        }
+      }
+    }
+  }
+
   // ------------------------------------------------------------ hot-alloc
   void check_hot_functions_() {
     for (std::size_t i = 0; i < lines_.size(); ++i) {
@@ -533,6 +593,7 @@ LintOptions options_for(const std::filesystem::path& path) {
   options.runtime_rules = generic.find("/runtime/") != std::string::npos ||
                           generic.find("/sim/") != std::string::npos ||
                           generic.find("/control/") != std::string::npos;
+  options.wave_rules = generic.find("/sim/") != std::string::npos;
   return options;
 }
 
@@ -687,6 +748,48 @@ const Fixture kFixtures[] = {
      "    --n;\n"
      "  } while (n > 0);\n"
      "  v.push_back(n);  // redund-lint: allow(hot-alloc)\n"
+     "}\n",
+     nullptr, 0},
+    {"wave-draw-in-loop-fires", "src/sim/x.cpp",
+     "double f(std::uint64_t seed, std::size_t n) {\n"
+     "  double sum = 0.0;\n"
+     "  for (std::size_t r = 0; r < n; ++r) {\n"
+     "    auto engine = rng::make_stream(seed, r);\n"
+     "    sum += rng::uniform01(engine);\n"
+     "  }\n"
+     "  return sum;\n"
+     "}\n",
+     "scalar-draw-in-wave", 4},
+    {"wave-draw-braceless-fires", "src/sim/x.cpp",
+     "void f(std::uint64_t seed, std::size_t n, double* out) {\n"
+     "  for (std::size_t r = 0; r < n; ++r)\n"
+     "    out[r] = rng::uniform01(rng::make_stream(seed, r));\n"
+     "}\n",
+     "scalar-draw-in-wave", 3},
+    {"wave-draw-allow-suppresses", "src/sim/x.cpp",
+     "double f(std::uint64_t seed, std::size_t n) {\n"
+     "  double sum = 0.0;\n"
+     "  for (std::size_t r = 0; r < n; ++r) {\n"
+     "    // Draw count varies per replica: not wave-able.\n"
+     "    // redund-lint: allow(scalar-draw-in-wave)\n"
+     "    auto engine = rng::make_stream(seed, r);\n"
+     "    sum += rng::uniform01(engine);\n"
+     "  }\n"
+     "  return sum;\n"
+     "}\n",
+     nullptr, 0},
+    {"wave-draw-outside-loop-clean", "src/sim/x.cpp",
+     "double f(std::uint64_t seed) {\n"
+     "  auto engine = rng::make_stream(seed, 0);\n"
+     "  double sum = 0.0;\n"
+     "  for (int i = 0; i < 4; ++i) sum += rng::uniform01(engine);\n"
+     "  return sum;\n"
+     "}\n",
+     nullptr, 0},
+    {"wave-draw-outside-sim-clean", "src/runtime/x.cpp",
+     "void f(std::uint64_t seed, std::size_t n, double* out) {\n"
+     "  for (std::size_t r = 0; r < n; ++r)\n"
+     "    out[r] = rng::uniform01(rng::make_stream(seed, r));\n"
      "}\n",
      nullptr, 0},
     {"c-header-fires", "src/core/x.cpp",
