@@ -41,6 +41,10 @@ BenchRecord parse_record(JsonCursor& cursor) {
         record.threads = static_cast<int>(cursor.parse_number());
       } else if (key == "git_rev") {
         record.git_rev = cursor.parse_string();
+      } else if (key == "aux") {
+        record.aux = cursor.parse_number();
+      } else if (key == "aux_label") {
+        record.aux_label = cursor.parse_string();
       } else {
         cursor.skip_value();
       }
@@ -74,6 +78,11 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     out += ", \"threads\": " + std::to_string(r.threads);
     out += ", \"git_rev\": ";
     json_append_escaped(out, r.git_rev);
+    if (!r.aux_label.empty()) {
+      out += ", \"aux\": " + json_format_double(r.aux);
+      out += ", \"aux_label\": ";
+      json_append_escaped(out, r.aux_label);
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

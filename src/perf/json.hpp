@@ -34,6 +34,11 @@ struct BenchRecord {
   double wall_ms = 0.0;       ///< Wall time spent measuring.
   int threads = 1;            ///< Worker threads used (1 = serial kernel).
   std::string git_rev;        ///< Revision the numbers belong to.
+  /// Optional secondary metric (e.g. checkpoint bytes per event for the
+  /// journal row). Serialized only when `aux_label` is non-empty; absent
+  /// in older reports, ignored by comparisons.
+  double aux = 0.0;
+  std::string aux_label;
 };
 
 /// Serializes records to the report JSON text (schema above).

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -172,11 +173,23 @@ void bench_event_loop(std::vector<BenchRecord>& records,
 
 /// The event_loop campaign under an active chaos schedule — churn,
 /// blackout, dropout burst, message loss, duplication, corruption — with
-/// and without the write-ahead journal. The fault rows price the fault
-/// machinery itself; the ratio of the journal row to the plain faulted
-/// row is the journal's overhead on the hot loop (gated at <= 15% by
-/// tools/bench_compare's default tolerance when diffed against a
-/// journal-off baseline). Items = events processed.
+/// and without multi-level checkpointing. Three prices, most to least
+/// expensive machinery:
+///
+///   event_loop_faulted  the chaos schedule itself, no journal;
+///   event_loop_journal  checkpoint-only journaling (wal = false): the
+///                       snapshots hand off to the async writer and
+///                       nothing is recorded between them, so the ratio
+///                       to event_loop_faulted is the checkpoint
+///                       subsystem's overhead at equal resume
+///                       granularity (restart a bounded re-execution
+///                       window, which a plain restart also pays);
+///   event_loop_wal      full durability: per-event WAL (batch-staged,
+///                       formatted and flushed on the writer thread)
+///                       plus the same checkpoints.
+///
+/// The journal row carries checkpoint bytes written per event as its aux
+/// metric. Items = events processed.
 void bench_event_loop_faulted(std::vector<BenchRecord>& records,
                               const SuiteOptions& options) {
   const std::int64_t units = options.quick ? 20000 : 200000;
@@ -226,10 +239,43 @@ void bench_event_loop_faulted(std::vector<BenchRecord>& records,
   // production campaign of this size would pick over the
   // durability-biased default of 4096.
   journaled.journal.checkpoint_interval = units;
-  records.push_back(measure("event_loop_faulted_journal", units, 1,
+  journaled.journal.wal = false;
+  std::int64_t last_events = 0;
+  BenchRecord journal_row =
+      measure("event_loop_journal", units, 1, options.quick ? 0.02 : 0.25,
+              [&]() -> std::int64_t {
+                const auto report = runtime::run_async_campaign(journaled);
+                last_events = report.events_processed;
+                return last_events;
+              });
+  // Secondary metric: checkpoint bytes per event, summed over the C
+  // (full), D (delta), and P (partner) records the last iteration left
+  // on disk. The WAL is durability bookkeeping either way; this isolates
+  // what the multi-level snapshots themselves cost in write bandwidth.
+  {
+    std::ifstream in(journaled.journal.path);
+    std::uint64_t checkpoint_bytes = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.size() > 1 && (line[0] == 'C' || line[0] == 'D' ||
+                              line[0] == 'P') && line[1] == ' ') {
+        checkpoint_bytes += line.size() + 1;
+      }
+    }
+    if (last_events > 0) {
+      journal_row.aux = static_cast<double>(checkpoint_bytes) /
+                        static_cast<double>(last_events);
+      journal_row.aux_label = "checkpoint_bytes_per_event";
+    }
+  }
+  records.push_back(std::move(journal_row));
+
+  runtime::RuntimeConfig durable = journaled;
+  durable.journal.wal = true;
+  records.push_back(measure("event_loop_wal", units, 1,
                             options.quick ? 0.02 : 0.25, [&]() -> std::int64_t {
                               const auto report =
-                                  runtime::run_async_campaign(journaled);
+                                  runtime::run_async_campaign(durable);
                               return report.events_processed;
                             }));
   std::remove(journaled.journal.path.c_str());

@@ -1,0 +1,784 @@
+#include "runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define REDUND_HAVE_FSYNC 1
+#else
+#define REDUND_HAVE_FSYNC 0
+#endif
+
+namespace redund::runtime {
+
+namespace {
+
+constexpr std::size_t kFileBufferBytes = 1 << 20;
+constexpr std::size_t kMaxQueuedItems = 4;
+
+/// Space-separated token sink with StateWriter's exact conventions
+/// (u64 → minimal hex, i64 → decimal, f64 → 16-hex-digit IEEE bits,
+/// bool → hex 0/1), writing into a caller-owned reusable string. The
+/// "first token carries no separator" rule is tracked explicitly so the
+/// blob can be appended after a record prefix ("C <index> ") that is
+/// already in the buffer.
+class TokenSink {
+ public:
+  explicit TokenSink(std::string& out) : out_(out) {}
+
+  void u64(std::uint64_t value) {
+    sep_();
+    detail::append_hex(out_, value);
+  }
+  void i64(std::int64_t value) {
+    sep_();
+    detail::append_dec(out_, value);
+  }
+  void f64(double value) {
+    sep_();
+    detail::append_hex16(out_, std::bit_cast<std::uint64_t>(value));
+  }
+  void boolean(bool value) { u64(value ? 1 : 0); }
+
+ private:
+  void sep_() {
+    if (first_) {
+      first_ = false;
+    } else {
+      out_ += ' ';
+    }
+  }
+  std::string& out_;
+  bool first_ = true;
+};
+
+void append_series_row(TokenSink& w, const RuntimeSample& sample) {
+  w.f64(sample.time);
+  w.i64(sample.units_issued);
+  w.i64(sample.units_completed);
+  w.i64(sample.units_timed_out);
+  w.i64(sample.units_reissued);
+  w.i64(sample.tasks_valid);
+  w.i64(sample.control_boosts);
+  w.i64(sample.control_releases);
+}
+
+/// The scalar prefix shared by full and delta blobs: Runner scalars,
+/// then the report counters that the event loop mutates. Order matches
+/// the original synchronous serializer exactly.
+void append_scalar_prefix(TokenSink& w, const CheckpointPayload& payload) {
+  const CheckpointScalars& s = payload.scalars;
+  w.f64(s.effective_deadline);
+  w.f64(s.next_sample);
+  w.f64(s.detection_time_total);
+  w.f64(s.first_detection);
+  w.i64(s.completions_pending);
+  w.i64(s.recompute_used);
+  w.i64(s.stall_streak);
+  w.i64(s.last_progress);
+  w.f64(s.ewma);
+  w.boolean(s.ewma_init);
+  w.i64(s.min_live);
+  for (const std::uint64_t word : s.rng) w.u64(word);
+  const RuntimeReport& r = payload.report;
+  w.i64(r.units_issued);
+  w.i64(r.units_completed);
+  w.i64(r.units_timed_out);
+  w.i64(r.units_reissued);
+  w.i64(r.units_dropped);
+  w.i64(r.late_results);
+  w.i64(r.adaptive_replicas);
+  w.i64(r.quorum_replicas);
+  w.i64(r.supervisor_recomputes);
+  w.i64(r.tasks_valid);
+  w.i64(r.tasks_inconclusive);
+  w.i64(r.mismatches_detected);
+  w.i64(r.ringer_catches);
+  w.i64(r.blacklisted_identities);
+  w.i64(r.adversary_cheat_attempts);
+  w.i64(r.false_accusations);
+  w.i64(r.fault_events);
+  w.i64(r.churn_leaves);
+  w.i64(r.churn_rejoins);
+  w.i64(r.results_lost);
+  w.i64(r.results_corrupted);
+  w.i64(r.duplicate_results);
+  w.i64(r.replan_rounds);
+  w.i64(r.control_boosts);
+  w.i64(r.control_releases);
+  w.i64(r.control_observations);
+  w.f64(r.makespan);
+  w.f64(r.end_time);
+  w.i64(r.detections);
+  w.i64(r.events_processed);
+}
+
+/// The dense per-participant / controller / drift suffix shared by both
+/// blob flavors (small vectors, always serialized whole).
+void append_dense_suffix(TokenSink& w, const CheckpointPayload& payload) {
+  for (const double score : payload.score) w.f64(score);
+  for (const char flag : payload.flagged) w.boolean(flag != 0);
+  for (const std::int64_t count : payload.offline) w.i64(count);
+  for (const char active : payload.window_active) w.boolean(active != 0);
+  const CheckpointScalars& s = payload.scalars;
+  w.i64(s.ctrl_wrong);
+  w.i64(s.ctrl_right);
+  w.i64(s.ctrl_observations);
+  w.i64(s.ctrl_last_replan);
+  w.f64(s.ctrl_dropout);
+  w.boolean(s.ctrl_dropout_init);
+  w.f64(s.drift_from);
+  w.f64(s.drift_target);
+  w.f64(s.drift_start);
+  w.f64(s.drift_duration);
+}
+
+void append_registry_and_busy(TokenSink& w, const CheckpointPayload& payload) {
+  for (const ParticipantSnapshot& record : payload.registry) {
+    w.boolean(record.blacklisted);
+    w.i64(record.assignments_completed);
+    w.i64(record.credit);
+    w.i64(record.wrong_results);
+  }
+  for (const double clock : payload.busy) w.f64(clock);
+}
+
+void append_event_row(TokenSink& w, const Event& event) {
+  w.f64(event.time);
+  w.u64(event.seq);
+  w.i64(static_cast<std::int64_t>(event.kind));
+  w.i64(event.subject);
+  w.u64(event.epoch);
+}
+
+/// Full (L2) blob: byte-identical to what the old synchronous
+/// serialize_state_ produced from the same state, so the restore path
+/// reads both eras of checkpoints with one parser.
+void append_full_blob(std::string& out, CheckpointPayload& payload) {
+  TokenSink w(out);
+  append_scalar_prefix(w, payload);
+  w.i64(static_cast<std::int64_t>(payload.report.series.size()));
+  for (const RuntimeSample& sample : payload.report.series) {
+    append_series_row(w, sample);
+  }
+  append_registry_and_busy(w, payload);
+  w.i64(payload.unit_total);
+  for (const UnitRow& row : payload.units) {
+    w.i64(row.task);
+    w.i64(row.assignee);
+  }
+  for (const UnitRow& row : payload.units) {
+    w.i64(row.state);
+    w.i64(row.attempts);
+    w.u64(row.epoch);
+    w.u64(row.value);
+    w.boolean(row.has_value);
+  }
+  for (const TaskRow& row : payload.tasks) {
+    w.i64(row.state);
+    w.i64(row.target_copies);
+    w.i64(row.arrived);
+    w.i64(row.extra_replicas);
+    w.i64(row.control_boosts);
+    w.i64(row.control_released);
+    w.boolean(row.adversary_committed);
+    w.boolean(row.adversary_cheats);
+    w.boolean(row.mismatch_counted);
+    w.boolean(row.ringer_counted);
+    w.boolean(row.inconclusive_counted);
+    w.boolean(row.detected);
+    w.u64(row.accepted);
+  }
+  append_dense_suffix(w, payload);
+  w.u64(payload.next_seq);
+  // The supervisor stages the pending set in whatever order the queue
+  // stores it; the canonical blob sorts by firing order here, off the
+  // hot path (this is what made the staging cheap enough).
+  std::sort(payload.events.begin(), payload.events.end(),
+            [](const Event& a, const Event& b) { return fires_before(a, b); });
+  w.i64(static_cast<std::int64_t>(payload.events.size()));
+  for (const Event& event : payload.events) append_event_row(w, event);
+}
+
+/// Delta (L1) blob: the scalar prefix and small dense vectors in full
+/// (cheaper to re-serialize than to diff), then only the series rows,
+/// unit rows, and task rows touched in the window, then the events
+/// pushed in it. The popped events are *not* recorded — composition
+/// derives them from the WAL records in the window via their seq.
+void append_delta_blob(std::string& out, const CheckpointPayload& payload) {
+  TokenSink w(out);
+  append_scalar_prefix(w, payload);
+  w.i64(static_cast<std::int64_t>(payload.series_base));
+  w.i64(static_cast<std::int64_t>(payload.report.series.size() -
+                                  payload.series_base));
+  for (std::size_t i = payload.series_base; i < payload.report.series.size();
+       ++i) {
+    append_series_row(w, payload.report.series[i]);
+  }
+  append_registry_and_busy(w, payload);
+  w.i64(payload.unit_total);
+  w.i64(static_cast<std::int64_t>(payload.units.size()));
+  for (const UnitRow& row : payload.units) {
+    w.u64(row.u);
+    w.i64(row.state);
+    w.i64(row.attempts);
+    w.u64(row.epoch);
+    w.u64(row.value);
+    w.i64(row.task);
+    w.i64(row.assignee);
+  }
+  w.i64(static_cast<std::int64_t>(payload.tasks.size()));
+  for (const TaskRow& row : payload.tasks) {
+    w.u64(row.t);
+    w.i64(row.state);
+    w.i64(row.target_copies);
+    w.i64(row.arrived);
+    w.i64(row.extra_replicas);
+    w.i64(row.control_boosts);
+    w.i64(row.control_released);
+    w.boolean(row.adversary_committed);
+    w.boolean(row.adversary_cheats);
+    w.boolean(row.mismatch_counted);
+    w.boolean(row.ringer_counted);
+    w.boolean(row.inconclusive_counted);
+    w.boolean(row.detected);
+    w.u64(row.accepted);
+  }
+  append_dense_suffix(w, payload);
+  w.u64(payload.next_seq);
+  w.i64(static_cast<std::int64_t>(payload.events.size()));
+  for (const Event& event : payload.events) append_event_row(w, event);
+}
+
+// ------------------------------------------------------------ compression
+
+// LZSS tuned for checkpoint blobs (long runs of repeated token shapes):
+// 4 KiB window, matches of 3..18 bytes packed as 12-bit distance +
+// 4-bit length, one flag byte per 8 items (bit set = literal). A
+// single-candidate hash head keeps compression O(n) — ratio matters
+// less than not stalling replicate_partner_checkpoints.
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;
+constexpr std::size_t kHashBits = 13;
+
+[[nodiscard]] std::uint32_t hash3(const unsigned char* p) {
+  const std::uint32_t x = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (x * 2654435761u) >> (32 - kHashBits);
+}
+
+[[nodiscard]] std::string lzss_compress(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() / 2 + 16);
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+  const auto* data = reinterpret_cast<const unsigned char*>(raw.data());
+  const std::size_t n = raw.size();
+  std::size_t i = 0;
+  std::size_t flag_pos = 0;
+  int items = 0;
+  while (i < n) {
+    if (items == 0) {
+      flag_pos = out.size();
+      out.push_back('\0');
+    }
+    std::size_t match_len = 0;
+    std::size_t match_dist = 0;
+    if (i + kMinMatch <= n) {
+      const std::uint32_t h = hash3(data + i);
+      const std::int64_t cand = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+      if (cand >= 0 &&
+          i - static_cast<std::size_t>(cand) <= kWindow) {
+        const auto c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, n - i);
+        std::size_t len = 0;
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len >= kMinMatch) {
+          match_len = len;
+          match_dist = i - c;
+        }
+      }
+    }
+    if (match_len != 0) {
+      const std::size_t dist = match_dist - 1;  // 0..4095
+      out.push_back(static_cast<char>(dist & 0xFF));
+      out.push_back(static_cast<char>(((dist >> 8) << 4) |
+                                      (match_len - kMinMatch)));
+      // Index the covered positions too, so later matches can anchor
+      // inside this one.
+      for (std::size_t k = i + 1; k + kMinMatch <= n && k < i + match_len;
+           ++k) {
+        head[hash3(data + k)] = static_cast<std::int64_t>(k);
+      }
+      i += match_len;
+    } else {
+      out[flag_pos] = static_cast<char>(
+          static_cast<unsigned char>(out[flag_pos]) | (1u << items));
+      out.push_back(raw[i]);
+      ++i;
+    }
+    items = (items + 1) & 7;
+  }
+  return out;
+}
+
+[[nodiscard]] std::string lzss_decompress(const std::string& in,
+                                          std::size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  std::size_t i = 0;
+  while (i < in.size() && out.size() < raw_size) {
+    const auto flags = static_cast<unsigned char>(in[i++]);
+    for (int b = 0; b < 8 && i < in.size() && out.size() < raw_size; ++b) {
+      if (flags & (1u << b)) {
+        out.push_back(in[i++]);
+      } else {
+        if (i + 2 > in.size()) {
+          throw std::runtime_error("partner payload: truncated LZSS pair");
+        }
+        const auto lo = static_cast<unsigned char>(in[i]);
+        const auto hi = static_cast<unsigned char>(in[i + 1]);
+        i += 2;
+        const std::size_t dist =
+            (static_cast<std::size_t>(hi >> 4) << 8 | lo) + 1;
+        const std::size_t len = static_cast<std::size_t>(hi & 0xF) + kMinMatch;
+        if (dist > out.size()) {
+          throw std::runtime_error("partner payload: LZSS distance underflow");
+        }
+        for (std::size_t k = 0; k < len; ++k) {
+          out.push_back(out[out.size() - dist]);  // Overlap-safe, byte-wise.
+        }
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    throw std::runtime_error("partner payload: inflated size mismatch");
+  }
+  return out;
+}
+
+constexpr char kBase64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+[[nodiscard]] std::string base64_encode(const std::string& bytes) {
+  std::string out;
+  out.reserve(((bytes.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                            static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kBase64[(v >> 18) & 63]);
+    out.push_back(kBase64[(v >> 12) & 63]);
+    out.push_back(kBase64[(v >> 6) & 63]);
+    out.push_back(kBase64[v & 63]);
+    i += 3;
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kBase64[(v >> 18) & 63]);
+    out.push_back(kBase64[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kBase64[(v >> 18) & 63]);
+    out.push_back(kBase64[(v >> 12) & 63]);
+    out.push_back(kBase64[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+[[nodiscard]] std::string base64_decode(const std::string& text) {
+  std::array<std::int8_t, 256> lut;
+  lut.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    lut[static_cast<unsigned char>(kBase64[i])] = static_cast<std::int8_t>(i);
+  }
+  if (text.size() % 4 != 0) {
+    throw std::runtime_error("partner payload: base64 length not a "
+                             "multiple of 4");
+  }
+  std::string out;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding is only legal in the final group's last two slots.
+        if (i + 4 != text.size() || k < 2) {
+          throw std::runtime_error("partner payload: stray base64 padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad != 0 || lut[static_cast<unsigned char>(c)] < 0) {
+        throw std::runtime_error("partner payload: bad base64 digit");
+      }
+      v = (v << 6) | static_cast<std::uint32_t>(
+                         lut[static_cast<unsigned char>(c)]);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xFF));
+  }
+  return out;
+}
+
+void fwrite_all(std::FILE* file, const std::string& path,
+                const std::string& text) {
+  if (text.empty()) return;
+  if (std::fwrite(text.data(), 1, text.size(), file) != text.size()) {
+    throw std::runtime_error("journal: write to " + path + " failed");
+  }
+}
+
+void flush_file(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw std::runtime_error("journal: flush of " + path + " failed");
+  }
+}
+
+void sync_file(std::FILE* file, const std::string& path) {
+#if REDUND_HAVE_FSYNC
+  if (::fsync(fileno(file)) != 0) {
+    throw std::runtime_error("journal: fsync of " + path + " failed");
+  }
+#else
+  (void)file;
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void CheckpointPayload::clear_keep_capacity() {
+  full = false;
+  index = 0;
+  base_index = 0;
+  scalars = CheckpointScalars{};
+  report.series.clear();
+  series_base = 0;
+  registry.clear();
+  busy.clear();
+  score.clear();
+  flagged.clear();
+  offline.clear();
+  window_active.clear();
+  unit_total = 0;
+  units.clear();
+  tasks.clear();
+  next_seq = 0;
+  events.clear();
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   std::uint64_t config_hash,
+                                   std::uint64_t seed)
+    : path_(path), file_buffer_(kFileBufferBytes) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal: cannot open " + path + " for writing");
+  }
+  std::setvbuf(file_, file_buffer_.data(), _IOFBF, file_buffer_.size());
+  line_ = "redund-journal-v2 ";
+  detail::append_hex(line_, config_hash);
+  line_ += ' ';
+  detail::append_hex(line_, seed);
+  line_ += '\n';
+  try {
+    fwrite_all(file_, path_, line_);
+    flush_file(file_, path_);
+  } catch (...) {
+    std::fclose(file_);
+    throw;
+  }
+  line_.clear();
+  thread_ = std::thread(&CheckpointWriter::thread_main_, this);
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (file_ != nullptr) {
+    std::fflush(file_);  // Best effort: destructors must not throw.
+    std::fclose(file_);
+  }
+}
+
+void CheckpointWriter::enqueue_(WorkItem&& item) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  throw_pending_error_locked_();
+  work_done_.wait(lock, [&] { return queue_.size() < kMaxQueuedItems; });
+  throw_pending_error_locked_();
+  queue_.push_back(std::move(item));
+  work_ready_.notify_one();
+}
+
+void CheckpointWriter::append_wal(std::uint64_t base_index,
+                                  std::vector<Event>& events) {
+  if (events.empty()) return;
+  WorkItem item;
+  item.kind = WorkItem::kWal;
+  item.base = base_index;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    throw_pending_error_locked_();
+    if (!wal_pool_.empty()) {
+      item.events = std::move(wal_pool_.back());
+      wal_pool_.pop_back();
+    }
+  }
+  item.events.clear();
+  item.events.swap(events);
+  enqueue_(std::move(item));
+}
+
+CheckpointPayload& CheckpointWriter::stage() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  throw_pending_error_locked_();
+  work_done_.wait(lock, [&] {
+    return !payload_busy_[0] || !payload_busy_[1];
+  });
+  throw_pending_error_locked_();
+  const std::size_t slot = payload_busy_[0] ? 1 : 0;
+  payload_busy_[slot] = true;
+  staging_ = &payload_pool_[slot];
+  staging_->clear_keep_capacity();
+  return *staging_;
+}
+
+void CheckpointWriter::submit() {
+  WorkItem item;
+  item.kind = WorkItem::kCheckpoint;
+  item.payload = staging_;
+  staging_ = nullptr;
+  enqueue_(std::move(item));
+}
+
+void CheckpointWriter::finish(std::uint64_t index, std::int64_t outcome) {
+  WorkItem item;
+  item.kind = WorkItem::kFinish;
+  item.base = index;
+  item.outcome = outcome;
+  enqueue_(std::move(item));
+  flush();
+}
+
+void CheckpointWriter::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return queue_.empty() && !writing_; });
+  throw_pending_error_locked_();
+}
+
+void CheckpointWriter::throw_pending_error_locked_() {
+  if (!error_.empty()) throw std::runtime_error(error_);
+}
+
+void CheckpointWriter::thread_main_() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to drain.
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
+    std::string failure;
+    {
+      bool skip;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        skip = !error_.empty();  // Sticky: drain without writing.
+      }
+      if (!skip) {
+        try {
+          write_item_(item);
+        } catch (const std::exception& error) {
+          failure = error.what();
+        }
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!failure.empty() && error_.empty()) error_ = failure;
+      if (item.payload != nullptr) {
+        for (std::size_t slot = 0; slot < payload_pool_.size(); ++slot) {
+          if (&payload_pool_[slot] == item.payload) {
+            payload_busy_[slot] = false;
+          }
+        }
+      }
+      if (item.kind == WorkItem::kWal && item.events.capacity() > 0 &&
+          wal_pool_.size() < 2) {
+        item.events.clear();
+        wal_pool_.push_back(std::move(item.events));
+      }
+      writing_ = false;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void CheckpointWriter::write_item_(const WorkItem& item) {
+  line_.clear();
+  switch (item.kind) {
+    case WorkItem::kWal: {
+      for (std::size_t i = 0; i < item.events.size(); ++i) {
+        const Event& event = item.events[i];
+        line_ += "E ";
+        detail::append_udec(line_, item.base + i);
+        line_ += ' ';
+        detail::append_hex16(line_, std::bit_cast<std::uint64_t>(event.time));
+        line_ += ' ';
+        detail::append_udec(line_, static_cast<std::uint64_t>(event.kind));
+        line_ += ' ';
+        detail::append_dec(line_, event.subject);
+        line_ += ' ';
+        detail::append_udec(line_, event.epoch);
+        line_ += ' ';
+        detail::append_udec(line_, event.seq);
+        line_ += '\n';
+      }
+      fwrite_all(file_, path_, line_);
+      flush_file(file_, path_);
+      break;
+    }
+    case WorkItem::kCheckpoint: {
+      CheckpointPayload& payload = *item.payload;
+      if (payload.full) {
+        line_ += "C ";
+        detail::append_udec(line_, payload.index);
+        line_ += ' ';
+        append_full_blob(line_, payload);
+      } else {
+        line_ += "D ";
+        detail::append_udec(line_, payload.index);
+        line_ += ' ';
+        detail::append_udec(line_, payload.base_index);
+        line_ += ' ';
+        append_delta_blob(line_, payload);
+      }
+      line_ += '\n';
+      fwrite_all(file_, path_, line_);
+      flush_file(file_, path_);
+      sync_file(file_, path_);  // A checkpoint is a durability point.
+      break;
+    }
+    case WorkItem::kFinish: {
+      line_ += "F ";
+      detail::append_udec(line_, item.base);
+      line_ += ' ';
+      detail::append_dec(line_, item.outcome);
+      line_ += '\n';
+      fwrite_all(file_, path_, line_);
+      flush_file(file_, path_);
+      sync_file(file_, path_);
+      break;
+    }
+  }
+}
+
+std::string compress_blob(const std::string& raw) {
+  return base64_encode(lzss_compress(raw));
+}
+
+std::string decompress_blob(const std::string& encoded,
+                            std::size_t raw_size) {
+  return lzss_decompress(base64_decode(encoded), raw_size);
+}
+
+PartnerCopy make_partner_copy(std::uint64_t config_hash, std::uint64_t seed,
+                              std::uint64_t index, const std::string& blob) {
+  PartnerCopy copy;
+  copy.config_hash = config_hash;
+  copy.seed = seed;
+  copy.index = index;
+  copy.raw_size = blob.size();
+  copy.payload = compress_blob(blob);
+  return copy;
+}
+
+void append_partner_record(const std::string& path, const PartnerCopy& copy) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw std::runtime_error("journal: cannot open " + path +
+                             " for partner append");
+  }
+  std::string line = "P ";
+  detail::append_hex(line, copy.config_hash);
+  line += ' ';
+  detail::append_hex(line, copy.seed);
+  line += ' ';
+  detail::append_udec(line, copy.index);
+  line += ' ';
+  detail::append_udec(line, copy.raw_size);
+  line += ' ';
+  line += copy.payload;
+  line += '\n';
+  try {
+    fwrite_all(file, path, line);
+    flush_file(file, path);
+    sync_file(file, path);
+  } catch (...) {
+    std::fclose(file);
+    throw;
+  }
+  std::fclose(file);
+}
+
+std::string extract_partner_blob(const JournalContents& holder) {
+  if (!holder.has_partner) {
+    throw std::runtime_error("journal: no partner checkpoint record");
+  }
+  return decompress_blob(holder.partner_payload,
+                         static_cast<std::size_t>(holder.partner_raw_size));
+}
+
+void write_rescue_journal(const std::string& path, std::uint64_t config_hash,
+                          std::uint64_t seed, std::uint64_t index,
+                          const std::string& blob) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("journal: cannot open " + path +
+                             " for rescue write");
+  }
+  std::string text = "redund-journal-v2 ";
+  detail::append_hex(text, config_hash);
+  text += ' ';
+  detail::append_hex(text, seed);
+  text += '\n';
+  text += "C ";
+  detail::append_udec(text, index);
+  text += ' ';
+  text += blob;
+  text += '\n';
+  try {
+    fwrite_all(file, path, text);
+    flush_file(file, path);
+    sync_file(file, path);
+  } catch (...) {
+    std::fclose(file);
+    throw;
+  }
+  std::fclose(file);
+}
+
+}  // namespace redund::runtime

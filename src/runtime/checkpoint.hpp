@@ -1,0 +1,271 @@
+// Multi-level checkpointing: asynchronous journal writer (L1/L2) and
+// partner-copy redundancy (L3).
+//
+// The supervisor's event loop must never block on checkpoint I/O, so
+// the hot path only *stages* raw data (lane memcpys, WAL event batches)
+// into a CheckpointPayload and hands it to a dedicated writer thread.
+// All text formatting, fwrite, fflush, and fsync happen on that thread
+// — on a machine with a spare core the event loop pays only the staging
+// copies (docs/checkpointing.md has the measured overhead table and the
+// single-core caveat). The
+// queue between them is FIFO, so records land on disk in exactly the
+// order a synchronous writer would have produced; combined with
+// read_journal()'s torn-tail trim, a crash at any instant leaves a
+// journal whose complete-record prefix is a valid recovery point.
+//
+// Levels (format in runtime/journal.hpp):
+//   L1  `D` delta checkpoints — only the unit/task rows dirtied since
+//       the previous checkpoint record plus the events pushed since it.
+//   L2  `C` full snapshots — every Nth checkpoint
+//       (JournalOptions::full_snapshot_every).
+//   L3  `P` partner copies — ShardedSupervisor compresses each shard's
+//       latest L2 (LZSS + base64) into the next shard's journal, so
+//       losing any single journal file still resumes bit-identically.
+//
+// Why resume stays bit-identical under the async writer: the writer
+// never observes live state. Every payload is a value copy staged at a
+// batch boundary, the FIFO preserves the WAL-before-checkpoint enqueue
+// order, and a drain barrier (flush/finish) gates every point where the
+// supervisor needs durability. The formatter reproduces the exact token
+// stream the old synchronous serializer wrote, so the restore path is
+// unchanged modulo delta composition.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/event_queue.hpp"
+#include "runtime/journal.hpp"
+#include "runtime/report.hpp"
+
+namespace redund::runtime {
+
+/// Non-SoA mutable scalars of the Runner, staged by value.
+struct CheckpointScalars {
+  double effective_deadline = 0.0;
+  double next_sample = 0.0;
+  double detection_time_total = 0.0;
+  double first_detection = 0.0;
+  std::int64_t completions_pending = 0;
+  std::int64_t recompute_used = 0;
+  std::int64_t stall_streak = 0;
+  std::int64_t last_progress = 0;
+  double ewma = 0.0;
+  bool ewma_init = false;
+  std::int64_t min_live = 0;
+  std::array<std::uint64_t, 4> rng{};
+  // Adaptive controller + drift (constants when disabled, but always
+  // serialized so the blob layout never forks).
+  std::int64_t ctrl_wrong = 0;
+  std::int64_t ctrl_right = 0;
+  std::int64_t ctrl_observations = 0;
+  std::int64_t ctrl_last_replan = 0;
+  double ctrl_dropout = 0.0;
+  bool ctrl_dropout_init = false;
+  double drift_from = 0.0;
+  double drift_target = 0.0;
+  double drift_start = 0.0;
+  double drift_duration = 0.0;
+};
+
+/// One registry row as serialized (ground-truth principal is immutable
+/// and rebuilt from the config, so it is not staged).
+struct ParticipantSnapshot {
+  bool blacklisted = false;
+  std::int64_t assignments_completed = 0;
+  std::int64_t credit = 0;
+  std::int64_t wrong_results = 0;
+};
+
+/// One unit row. L2 payloads stage every unit (u == row position); L1
+/// payloads stage only rows dirtied in the delta window, identified by
+/// `u` (which may lie beyond the base snapshot's unit count — replicas
+/// registered mid-window append to the table).
+struct UnitRow {
+  std::uint64_t u = 0;
+  std::int64_t state = 0;
+  std::int64_t attempts = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t value = 0;
+  std::int64_t task = 0;
+  std::int64_t assignee = 0;
+  bool has_value = false;
+};
+
+/// One task row; `t` identifies the task in L1 payloads. The six
+/// booleans are the serialized latch flags (vote aggregates are derived
+/// and rebuilt on restore).
+struct TaskRow {
+  std::uint64_t t = 0;
+  std::int64_t state = 0;
+  std::int64_t target_copies = 0;
+  std::int64_t arrived = 0;
+  std::int64_t extra_replicas = 0;
+  std::int64_t control_boosts = 0;
+  std::int64_t control_released = 0;
+  bool adversary_committed = false;
+  bool adversary_cheats = false;
+  bool mismatch_counted = false;
+  bool ringer_counted = false;
+  bool inconclusive_counted = false;
+  bool detected = false;
+  std::uint64_t accepted = 0;
+};
+
+/// Everything one checkpoint (full or delta) needs, staged by value on
+/// the supervisor thread and formatted on the writer thread. Instances
+/// live in the CheckpointWriter's buffer pool and keep their vector
+/// capacities across reuse, so steady-state staging allocates nothing.
+struct CheckpointPayload {
+  bool full = false;           ///< L2 (`C`) if true, L1 (`D`) if false.
+  std::uint64_t index = 0;     ///< Events processed at the snapshot.
+  std::uint64_t base_index = 0;  ///< Previous checkpoint record (L1 only).
+  CheckpointScalars scalars;
+  RuntimeReport report;        ///< Counters + full series (value copy).
+  std::size_t series_base = 0;  ///< Series rows already covered by the
+                                ///< base record (L1 serializes the rest).
+  std::vector<ParticipantSnapshot> registry;
+  std::vector<double> busy;    ///< Per-participant busy-until clocks.
+  std::vector<double> score;
+  std::vector<char> flagged;
+  std::vector<std::int64_t> offline;
+  std::vector<char> window_active;
+  std::int64_t unit_total = 0;  ///< Unit-table size at the snapshot.
+  std::vector<UnitRow> units;   ///< All units (L2) or dirty rows (L1).
+  std::vector<TaskRow> tasks;   ///< All tasks (L2) or dirty rows (L1).
+  std::uint64_t next_seq = 0;
+  std::vector<Event> events;   ///< Pending set (L2, any order — the
+                               ///< writer sorts canonically) or the
+                               ///< events pushed in the window (L1).
+
+  /// Resets for reuse without releasing vector capacity.
+  void clear_keep_capacity();
+};
+
+/// Owns one journal file and its writer thread. The constructor
+/// truncates the file and writes the v2 header; append_wal/submit stage
+/// work and return without touching the file. Writer-thread failures
+/// (disk full, I/O error) are sticky and rethrown from the next staging
+/// or flush call on the supervisor thread.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const std::string& path, std::uint64_t config_hash,
+                   std::uint64_t seed);
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Queues WAL records for the events at indices
+  /// [base_index, base_index + events.size()). Swaps `events` with a
+  /// recycled buffer from the pool, so the caller's vector comes back
+  /// empty with capacity intact.
+  void append_wal(std::uint64_t base_index, std::vector<Event>& events);
+
+  /// Returns a pooled payload to fill (cleared, capacity kept). Blocks
+  /// only if both pool buffers are still in flight — i.e. the event
+  /// loop has outrun two whole checkpoint writes.
+  CheckpointPayload& stage();
+
+  /// Queues the payload returned by the matching stage() call.
+  void submit();
+
+  /// Terminal `F` record; drains the queue and surfaces any error.
+  void finish(std::uint64_t index, std::int64_t outcome);
+
+  /// Drain barrier: returns once every queued record is fully written
+  /// (and fsynced where the record class calls for it). Rethrows a
+  /// pending writer-thread error.
+  void flush();
+
+ private:
+  struct WorkItem {
+    enum Kind : std::uint8_t { kWal, kCheckpoint, kFinish };
+    Kind kind = kWal;
+    std::uint64_t base = 0;
+    std::int64_t outcome = 0;
+    std::vector<Event> events;            // kWal
+    CheckpointPayload* payload = nullptr;  // kCheckpoint (pool slot)
+  };
+
+  void thread_main_();
+  void write_item_(const WorkItem& item);
+  void enqueue_(WorkItem&& item);
+  void throw_pending_error_locked_();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<char> file_buffer_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::deque<WorkItem> queue_;
+  bool stopping_ = false;
+  bool writing_ = false;
+  std::string error_;
+
+  // Double-buffered payload pool: one being staged/written, one free.
+  std::array<CheckpointPayload, 2> payload_pool_;
+  std::array<bool, 2> payload_busy_{};
+  CheckpointPayload* staging_ = nullptr;
+  std::vector<std::vector<Event>> wal_pool_;
+
+  // Writer-thread scratch, reused across records.
+  std::string line_;
+
+  std::thread thread_;
+};
+
+/// LZSS-compresses `raw` and base64-encodes the result into a single
+/// whitespace-free token (safe to embed in a journal line). Exposed for
+/// round-trip tests; the partner helpers below use it internally.
+[[nodiscard]] std::string compress_blob(const std::string& raw);
+
+/// Inverse of compress_blob. `raw_size` is the expected inflated size;
+/// a mismatch or malformed stream throws std::runtime_error.
+[[nodiscard]] std::string decompress_blob(const std::string& encoded,
+                                          std::size_t raw_size);
+
+/// An L3 record ready to append into a partner shard's journal.
+struct PartnerCopy {
+  std::uint64_t config_hash = 0;  ///< Fingerprint of the *origin* shard.
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  std::uint64_t raw_size = 0;
+  std::string payload;  ///< base64(LZSS(full state blob)).
+};
+
+/// Compresses an origin shard's latest full checkpoint into a
+/// PartnerCopy.
+[[nodiscard]] PartnerCopy make_partner_copy(std::uint64_t config_hash,
+                                            std::uint64_t seed,
+                                            std::uint64_t index,
+                                            const std::string& blob);
+
+/// Appends the `P` record to `path` (the holder shard's journal) and
+/// syncs it to disk. The holder's own records are untouched — `P` lines
+/// are ignored by that shard's own resume.
+void append_partner_record(const std::string& path, const PartnerCopy& copy);
+
+/// Inflates the partner blob carried by a holder journal's `P` record.
+/// Throws if the journal holds none or the payload is corrupt.
+[[nodiscard]] std::string extract_partner_blob(const JournalContents& holder);
+
+/// Writes a minimal valid journal for a shard whose own file was lost:
+/// header plus one full checkpoint reconstructed from a partner copy.
+/// Resuming from it re-runs the deterministic suffix from `index`, so
+/// the recovered report is bit-identical to the undamaged run's. (No
+/// WAL tail survives, so the resume verifies nothing — it cannot:
+/// the evidence died with the original file.)
+void write_rescue_journal(const std::string& path, std::uint64_t config_hash,
+                          std::uint64_t seed, std::uint64_t index,
+                          const std::string& blob);
+
+}  // namespace redund::runtime

@@ -152,6 +152,13 @@ class EventQueue {
     return events;
   }
 
+  /// Appends the pending events to `out` in unspecified order — the raw
+  /// staging copy behind an L2 checkpoint payload; the writer thread
+  /// sorts canonically off the hot path.
+  void snapshot_into(std::vector<Event>& out) const {
+    out.insert(out.end(), heap_.begin(), heap_.end());
+  }
+
   /// Reinstates a snapshot (events sorted by fires_before) and the seq
   /// cursor. Only meaningful on a fresh queue. An ascending-sorted array
   /// is already a valid min-heap, so the heap is adopted as-is.
@@ -347,6 +354,18 @@ class CalendarQueue {
                 return fires_before(a, b);
               });
     return events;
+  }
+
+  /// Appends the pending events to `out` in unspecified order (see
+  /// EventQueue::snapshot_into) — no sort, no per-bucket gather order
+  /// guarantees; the checkpoint writer thread sorts canonically.
+  void snapshot_into(std::vector<Event>& out) const {
+    out.insert(out.end(), staged_.begin(), staged_.end());
+    for (std::size_t b = 0; b < headers_.size(); ++b) {
+      const Event* slice = arena_.data() + begin_[b];
+      out.insert(out.end(), slice, slice + headers_[b].count);
+    }
+    out.insert(out.end(), overflow_.begin(), overflow_.end());
   }
 
   /// Reinstates a snapshot and the seq cursor. Only meaningful on a fresh

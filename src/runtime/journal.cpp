@@ -3,13 +3,13 @@
 #include <bit>
 #include <cctype>
 #include <charconv>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 
 namespace redund::runtime {
 
-namespace {
-
-constexpr const char* kMagic = "redund-journal-v1";
+namespace detail {
 
 constexpr char kHexDigits[] = "0123456789abcdef";
 
@@ -49,6 +49,12 @@ void append_udec(std::string& out, std::uint64_t value) {
   out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
 }
 
+}  // namespace detail
+
+namespace {
+
+constexpr const char* kMagic = "redund-journal-v2";
+
 [[nodiscard]] bool parse_u64_hex(const std::string& token,
                                  std::uint64_t& out) {
   if (token.empty()) return false;
@@ -62,6 +68,18 @@ void append_udec(std::string& out, std::uint64_t value) {
       digit = static_cast<std::uint64_t>(c - 'A' + 10);
     else return false;
     value = value * 16 + digit;
+  }
+  out = value;
+  return true;
+}
+
+[[nodiscard]] bool parse_u64_dec(const std::string& token,
+                                 std::uint64_t& out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
   out = value;
   return true;
@@ -107,6 +125,21 @@ void append_udec(std::string& out, std::uint64_t value) {
   return tokens;
 }
 
+/// Finds the offsets of the first `count` spaces in `line`, for records
+/// ("C", "D") whose last field is a blob that keeps its internal
+/// spacing and therefore cannot go through tokenize().
+[[nodiscard]] bool find_spaces(const std::string& line, std::size_t* spaces,
+                               int count) {
+  std::size_t from = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t at = line.find(' ', from);
+    if (at == std::string::npos) return false;
+    spaces[i] = at;
+    from = at + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a_hash(const std::string& bytes) noexcept {
@@ -120,17 +153,17 @@ std::uint64_t fnv1a_hash(const std::string& bytes) noexcept {
 
 void StateWriter::u64(std::uint64_t value) {
   if (!text_.empty()) text_ += ' ';
-  append_hex(text_, value);
+  detail::append_hex(text_, value);
 }
 
 void StateWriter::i64(std::int64_t value) {
   if (!text_.empty()) text_ += ' ';
-  append_dec(text_, value);
+  detail::append_dec(text_, value);
 }
 
 void StateWriter::f64(double value) {
   if (!text_.empty()) text_ += ' ';
-  append_hex16(text_, std::bit_cast<std::uint64_t>(value));
+  detail::append_hex16(text_, std::bit_cast<std::uint64_t>(value));
 }
 
 std::string StateReader::next_token_() {
@@ -173,139 +206,122 @@ bool StateReader::at_end() {
   return p_ == end_;
 }
 
-JournalWriter::JournalWriter(const std::string& path,
-                             std::uint64_t config_hash, std::uint64_t seed)
-    : file_(path, std::ios::trunc), path_(path) {
-  if (!file_) {
-    throw std::runtime_error("journal: cannot open " + path +
-                             " for writing");
-  }
-  buffer_ += kMagic;
-  buffer_ += ' ';
-  append_hex(buffer_, config_hash);
-  buffer_ += ' ';
-  append_hex(buffer_, seed);
-  buffer_ += '\n';
-}
-
-void JournalWriter::append_event(std::uint64_t index, double time,
-                                 std::uint8_t kind, std::int64_t subject,
-                                 std::uint64_t epoch) {
-#if REDUND_ENABLE_INVARIANTS
-  // WAL indices are contiguous within one writer's lifetime (a resumed
-  // campaign starts at the checkpoint index, so only the step is pinned,
-  // not the origin). A gap or repeat here would desynchronize replay.
-  REDUND_INVARIANT(!has_last_index_ || index == last_index_ + 1,
-                   "journal WAL indices are contiguous and monotone");
-  last_index_ = index;
-  has_last_index_ = true;
-#endif
-  buffer_ += "E ";
-  append_udec(buffer_, index);
-  buffer_ += ' ';
-  append_hex16(buffer_, std::bit_cast<std::uint64_t>(time));
-  buffer_ += ' ';
-  append_udec(buffer_, kind);
-  buffer_ += ' ';
-  append_dec(buffer_, subject);
-  buffer_ += ' ';
-  append_udec(buffer_, epoch);
-  buffer_ += '\n';
-}
-
-void JournalWriter::checkpoint(std::uint64_t index, const std::string& blob) {
-  // Stream the blob directly instead of staging it in buffer_: checkpoint
-  // blobs of large campaigns run to tens of megabytes, and the extra
-  // append would copy all of it once more.
-  flush_();
-  file_ << "C ";
-  file_ << index;
-  file_ << ' ';
-  file_ << blob;
-  file_ << '\n';
-  if (!file_.flush()) {
-    throw std::runtime_error("journal: write to " + path_ + " failed");
-  }
-}
-
-void JournalWriter::finish(std::uint64_t index, std::int64_t outcome) {
-  buffer_ += "F ";
-  buffer_ += std::to_string(index);
-  buffer_ += ' ';
-  buffer_ += std::to_string(outcome);
-  buffer_ += '\n';
-  flush_();
-}
-
-void JournalWriter::flush_() {
-  if (buffer_.empty()) return;
-  file_ << buffer_;
-  buffer_.clear();
-  if (!file_.flush()) {
-    throw std::runtime_error("journal: write to " + path_ + " failed");
-  }
-}
-
 JournalContents read_journal(const std::string& path) {
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file) {
     throw std::runtime_error("journal: cannot read " + path);
   }
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    throw std::runtime_error("journal: read of " + path + " failed");
+  }
+
   JournalContents contents;
-  std::string line;
-  if (!std::getline(file, line)) {
+  // A crash mid-append leaves an unterminated final line. That partial
+  // record carries no information the complete prefix lacks (the writer
+  // is append-only), so drop it and recover from the prefix. Anything
+  // malformed *before* a newline is corruption, handled below.
+  if (!data.empty() && data.back() != '\n') {
+    const std::size_t last_newline = data.rfind('\n');
+    data.erase(last_newline == std::string::npos ? 0 : last_newline + 1);
+    contents.torn_tail = true;
+  }
+  if (data.empty()) {
     throw std::runtime_error("journal: " + path + " is empty");
   }
+
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& line) {
+    if (pos >= data.size()) return false;
+    const std::size_t end = data.find('\n', pos);  // Always found: data
+    line.assign(data, pos, end - pos);             // ends with '\n'.
+    pos = end + 1;
+    return true;
+  };
+
+  std::string line;
+  (void)next_line(line);
   {
     const std::vector<std::string> header = tokenize(line);
     if (header.size() != 3 || header[0] != kMagic) {
       throw std::runtime_error("journal: " + path +
-                               " has no redund-journal-v1 header");
+                               " has no redund-journal-v2 header");
     }
     if (!parse_u64_hex(header[1], contents.config_hash) ||
         !parse_u64_hex(header[2], contents.seed)) {
       throw std::runtime_error("journal: " + path + " header is malformed");
     }
   }
-  // Records after a torn (partially written) line are unreachable by the
-  // append-only writer, so parsing stops at the first malformed line.
-  while (std::getline(file, line)) {
+  // A malformed *terminated* line means corruption past repair at that
+  // point; everything after it is unreachable by the append-only writer,
+  // so parsing stops there as a backstop.
+  while (next_line(line)) {
     if (line.empty()) continue;
     if (line[0] == 'E') {
       const std::vector<std::string> t = tokenize(line);
       JournalEntry entry;
-      std::int64_t index = 0;
       std::uint64_t time_bits = 0;
-      std::int64_t kind = 0;
-      if (t.size() != 6 || !parse_i64_dec(t[1], index) ||
+      std::uint64_t kind = 0;
+      if (t.size() != 7 || !parse_u64_dec(t[1], entry.index) ||
           t[2].size() != 16 || !parse_u64_hex(t[2], time_bits) ||
-          !parse_i64_dec(t[3], kind) || !parse_i64_dec(t[4], entry.subject) ||
-          !parse_u64_hex(t[5], entry.epoch) || index < 0 || kind < 0 ||
-          kind > 255) {
+          !parse_u64_dec(t[3], kind) || kind > 255 ||
+          !parse_i64_dec(t[4], entry.subject) ||
+          !parse_u64_dec(t[5], entry.epoch) ||
+          !parse_u64_dec(t[6], entry.seq)) {
         break;
       }
-      entry.index = static_cast<std::uint64_t>(index);
       entry.time = std::bit_cast<double>(time_bits);
       entry.kind = static_cast<std::uint8_t>(kind);
       contents.tail.push_back(entry);
     } else if (line[0] == 'C') {
-      // "C <index> <blob...>": split off the first two tokens by hand so
+      // "C <index> <blob...>": split off the leading tokens by hand so
       // the blob keeps its internal spacing.
-      std::size_t sp1 = line.find(' ');
-      if (sp1 == std::string::npos) break;
-      std::size_t sp2 = line.find(' ', sp1 + 1);
-      if (sp2 == std::string::npos) break;
+      std::size_t spaces[2];
       std::int64_t index = 0;
-      if (!parse_i64_dec(line.substr(sp1 + 1, sp2 - sp1 - 1), index) ||
+      if (!find_spaces(line, spaces, 2) ||
+          !parse_i64_dec(line.substr(spaces[0] + 1, spaces[1] - spaces[0] - 1),
+                         index) ||
           index < 0) {
         break;
       }
       contents.has_checkpoint = true;
       contents.checkpoint_index = static_cast<std::uint64_t>(index);
-      contents.checkpoint_blob = line.substr(sp2 + 1);
-      // Every WAL record so far precedes the snapshot; the verification
-      // suffix restarts here.
+      contents.checkpoint_blob = line.substr(spaces[1] + 1);
+      // Every WAL record and delta so far precedes the full snapshot;
+      // the verification suffix and the delta chain restart here.
       contents.tail.clear();
+      contents.deltas.clear();
+    } else if (line[0] == 'D') {
+      // "D <index> <base_index> <delta blob...>".
+      std::size_t spaces[3];
+      JournalDelta delta;
+      std::int64_t index = 0;
+      std::int64_t base = 0;
+      if (!find_spaces(line, spaces, 3) ||
+          !parse_i64_dec(line.substr(spaces[0] + 1, spaces[1] - spaces[0] - 1),
+                         index) ||
+          !parse_i64_dec(line.substr(spaces[1] + 1, spaces[2] - spaces[1] - 1),
+                         base) ||
+          index < 0 || base < 0) {
+        break;
+      }
+      delta.index = static_cast<std::uint64_t>(index);
+      delta.base_index = static_cast<std::uint64_t>(base);
+      delta.blob = line.substr(spaces[2] + 1);
+      contents.deltas.push_back(std::move(delta));
+      // WAL records stay: composition needs the window's pops, and the
+      // post-delta suffix still verifies the resumed replay.
+    } else if (line[0] == 'P') {
+      const std::vector<std::string> t = tokenize(line);
+      if (t.size() != 6 || !parse_u64_hex(t[1], contents.partner_config_hash) ||
+          !parse_u64_hex(t[2], contents.partner_seed) ||
+          !parse_u64_dec(t[3], contents.partner_index) ||
+          !parse_u64_dec(t[4], contents.partner_raw_size)) {
+        break;
+      }
+      contents.has_partner = true;  // Latest replicated copy wins.
+      contents.partner_payload = t[5];
     } else if (line[0] == 'F') {
       const std::vector<std::string> t = tokenize(line);
       std::int64_t index = 0;

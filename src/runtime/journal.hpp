@@ -1,19 +1,10 @@
-// Write-ahead journal + checkpoints for crash-safe campaigns.
+// Journal format and recovery-side parsing for crash-safe campaigns.
 //
 // The supervisor's event loop is a deterministic state machine: given
 // (RuntimeConfig, FaultSchedule) the i-th event popped, every draw, and
-// every counter are fixed. Crash safety therefore needs only two
-// artifacts, both captured here:
-//
-//   * a write-ahead log (WAL) of processed events — each record is
-//     appended *before* its event executes, so the journal always runs
-//     at or ahead of the in-memory state;
-//   * periodic checkpoints — a full serialization of the supervisor's
-//     mutable state (unit/task tables, reliability scores, RNG-bearing
-//     clocks, pending events) taken every `checkpoint_interval`
-//     processed events.
-//
-// Recovery restores the latest checkpoint and simply *re-runs* the
+// every counter are fixed. Crash safety therefore needs only a
+// write-ahead log of processed events plus periodic checkpoints, and
+// recovery simply restores the latest checkpoint and *re-runs* the
 // loop; determinism regenerates the exact post-crash suffix. The WAL's
 // tail (records after the checkpoint) is not replayed *into* the state
 // — it is used to verify that the re-executed event stream matches the
@@ -23,32 +14,57 @@
 // tests/test_recovery.cpp: kill at any event index, resume, and the
 // final RuntimeReport is byte-identical to the uninterrupted run.
 //
+// Since PR 9 the journal is multi-level (see docs/checkpointing.md):
+//
+//   * L2 (`C`) — a full serialization of the supervisor's mutable state;
+//   * L1 (`D`) — a delta on top of the previous checkpoint record
+//     (C or D): only the SoA lanes dirtied since that record, plus the
+//     events pushed since it. Resume composes the latest L2 with the
+//     chain of subsequent deltas; the popped events each delta window
+//     must subtract are recovered from the WAL records in the window,
+//     which is why `E` records carry the event's queue sequence number.
+//   * L3 (`P`) — a compressed copy of a *partner shard's* latest L2,
+//     appended by ShardedSupervisor so a fleet survives the loss of any
+//     single shard's journal file.
+//
 // File format (text, line-oriented; doubles as 64-bit hex of their IEEE
 // bits so round-trips are exact):
 //
-//   redund-journal-v1 <config_hash hex> <seed hex>
-//   E <index> <time bits hex> <kind> <subject> <epoch>
+//   redund-journal-v2 <config_hash hex> <seed hex>
+//   E <index> <time bits hex> <kind> <subject> <epoch> <seq>
 //   C <index> <state blob tokens...>
+//   D <index> <base_index> <delta blob tokens...>
+//   P <partner config_hash hex> <partner seed hex> <index> <raw size> <payload>
 //   F <index> <outcome>
 //
-// `E` records are buffered and flushed at every checkpoint and at
-// close, so the durability boundary is the checkpoint — a crash may
-// lose buffered WAL tail records, which only shrinks the verified
-// suffix, never corrupts recovery.
+// Records are written by the asynchronous CheckpointWriter (see
+// runtime/checkpoint.hpp) in enqueue order, so the on-disk structure is
+// exactly what a synchronous writer would have produced. A crash can
+// tear at most the final line; read_journal() drops an unterminated
+// trailing line (valid prefix, incomplete record) and recovery proceeds
+// from the last complete record. Tampering with a *terminated* record
+// still surfaces as a replay divergence during resume.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
-
-#include "core/contracts.hpp"
 
 namespace redund::runtime {
 
 /// FNV-1a over a byte string; used to fingerprint the RuntimeConfig a
 /// journal belongs to (resuming under a different config is an error).
 [[nodiscard]] std::uint64_t fnv1a_hash(const std::string& bytes) noexcept;
+
+namespace detail {
+/// Token appenders shared by StateWriter and the asynchronous record
+/// formatter in checkpoint.cpp: minimal-width lowercase hex, fixed
+/// 16-digit hex (IEEE-754 bit patterns), and decimal.
+void append_hex(std::string& out, std::uint64_t value);
+void append_hex16(std::string& out, std::uint64_t value);
+void append_dec(std::string& out, std::int64_t value);
+void append_udec(std::string& out, std::uint64_t value);
+}  // namespace detail
 
 /// Appends space-separated tokens to a single-line state blob. Doubles
 /// are written as the 16-hex-digit IEEE-754 bit pattern, so every value
@@ -91,69 +107,62 @@ class StateReader {
 };
 
 /// One WAL record: the event at ordinal `index` (events processed
-/// before it) that the supervisor committed to executing.
+/// before it) that the supervisor committed to executing. `seq` is the
+/// queue sequence number the event carried — delta composition uses it
+/// to subtract the window's popped events from the pending set.
 struct JournalEntry {
   std::uint64_t index = 0;
   double time = 0.0;
   std::uint8_t kind = 0;
   std::int64_t subject = 0;
   std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
 };
 
-/// Parsed journal: the latest checkpoint (if any), the WAL tail at or
-/// after it, and the terminal marker.
+/// One L1 delta record: lanes dirtied in the window (base_index, index]
+/// plus the events pushed in it. `base_index` names the checkpoint
+/// record (C or D) the delta builds on.
+struct JournalDelta {
+  std::uint64_t index = 0;
+  std::uint64_t base_index = 0;
+  std::string blob;  ///< StateReader token stream (delta layout).
+};
+
+/// Parsed journal: the latest full checkpoint (if any), the delta chain
+/// after it, the WAL tail since the full checkpoint, the terminal
+/// marker, and the latest partner (L3) copy if one was replicated in.
 struct JournalContents {
   std::uint64_t config_hash = 0;
   std::uint64_t seed = 0;
   bool has_checkpoint = false;
   std::uint64_t checkpoint_index = 0;  ///< Events processed at the snapshot.
-  std::string checkpoint_blob;         ///< StateReader token stream.
+  std::string checkpoint_blob;         ///< StateReader token stream (full).
+  std::vector<JournalDelta> deltas;    ///< D records after the latest C,
+                                       ///< in file (= ascending) order.
   std::vector<JournalEntry> tail;      ///< WAL records with index >= the
-                                       ///< checkpoint (verification suffix).
+                                       ///< latest C (delta composition and
+                                       ///< verification suffix).
   bool completed = false;              ///< F record present.
   std::int64_t outcome = 0;            ///< CampaignOutcome as integer.
-};
+  bool torn_tail = false;              ///< File ended mid-record (the
+                                       ///< unterminated line was dropped).
 
-/// Appends journal records for one campaign run. WAL records buffer in
-/// memory; checkpoint() and finish() flush (the durability boundary).
-class JournalWriter {
- public:
-  /// Truncates `path` and writes the header. Throws std::runtime_error
-  /// when the file cannot be opened.
-  JournalWriter(const std::string& path, std::uint64_t config_hash,
-                std::uint64_t seed);
-
-  /// Appends (buffered) one WAL record.
-  void append_event(std::uint64_t index, double time, std::uint8_t kind,
-                    std::int64_t subject, std::uint64_t epoch);
-
-  /// Writes a checkpoint taken after `index` processed events and
-  /// flushes everything buffered so far.
-  void checkpoint(std::uint64_t index, const std::string& blob);
-
-  /// Writes the terminal record and flushes, marking the journal as the
-  /// trace of a finished campaign.
-  void finish(std::uint64_t index, std::int64_t outcome);
-
-  /// Flushes buffered WAL records without writing a checkpoint — the
-  /// graceful-shutdown path (run_async_campaign_capped), which preserves
-  /// the full verification suffix for resume.
-  void flush() { flush_(); }
-
- private:
-  void flush_();
-  std::ofstream file_;
-  std::string path_;
-  std::string buffer_;
-#if REDUND_ENABLE_INVARIANTS
-  std::uint64_t last_index_ = 0;  ///< Last WAL index appended.
-  bool has_last_index_ = false;
-#endif
+  // Latest L3 partner record, kept compressed; checkpoint.hpp's
+  // extract_partner_blob() inflates it.
+  bool has_partner = false;
+  std::uint64_t partner_config_hash = 0;
+  std::uint64_t partner_seed = 0;
+  std::uint64_t partner_index = 0;     ///< Events processed at the copy.
+  std::uint64_t partner_raw_size = 0;  ///< Inflated blob size (bytes).
+  std::string partner_payload;         ///< base64(LZSS(full state blob)).
 };
 
 /// Reads a journal file back. Throws std::runtime_error on I/O failure
-/// or a malformed/foreign header. Partial trailing lines (torn write at
-/// crash) are ignored.
+/// or a malformed/foreign header. A missing trailing newline marks a
+/// torn final record: the partial line is dropped and `torn_tail` set.
+/// Parsing also stops at the first malformed *terminated* line as a
+/// backstop (records after it are unreachable by the append-only
+/// writer).
 [[nodiscard]] JournalContents read_journal(const std::string& path);
 
 }  // namespace redund::runtime

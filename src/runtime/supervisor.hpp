@@ -117,12 +117,26 @@ struct HealthConfig {
   double max_sim_time = 0.0;
 };
 
-/// Write-ahead journaling (crash safety). See runtime/journal.hpp.
+/// Write-ahead journaling (crash safety). See runtime/journal.hpp and
+/// runtime/checkpoint.hpp for the multi-level design.
 struct JournalOptions {
   /// Journal file path; empty disables journaling.
   std::string path;
   /// Events processed between checkpoints.
   std::int64_t checkpoint_interval = 4096;
+  /// Every Nth checkpoint is a full (L2) snapshot; the ones between are
+  /// L1 deltas of the lanes dirtied since the previous record. 1 makes
+  /// every checkpoint full (the pre-multi-level behavior). The first
+  /// checkpoint of a run is always full.
+  std::int64_t full_snapshot_every = 8;
+  /// Record the per-event write-ahead log. On: resume replays the exact
+  /// post-checkpoint suffix and verifies every re-executed event against
+  /// it. Off (checkpoint-only mode): nothing is written between
+  /// checkpoints, every checkpoint is full (L1 deltas need the WAL's pop
+  /// records to compose), and resume re-runs deterministically from the
+  /// latest snapshot — same bytes, granularity of one checkpoint
+  /// interval, near-zero cost on the event loop.
+  bool wal = true;
 };
 
 /// Full configuration of one asynchronous campaign.
@@ -181,5 +195,12 @@ struct RuntimeConfig {
 /// when the journal belongs to a different config/seed or the replay
 /// diverges from the WAL.
 [[nodiscard]] RuntimeReport resume_async_campaign(const RuntimeConfig& config);
+
+/// Canonical fingerprint of everything that determines a campaign's
+/// event stream (all of RuntimeConfig except the journal options, which
+/// only decide *recording*). This is the hash a journal header carries;
+/// exposed so ShardedSupervisor can match L3 partner records to the
+/// shard they belong to.
+[[nodiscard]] std::uint64_t campaign_fingerprint(const RuntimeConfig& config);
 
 }  // namespace redund::runtime

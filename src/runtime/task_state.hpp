@@ -84,6 +84,11 @@ struct UnitTable {
   std::vector<std::uint64_t> value;
   std::vector<std::int32_t> task;       ///< Owning task (scheduler mirror).
   std::vector<std::uint32_t> assignee;  ///< Current holder (scheduler mirror).
+  /// Checkpoint-window stamp for L1 delta checkpoints: the supervisor
+  /// writes its current window counter here on every mutation, and a
+  /// delta serializes exactly the rows stamped with the open window.
+  /// Not part of the campaign state — never serialized, never compared.
+  std::vector<std::uint32_t> dirty;
 
   [[nodiscard]] std::size_t size() const noexcept { return state.size(); }
 
@@ -94,6 +99,7 @@ struct UnitTable {
     value.reserve(capacity);
     task.reserve(capacity);
     assignee.reserve(capacity);
+    dirty.reserve(capacity);
   }
 
   void resize(std::size_t count) {
@@ -103,6 +109,7 @@ struct UnitTable {
     value.resize(count, 0);
     task.resize(count, 0);
     assignee.resize(count, 0);
+    dirty.resize(count, 0);
   }
 
   /// Appends one zero-initialized unit (a replica); the caller fills the
@@ -114,6 +121,7 @@ struct UnitTable {
     value.push_back(0);
     task.push_back(0);
     assignee.push_back(0);
+    dirty.push_back(0);
   }
 
   /// True iff unit `u` holds a reportable value (completed or
@@ -161,6 +169,8 @@ struct TaskTable {
   /// Derived state — checkpoints skip it; restore refolds from the
   /// value-bearing units.
   std::vector<std::uint64_t> vote_value;
+  /// Checkpoint-window stamp for L1 deltas (see UnitTable::dirty).
+  std::vector<std::uint32_t> dirty;
 
   [[nodiscard]] std::size_t size() const noexcept { return state.size(); }
 
@@ -176,6 +186,7 @@ struct TaskTable {
     truth.resize(count, 0);
     is_ringer.resize(count, 0);
     vote_value.resize(count, 0);
+    dirty.resize(count, 0);
   }
 
   /// Folds one arriving copy's value into the unanimity aggregate.

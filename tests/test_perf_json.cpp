@@ -17,9 +17,9 @@ namespace {
 
 std::vector<perf::BenchRecord> sample_records() {
   return {
-      {"replica_class_aggregated", 10000, 1.5e9, 250.0, 1, "abc1234"},
-      {"replica_pool_shuffle", 10000, 1.4e8, 250.0, 1, "abc1234"},
-      {"parallel_reduce", 65536, 1.7e7, 250.0, 2, "abc1234"},
+      {"replica_class_aggregated", 10000, 1.5e9, 250.0, 1, "abc1234", 0.0, ""},
+      {"replica_pool_shuffle", 10000, 1.4e8, 250.0, 1, "abc1234", 0.0, ""},
+      {"parallel_reduce", 65536, 1.7e7, 250.0, 2, "abc1234", 0.0, ""},
   };
 }
 
@@ -44,6 +44,29 @@ TEST(PerfJson, FileRoundTrip) {
   EXPECT_EQ(parsed.size(), sample_records().size());
   EXPECT_EQ(parsed[0].bench, "replica_class_aggregated");
   std::remove(path.c_str());
+}
+
+TEST(PerfJson, AuxMetricRoundTripsAndStaysOptional) {
+  auto records = sample_records();
+  records[0].aux = 38.25;
+  records[0].aux_label = "checkpoint_bytes_per_event";
+
+  const std::string json = perf::to_json(records);
+  // Rows without a label carry no aux keys at all (old readers see the
+  // exact v1 shape), so "aux" appears in exactly one record.
+  std::size_t aux_mentions = 0;
+  for (std::size_t pos = json.find("\"aux\""); pos != std::string::npos;
+       pos = json.find("\"aux\"", pos + 1)) {
+    ++aux_mentions;
+  }
+  EXPECT_EQ(aux_mentions, 1u);
+
+  const auto parsed = perf::parse_report_text(json);
+  ASSERT_EQ(parsed.size(), records.size());
+  EXPECT_DOUBLE_EQ(parsed[0].aux, 38.25);
+  EXPECT_EQ(parsed[0].aux_label, "checkpoint_bytes_per_event");
+  EXPECT_TRUE(parsed[1].aux_label.empty());
+  EXPECT_DOUBLE_EQ(parsed[1].aux, 0.0);
 }
 
 TEST(PerfJson, ParserIgnoresUnknownKeysAndEscapes) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -15,8 +16,11 @@
 
 #include "core/realize.hpp"
 #include "core/schemes/balanced.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/journal.hpp"
+#include "runtime/sharded.hpp"
 #include "runtime/supervisor.hpp"
 
 namespace core = redund::core;
@@ -241,6 +245,154 @@ TEST(CrashRecovery, TamperedWalTailIsReplayDivergence) {
                std::runtime_error);
 }
 
+// The multi-level chain proper: small checkpoint interval so a kill sees
+// a long L2 + L1...L1 composition, swept across full-snapshot cadences.
+// full_snapshot_every = 1 degenerates to the all-full legacy format; 3
+// makes most checkpoints deltas.
+TEST(CrashRecovery, MultiLevelCompositionSweepResumesBitIdentical) {
+  for (const std::int64_t cadence : {1, 3}) {
+    auto config = churn_scenario();
+    config.journal.checkpoint_interval = 24;
+    config.journal.full_snapshot_every = cadence;
+    expect_recovery_equivalence(
+        config, "multilevel" + std::to_string(cadence));
+  }
+}
+
+TEST(CrashRecovery, DeltaCadenceActuallyWritesDeltaRecords) {
+  auto config = churn_scenario();
+  config.journal.path = journal_path("deltas");
+  config.journal.checkpoint_interval = 24;
+  config.journal.full_snapshot_every = 3;
+  const auto partial = runtime::run_async_campaign_capped(config, 400);
+  ASSERT_FALSE(partial.has_value());
+
+  const auto contents = runtime::read_journal(config.journal.path);
+  EXPECT_TRUE(contents.has_checkpoint);
+  // 400 events at interval 24 is at least a dozen checkpoints; with
+  // every third one full, deltas must be on disk after the latest full.
+  EXPECT_FALSE(contents.deltas.empty());
+  for (const auto& delta : contents.deltas) {
+    EXPECT_GE(delta.base_index, contents.checkpoint_index);
+    EXPECT_GT(delta.index, delta.base_index);
+  }
+}
+
+// Checkpoint-only mode (wal = false): nothing is recorded between
+// snapshots, so the journal holds only full C records and resume
+// re-runs deterministically from the latest one — still bit-identical.
+TEST(CrashRecovery, CheckpointOnlyModeResumesBitIdentical) {
+  auto config = burst_scenario();
+  config.journal.path.clear();
+  const auto reference = runtime::run_async_campaign(config);
+  const std::string expected = rendered(reference);
+
+  config.journal.path = journal_path("nowal");
+  config.journal.checkpoint_interval = 48;
+  config.journal.wal = false;
+  for (std::int64_t k = 1; k <= 3; ++k) {
+    const std::int64_t kill = reference.events_processed * k / 4;
+    const auto partial = runtime::run_async_campaign_capped(config, kill);
+    if (partial.has_value()) {
+      EXPECT_EQ(rendered(*partial), expected);
+      continue;
+    }
+    const auto contents = runtime::read_journal(config.journal.path);
+    EXPECT_TRUE(contents.has_checkpoint);
+    EXPECT_TRUE(contents.tail.empty());    // No WAL records at all.
+    EXPECT_TRUE(contents.deltas.empty());  // All-full without a WAL.
+    const auto resumed = runtime::resume_async_campaign(config);
+    EXPECT_EQ(rendered(resumed), expected) << "killed at event " << kill;
+  }
+}
+
+// A crash mid-write leaves an unterminated final line; the reader must
+// drop exactly that line and resume from the last complete record.
+TEST(CrashRecovery, TornTailIsDroppedAndResumeStillMatches) {
+  auto config = network_scenario();
+  config.journal.path.clear();
+  const auto reference = runtime::run_async_campaign(config);
+
+  config.journal.path = journal_path("torn");
+  config.journal.checkpoint_interval = 48;
+  config.journal.full_snapshot_every = 3;
+  const auto partial = runtime::run_async_campaign_capped(
+      config, reference.events_processed / 2);
+  ASSERT_FALSE(partial.has_value());
+
+  // Tear the tail: chop the final newline plus a few bytes, leaving a
+  // partial record with no terminator.
+  const auto size = std::filesystem::file_size(config.journal.path);
+  ASSERT_GT(size, 16u);
+  std::filesystem::resize_file(config.journal.path, size - 9);
+
+  const auto contents = runtime::read_journal(config.journal.path);
+  EXPECT_TRUE(contents.torn_tail);
+
+  const auto resumed = runtime::resume_async_campaign(config);
+  EXPECT_EQ(rendered(resumed), rendered(reference));
+}
+
+TEST(CrashRecovery, CheckpointBlobSurvivesCompressionRoundTrip) {
+  std::string blob;
+  for (int i = 0; i < 4096; ++i) {
+    blob += std::to_string(i % 97) + " ";
+  }
+  const std::string encoded = runtime::compress_blob(blob);
+  // Repetitive checkpoint text must actually shrink, even after base64.
+  EXPECT_LT(encoded.size(), blob.size());
+  EXPECT_EQ(runtime::decompress_blob(encoded, blob.size()), blob);
+}
+
+// L3: after a journaled fleet run, each shard's journal holds a partner
+// copy of its ring neighbour's checkpoint, and the fleet resumes
+// bit-identically even when one journal file is deleted outright.
+TEST(CrashRecovery, PartnerCopySurvivesLosingAnyOneShardJournal) {
+  auto base = churn_scenario();
+  base.journal.path.clear();
+  constexpr std::int64_t kShards = 3;
+  redund::parallel::ThreadPool pool(2);
+  const runtime::ShardedSupervisor plain(base, kShards);
+  const std::string expected = rendered(plain.run(pool));
+
+  base.journal.path = journal_path("partner");
+  base.journal.checkpoint_interval = 32;
+  base.journal.full_snapshot_every = 2;
+  const runtime::ShardedSupervisor sharded(base, kShards);
+  ASSERT_EQ(sharded.shard_count(), kShards);
+  EXPECT_EQ(rendered(sharded.run(pool)), expected);
+
+  // Every journal now carries its predecessor's L2.
+  for (const auto& shard : sharded.shard_configs()) {
+    const auto contents = runtime::read_journal(shard.journal.path);
+    EXPECT_TRUE(contents.has_partner) << shard.journal.path;
+  }
+
+  // Losing any single shard's journal is survivable.
+  for (std::int64_t lost = 0; lost < kShards; ++lost) {
+    EXPECT_EQ(rendered(sharded.run(pool)), expected);  // Rewrite journals.
+    std::filesystem::remove(
+        sharded.shard_configs()[static_cast<std::size_t>(lost)].journal.path);
+    EXPECT_EQ(rendered(sharded.resume(pool)), expected)
+        << "lost shard " << lost;
+  }
+}
+
+TEST(CrashRecovery, ShardedResumeWithoutLossMatchesTheRun) {
+  auto base = network_scenario();
+  base.journal.path = journal_path("fleet");
+  base.journal.checkpoint_interval = 64;
+  redund::parallel::ThreadPool pool(2);
+  const runtime::ShardedSupervisor sharded(base, 2);
+  const std::string expected = rendered(sharded.run(pool));
+  EXPECT_EQ(rendered(sharded.resume(pool)), expected);
+
+  auto no_journal = network_scenario();
+  no_journal.journal.path.clear();
+  const runtime::ShardedSupervisor bare(no_journal, 2);
+  EXPECT_THROW((void)bare.resume(pool), std::invalid_argument);
+}
+
 TEST(CrashRecovery, BadArgumentsAreRejected) {
   auto config = churn_scenario();
   config.journal.path = journal_path("badargs");
@@ -257,6 +409,11 @@ TEST(CrashRecovery, BadArgumentsAreRejected) {
   std::remove(missing.journal.path.c_str());
   EXPECT_THROW((void)runtime::resume_async_campaign(missing),
                std::runtime_error);
+
+  auto bad_cadence = config;
+  bad_cadence.journal.full_snapshot_every = 0;
+  EXPECT_THROW((void)runtime::run_async_campaign(bad_cadence),
+               std::invalid_argument);
 }
 
 }  // namespace

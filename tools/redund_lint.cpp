@@ -25,6 +25,13 @@
 //                            the pattern the SoA refactor removed — batch
 //                            with resize() + index writes or a bulk
 //                            insert outside the loop.
+//   blocking-io-in-hot       Blocking file I/O (fsync/fdatasync/fwrite/
+//                            fflush, std::ofstream construction, .flush())
+//                            inside a `redund: hot` function. Checkpoint
+//                            and journal bytes leave the event loop
+//                            through the async writer thread; an fsync on
+//                            the hot path stalls every event behind a
+//                            disk flush.
 //   scalar-draw-in-wave      A fresh keyed stream (rng::make_stream) built
 //                            inside a loop in src/sim/. Replica waves draw
 //                            one value per key; the rng::bulk_* kernels
@@ -495,6 +502,9 @@ class Linter {
     static const char* kPerElementGrowth[] = {
         "push_back(", "emplace_back(", "insert(", "emplace(", "try_emplace(",
     };
+    static const char* kBlockingIo[] = {
+        "fsync(", "fdatasync(", "fwrite(", "fflush(", "fopen(",
+    };
     int depth = 0;
     int paren_depth = 0;
     bool in_body = false;
@@ -521,6 +531,25 @@ class Linter {
               break;
             }
           }
+        }
+        // Blocking file I/O: the event loop must hand bytes to the async
+        // journal writer, never touch the disk itself.
+        bool io_reported = false;
+        for (const char* call : kBlockingIo) {
+          if (contains_token(code, call)) {
+            report_(i, "blocking-io-in-hot",
+                    std::string("blocking I/O call ") + call +
+                        ") inside a `redund: hot` function — hand bytes to "
+                        "the async journal writer instead");
+            io_reported = true;
+            break;
+          }
+        }
+        if (!io_reported && (code.find("std::ofstream") != std::string::npos ||
+                             code.find(".flush(") != std::string::npos)) {
+          report_(i, "blocking-io-in-hot",
+                  "stream write/flush inside a `redund: hot` function — "
+                  "hand bytes to the async journal writer instead");
         }
         // Per-element growth in a loop (or on a brace-less loop line): the
         // batch-processing hazard, reported separately from hot-alloc so a
@@ -748,6 +777,39 @@ const Fixture kFixtures[] = {
      "    --n;\n"
      "  } while (n > 0);\n"
      "  v.push_back(n);  // redund-lint: allow(hot-alloc)\n"
+     "}\n",
+     nullptr, 0},
+    {"blocking-io-fsync-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(int fd) {\n"
+     "  fsync(fd);\n"
+     "}\n",
+     "blocking-io-in-hot", 3},
+    {"blocking-io-flush-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::ostream& out) {\n"
+     "  out.flush();\n"
+     "}\n",
+     "blocking-io-in-hot", 3},
+    {"blocking-io-ofstream-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f() {\n"
+     "  std::ofstream out(path_);\n"
+     "}\n",
+     "blocking-io-in-hot", 3},
+    {"blocking-io-allow-suppresses", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(int fd) {\n"
+     "  fsync(fd);  // redund-lint: allow(blocking-io-in-hot)\n"
+     "}\n",
+     nullptr, 0},
+    {"blocking-io-unannotated-clean", "src/runtime/x.cpp",
+     "void f(int fd) {\n  fsync(fd);\n}\n", nullptr, 0},
+    {"blocking-io-outside-body-clean", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void f(std::vector<int>& v);\n"
+     "void g(int fd) {\n"
+     "  fsync(fd);\n"
      "}\n",
      nullptr, 0},
     {"wave-draw-in-loop-fires", "src/sim/x.cpp",

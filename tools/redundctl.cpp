@@ -14,7 +14,8 @@
 //                      [--seed S] [--queue heap|calendar]
 //                      [--fault-plan FILE] [--max-sim-time T]
 //                      [--recompute-budget N]
-//                      [--journal FILE [--checkpoint-interval N] [--resume]]
+//                      [--journal FILE [--checkpoint-interval N]
+//                       [--full-snapshot-every N] [--no-wal] [--resume]]
 //                      [--shards S [--threads T]]
 //   redundctl budget   --tasks N --budget B [--adversary P]
 //   redundctl bench    [--quick] [--out FILE]
@@ -28,8 +29,11 @@
 //           (event-driven: stragglers, dropouts, deadlines, retries, quorum
 //           validation, adaptive replication) and prints a RuntimeReport.
 //           --fault-plan injects a redund-faults-v1 chaos schedule;
-//           --journal write-ahead-journals the run (crash safety) and
-//           --resume restores/replays it after a kill.
+//           --journal multi-level-checkpoints the run (crash safety;
+//           --full-snapshot-every sets the L1-delta-to-L2-full cadence)
+//           and --resume restores/replays it after a kill — with
+//           --shards, the fleet survives losing one shard's journal
+//           via partner (L3) copies.
 // budget    answers "what level can I afford", including a robustness margin
 //           against an adversary share p (inverts Prop. 3).
 // bench     runs the headline perf suite and writes a BENCH_*.json report
@@ -273,6 +277,9 @@ int cmd_run_async(const Args& args) {
     config.journal.path = *journal;
     config.journal.checkpoint_interval =
         args.integer("checkpoint-interval", 4096);
+    config.journal.full_snapshot_every =
+        args.integer("full-snapshot-every", 8);
+    config.journal.wal = !args.flag("no-wal");
   }
   const std::string queue_name = args.get("queue").value_or("calendar");
   if (queue_name == "heap") {
@@ -286,17 +293,20 @@ int cmd_run_async(const Args& args) {
 
   const std::int64_t shards = args.integer("shards", 1);
   const bool resume = args.flag("resume");
-  if (resume && shards > 1) {
-    // Each shard journals its own file (path + ".shard<i>"); resuming a
-    // sharded run would need per-shard resume plumbing that does not
-    // exist yet — refuse rather than silently restart.
-    throw std::invalid_argument(
-        "run-async: --resume is single-shard only (each shard journals "
-        "separately)");
-  }
   if (resume) {
     if (config.journal.path.empty()) {
       throw std::invalid_argument("run-async: --resume requires --journal");
+    }
+    if (shards > 1) {
+      // Fleet resume: each shard restores from its own journal, falls
+      // back to the partner copy (L3) in the next shard's journal, and
+      // re-runs from scratch as a last resort — bit-identical either way.
+      redund::parallel::ThreadPool pool(
+          static_cast<std::size_t>(args.integer("threads", 0)));
+      const runtime::RuntimeReport report =
+          runtime::resume_sharded_campaign(config, shards, pool);
+      runtime::print(std::cout, report);
+      return 0;
     }
     const runtime::RuntimeReport report =
         runtime::resume_async_campaign(config);
@@ -345,7 +355,7 @@ int cmd_budget(const Args& args) {
 int cmd_bench(const Args& args) {
   redund::perf::SuiteOptions options;
   options.quick = args.flag("quick");
-  const std::string out = args.get("out").value_or("BENCH_PR5.json");
+  const std::string out = args.get("out").value_or("BENCH_PR8.json");
 
   const auto records = redund::perf::run_suite(options);
   rep::Table table({"bench", "n", "threads", "items/sec", "wall_ms"});
@@ -396,7 +406,8 @@ subcommands:
            [--adaptive [--replan-interval N]]
            [--queue heap|calendar] [--fault-plan FILE] [--max-sim-time T]
            [--recompute-budget N]
-           [--journal FILE [--checkpoint-interval N] [--resume]]
+           [--journal FILE [--checkpoint-interval N]
+            [--full-snapshot-every N] [--no-wal] [--resume]]
            [--shards S [--threads T]]
   budget   --tasks N --budget B [--adversary P]
   bench    [--quick] [--out FILE]
