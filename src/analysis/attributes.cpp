@@ -1,0 +1,354 @@
+#include "analysis/attributes.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace redund::analysis {
+
+namespace {
+
+struct LineHit {
+  std::size_t line = 0;
+  std::uint32_t attr = 0;
+  std::string detail;
+};
+
+/// The allow() rules that suppress an attribute at its source line: the
+/// matching v1 rule plus the v2 rule that consumes the attribute. A
+/// deliberate, allow()-annotated allocation (e.g. a pre-sized push_back
+/// in a hot function) must not re-fire transitively at every caller.
+std::vector<const char*> suppressors(std::uint32_t attr) {
+  switch (attr) {
+    case kAllocates:
+      return {"hot-alloc", "transitive-hot-alloc"};
+    case kBlocksIo:
+      return {"blocking-io-in-hot", "transitive-blocking-io-in-hot"};
+    case kDrawsRng:
+      return {"nondeterministic-rng", "determinism-taint"};
+    case kReadsClock:
+      return {"nondeterministic-rng", "determinism-taint"};
+    case kUnorderedIterates:
+      return {"unordered-iteration", "determinism-taint"};
+    case kAddressAsValue:
+      return {"determinism-taint"};
+    default:
+      return {};
+  }
+}
+
+bool attr_allowed(const SourceFile& src, std::size_t line,
+                  std::uint32_t attr) {
+  for (const char* rule : suppressors(attr)) {
+    if (src.allows(line, rule)) return true;
+  }
+  return false;
+}
+
+void detect_direct_hits(const SourceFile& src, std::vector<LineHit>& hits) {
+  static const char* kAllocating[] = {
+      "malloc(",    "calloc(",       "realloc(",     "free(",
+      "push_back(", "emplace_back(", "emplace(",     "insert(",
+      "resize(",    "reserve(",      "make_unique(", "make_shared(",
+      "to_string(", "std::string(",
+  };
+  static const char* kBlocking[] = {
+      "fsync(", "fdatasync(", "fwrite(", "fflush(", "fopen(",
+  };
+  static const char* kEntropy[] = {"rand(", "srand(", "std::rand(",
+                                   "std::srand("};
+  static const char* kClocks[] = {"steady_clock", "system_clock",
+                                  "high_resolution_clock", "clock_gettime(",
+                                  "gettimeofday("};
+  static const std::regex kNew(R"((^|[^:\w])new\s*[\w(<])");
+  static const std::regex kTimeCall(
+      R"((^|[^:\w])(std::)?time\s*\(\s*(nullptr|NULL|0)?\s*\))");
+  static const std::regex kRangeFor(R"(for\s*\([^;)]*:\s*([^)]+)\))");
+  static const std::regex kUnorderedDecl(
+      R"(std::unordered_\w+\s*<[^;{]*?>\s*[&*]{0,2}\s*(\w+))");
+
+  // File-wide unordered container names (v1's approach: the declaration
+  // and the iteration may be far apart).
+  std::vector<std::string> unordered_names;
+  for (const ScrubbedLine& line : src.lines) {
+    auto begin = std::sregex_iterator(line.code.begin(), line.code.end(),
+                                      kUnorderedDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_names.push_back((*it)[1].str());
+    }
+  }
+
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string& code = src.lines[i].code;
+    if (code.empty()) continue;
+
+    if (!attr_allowed(src, i, kAllocates)) {
+      if (std::regex_search(code, kNew)) {
+        hits.push_back(LineHit{i, kAllocates, "operator new"});
+      } else {
+        for (const char* call : kAllocating) {
+          if (contains_token(code, call)) {
+            hits.push_back(LineHit{i, kAllocates, call});
+            break;
+          }
+        }
+      }
+    }
+
+    if (!attr_allowed(src, i, kBlocksIo)) {
+      bool hit = false;
+      for (const char* call : kBlocking) {
+        if (contains_token(code, call)) {
+          hits.push_back(LineHit{i, kBlocksIo, call});
+          hit = true;
+          break;
+        }
+      }
+      if (!hit && (code.find("std::ofstream") != std::string::npos ||
+                   code.find(".flush(") != std::string::npos)) {
+        hits.push_back(LineHit{i, kBlocksIo, "stream write/flush"});
+      }
+    }
+
+    if (!attr_allowed(src, i, kDrawsRng)) {
+      for (const char* call : kEntropy) {
+        if (contains_token(code, call)) {
+          hits.push_back(LineHit{i, kDrawsRng, call});
+          break;
+        }
+      }
+      const std::size_t pos = code.find("std::random_device");
+      if (pos != std::string::npos) {
+        // Token-seeded random_device("...") is explicitly configured;
+        // default construction draws OS entropy.
+        std::size_t end = pos + std::string("std::random_device").size();
+        while (end < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[end]))) {
+          ++end;
+        }
+        bool seeded = false;
+        if (end < code.size() && code[end] == '(') {
+          std::size_t inside = end + 1;
+          while (inside < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[inside]))) {
+            ++inside;
+          }
+          seeded = inside < code.size() && code[inside] != ')';
+        }
+        if (!seeded) {
+          hits.push_back(LineHit{i, kDrawsRng, "std::random_device"});
+        }
+      }
+    }
+
+    if (!attr_allowed(src, i, kReadsClock)) {
+      if (std::regex_search(code, kTimeCall)) {
+        hits.push_back(LineHit{i, kReadsClock, "time()"});
+      } else {
+        for (const char* token : kClocks) {
+          if (contains_token(code, token)) {
+            hits.push_back(LineHit{i, kReadsClock, token});
+            break;
+          }
+        }
+      }
+    }
+
+    if (!attr_allowed(src, i, kUnorderedIterates)) {
+      bool hit = false;
+      std::smatch match;
+      if (std::regex_search(code, match, kRangeFor)) {
+        const std::string range = match[1].str();
+        if (range.find("unordered") != std::string::npos) {
+          hits.push_back(
+              LineHit{i, kUnorderedIterates, "range-for over unordered"});
+          hit = true;
+        } else {
+          for (const std::string& name : unordered_names) {
+            if (contains_token(range, name)) {
+              hits.push_back(LineHit{i, kUnorderedIterates,
+                                     "range-for over '" + name + "'"});
+              hit = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!hit) {
+        for (const std::string& name : unordered_names) {
+          for (const char* method :
+               {".begin(", ".end(", ".cbegin(", ".cend("}) {
+            if (code.find(name + method) != std::string::npos) {
+              hits.push_back(LineHit{i, kUnorderedIterates,
+                                     "iterator over '" + name + "'"});
+              hit = true;
+              break;
+            }
+          }
+          if (hit) break;
+        }
+      }
+    }
+
+    if (!attr_allowed(src, i, kAddressAsValue)) {
+      if ((contains_token(code, "uintptr_t") ||
+           contains_token(code, "intptr_t")) &&
+          code.find("cast") != std::string::npos) {
+        hits.push_back(
+            LineHit{i, kAddressAsValue, "pointer-to-integer cast"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* attribute_name(std::uint32_t attr) {
+  switch (attr) {
+    case kAllocates:
+      return "allocates";
+    case kBlocksIo:
+      return "blocks";
+    case kDrawsRng:
+      return "draws-rng";
+    case kReadsClock:
+      return "reads-clock";
+    case kUnorderedIterates:
+      return "unordered-iterates";
+    case kAddressAsValue:
+      return "address-as-value";
+    default:
+      return "?";
+  }
+}
+
+std::size_t AttributeMap::bit_index_(std::uint32_t attr) {
+  std::size_t index = 0;
+  while ((attr >>= 1U) != 0U) ++index;
+  return index;
+}
+
+void AttributeMap::build(const CallGraph& graph,
+                         const std::vector<ParsedFile>& files) {
+  const std::vector<Node>& nodes = graph.nodes();
+  const std::size_t n = nodes.size();
+  direct_.assign(n, 0);
+  effective_.assign(n, 0);
+  witnesses_.assign(n, {});
+  excludes_.assign(n, {});
+  excl_witness_.assign(n, {});
+  sweeps_ = 0;
+
+  // Direct attribute hits, detected per file and bucketed into the
+  // innermost function whose body range contains the line.
+  std::vector<std::vector<LineHit>> file_hits(files.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    detect_direct_hits(files[f].source, file_hits[f]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = graph.fn(i);
+    const std::size_t file = nodes[i].file;
+    for (const LineHit& hit : file_hits[file]) {
+      if (hit.line < fn.body_begin || hit.line > fn.body_end) continue;
+      if ((direct_[i] & hit.attr) != 0U) continue;
+      direct_[i] |= hit.attr;
+      witnesses_[i][bit_index_(hit.attr)] =
+          Witness{true, hit.line, hit.detail, 0};
+    }
+    effective_[i] = direct_[i];
+
+    // Seed the exclusion sets: annotated excludes plus every mutex the
+    // function acquires itself (std::mutex is non-recursive — calling
+    // into a self-locking function while holding its mutex deadlocks).
+    std::set<std::string> own(fn.excludes_locks.begin(),
+                              fn.excludes_locks.end());
+    for (const LockRegion& region : fn.lock_regions) {
+      own.insert(region.mutex);
+    }
+    excludes_[i].assign(own.begin(), own.end());
+  }
+
+  // Propagate to fixpoint (monotone over a finite lattice; terminates).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++sweeps_;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Edge& edge : nodes[i].edges) {
+        const std::uint32_t fresh = effective_[edge.callee] & ~effective_[i];
+        if (fresh != 0U) {
+          effective_[i] |= fresh;
+          for (std::uint32_t bit = 1; bit <= kAddressAsValue; bit <<= 1U) {
+            if ((fresh & bit) != 0U) {
+              witnesses_[i][bit_index_(bit)] =
+                  Witness{false, edge.line, "", edge.callee};
+            }
+          }
+          changed = true;
+        }
+        for (const std::string& m : excludes_[edge.callee]) {
+          if (!std::binary_search(excludes_[i].begin(), excludes_[i].end(),
+                                  m)) {
+            excludes_[i].insert(
+                std::upper_bound(excludes_[i].begin(), excludes_[i].end(), m),
+                m);
+            excl_witness_[i].emplace(m, Witness{false, edge.line, "",
+                                                edge.callee});
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+const Witness* AttributeMap::witness(std::size_t node,
+                                     std::uint32_t attr) const {
+  if ((effective_[node] & attr) == 0U) return nullptr;
+  return &witnesses_[node][bit_index_(attr)];
+}
+
+std::string AttributeMap::chain(std::size_t node, std::uint32_t attr,
+                                const CallGraph& graph) const {
+  std::string out = graph.fn(node).qualified;
+  std::size_t cur = node;
+  std::set<std::size_t> visited;
+  while (visited.insert(cur).second) {
+    const Witness* w = witness(cur, attr);
+    if (w == nullptr) break;
+    if (w->direct) {
+      out += " -> " + w->detail + " at " + graph.file_of(cur).source.path +
+             ":" + std::to_string(w->line + 1);
+      break;
+    }
+    out += " -> " + graph.fn(w->via).qualified + " (call at " +
+           graph.file_of(cur).source.path + ":" +
+           std::to_string(w->line + 1) + ")";
+    cur = w->via;
+  }
+  return out;
+}
+
+std::string AttributeMap::exclude_chain(std::size_t node,
+                                        const std::string& mutex,
+                                        const CallGraph& graph) const {
+  std::string out = graph.fn(node).qualified;
+  std::size_t cur = node;
+  std::set<std::size_t> visited;
+  while (visited.insert(cur).second) {
+    const auto it = excl_witness_[cur].find(mutex);
+    if (it == excl_witness_[cur].end()) {
+      out += " (acquires " + mutex + ")";
+      break;
+    }
+    out += " -> " + graph.fn(it->second.via).qualified + " (call at " +
+           graph.file_of(cur).source.path + ":" +
+           std::to_string(it->second.line + 1) + ")";
+    cur = it->second.via;
+  }
+  return out;
+}
+
+}  // namespace redund::analysis

@@ -1,0 +1,42 @@
+#include "analysis/project.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+namespace redund::analysis {
+
+void Project::add_file(const std::string& path, const std::string& text) {
+  files_.push_back(parse_file(path, text));
+}
+
+void Project::analyze() {
+  findings_.clear();
+
+  for (const ParsedFile& file : files_) {
+    const std::vector<Finding> file_findings =
+        run_file_rules(file.source, options_for(file.source.path));
+    findings_.insert(findings_.end(), file_findings.begin(),
+                     file_findings.end());
+  }
+
+  graph_.build(files_);
+  attrs_.build(graph_, files_);
+
+  std::vector<Finding> project_findings;
+  run_project_rules(graph_, attrs_, files_, project_findings);
+  findings_.insert(findings_.end(), project_findings.begin(),
+                   project_findings.end());
+
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+}
+
+void Project::dump_callgraph(std::ostream& out) const {
+  graph_.dump_dot(out);
+}
+
+}  // namespace redund::analysis

@@ -1,0 +1,45 @@
+// Project: the top-level driver of the analysis library. Feed it files,
+// call analyze(), read findings. redund_lint v2 is a thin CLI over this
+// class; tests/test_analysis.cpp drives it directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/attributes.hpp"
+#include "analysis/callgraph.hpp"
+#include "analysis/rules.hpp"
+
+namespace redund::analysis {
+
+class Project {
+ public:
+  /// Parses one file and queues it for analysis. `path` decides the
+  /// path-scoped rule set (v1 contract).
+  void add_file(const std::string& path, const std::string& text);
+
+  /// Runs the full pass: per-file v1 rules, then call graph, attribute
+  /// fixpoint, and the interprocedural rules. Idempotent per add_file set.
+  void analyze();
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] const CallGraph& graph() const { return graph_; }
+  [[nodiscard]] const AttributeMap& attributes() const { return attrs_; }
+  [[nodiscard]] const std::vector<ParsedFile>& files() const {
+    return files_;
+  }
+
+  /// GraphViz DOT of the call graph (the CLI's --dump-callgraph).
+  void dump_callgraph(std::ostream& out) const;
+
+ private:
+  std::vector<ParsedFile> files_;
+  CallGraph graph_;
+  AttributeMap attrs_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace redund::analysis

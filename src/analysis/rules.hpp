@@ -1,0 +1,74 @@
+// Lint rules over the analysis library.
+//
+// Two layers, matching the two passes the tool runs:
+//
+//  * File rules — the proven v1 redund_lint rule set, ported verbatim
+//    onto SourceFile: nondeterministic-rng, unordered-iteration,
+//    hot-alloc, hot-per-element-insert, blocking-io-in-hot,
+//    scalar-draw-in-wave, include-c-header, include-iostream,
+//    using-namespace. Same diagnostics, same path scoping, same allow()
+//    semantics.
+//
+//  * Project rules — the v2 interprocedural families, which need the
+//    call graph and the attribute fixpoint:
+//      transitive-hot-alloc            hot fn calls an (transitively)
+//                                      allocating helper
+//      transitive-blocking-io-in-hot   hot fn calls a helper that blocks
+//      determinism-taint               a nondeterminism source reaches a
+//                                      `redund: deterministic` function
+//      guarded-by                      REDUND_GUARDED_BY(m) field touched
+//                                      without m held
+//      lock-requires                   call to a REDUND_REQUIRES(m)
+//                                      function without m held
+//      lock-excludes                   call while holding m into code
+//                                      that (transitively) acquires or
+//                                      REDUND_EXCLUDES m — deadlock
+//
+// All project findings are suppressible with the same
+// `// redund-lint: allow(rule)` escape hatch, applied at the reported
+// line (the call site / access site in the caller).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/attributes.hpp"
+#include "analysis/callgraph.hpp"
+
+namespace redund::analysis {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+struct LintOptions {
+  bool runtime_rules = false;  ///< unordered-iteration (runtime/sim/control).
+  bool header = false;         ///< Header-only rules.
+  bool wave_rules = false;     ///< scalar-draw-in-wave (sim only).
+};
+
+/// Path-scoped option selection (v1 contract): runtime rules in
+/// /runtime/, /sim/, /control/; wave rules in /sim/; header rules by
+/// .h/.hpp extension.
+[[nodiscard]] LintOptions options_for(const std::string& path);
+
+/// The v1 single-file rule set.
+[[nodiscard]] std::vector<Finding> run_file_rules(const SourceFile& src,
+                                                  const LintOptions& options);
+
+/// The v2 interprocedural rule set over the whole analyzed project.
+void run_project_rules(const CallGraph& graph, const AttributeMap& attrs,
+                       const std::vector<ParsedFile>& files,
+                       std::vector<Finding>& out);
+
+/// True when a held-mutex expression satisfies a wanted mutex name:
+/// exact match, or the last member component matches ("own.mutex" holds
+/// "mutex"). Exposed for tests.
+[[nodiscard]] bool mutex_matches(const std::string& held,
+                                 const std::string& wanted);
+
+}  // namespace redund::analysis

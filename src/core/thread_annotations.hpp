@@ -1,0 +1,34 @@
+// Thread-safety annotations, checked statically by redund_lint v2.
+//
+// The macros expand to nothing at compile time — they exist so the
+// locking contract of a class is written next to the data it protects,
+// and so the linter's call-graph pass can verify it:
+//
+//   REDUND_GUARDED_BY(m)   on a field: every access outside the owning
+//                          class's constructor/destructor must hold m
+//                          (an RAII guard region or a REDUND_REQUIRES
+//                          annotation on the accessing function).
+//   REDUND_REQUIRES(m)     on a function: callers must hold m at the
+//                          call site. The function body may touch
+//                          m-guarded fields without re-locking.
+//   REDUND_EXCLUDES(m)     on a function: callers must NOT hold m at
+//                          the call site (the function acquires m
+//                          itself, or blocks on work that does —
+//                          calling it under m deadlocks a
+//                          non-recursive std::mutex).
+//
+// Usage:
+//
+//   std::mutex mutex_;
+//   std::deque<Task> queue_ REDUND_GUARDED_BY(mutex_);
+//   void drain_locked_() REDUND_REQUIRES(mutex_);
+//   void flush() REDUND_EXCLUDES(mutex_);
+//
+// Violations surface as `guarded-by`, `lock-requires`, and
+// `lock-excludes` findings (see docs/analysis.md), suppressible with
+// `// redund-lint: allow(rule)` like every other rule.
+#pragma once
+
+#define REDUND_GUARDED_BY(m)
+#define REDUND_REQUIRES(m)
+#define REDUND_EXCLUDES(m)

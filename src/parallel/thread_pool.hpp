@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace redund::parallel {
 
 /// Number of CPUs actually available to this process — the scheduler
@@ -198,14 +200,17 @@ class ThreadPool {
   }
 
   /// Blocks until every task submitted so far has finished executing.
-  void wait_idle();
+  /// Sleeps on sleep_mutex_/idle_, so it must not be called while holding
+  /// the pool's sleep mutex (a task calling it deadlocks anyway — no
+  /// worker is left to signal idle).
+  void wait_idle() REDUND_EXCLUDES(sleep_mutex_);
 
  private:
   /// One worker's queue; heap-allocated so the vector of workers can be
   /// built without moving mutexes.
   struct Worker {
     std::mutex mutex;
-    std::deque<TaskFunction> queue;
+    std::deque<TaskFunction> queue REDUND_GUARDED_BY(mutex);
   };
 
   void push_(TaskFunction task);

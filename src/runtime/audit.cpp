@@ -14,6 +14,7 @@
 
 namespace redund::runtime {
 
+// redund: deterministic
 std::uint64_t report_fingerprint(const RuntimeReport& report) {
   StateWriter w;
   w.reserve(1024 + 96 * report.series.size());

@@ -157,6 +157,7 @@ void append_event_row(TokenSink& w, const Event& event) {
 /// Full (L2) blob: byte-identical to what the old synchronous
 /// serialize_state_ produced from the same state, so the restore path
 /// reads both eras of checkpoints with one parser.
+// redund: deterministic
 void append_full_blob(std::string& out, CheckpointPayload& payload) {
   TokenSink w(out);
   append_scalar_prefix(w, payload);
@@ -208,6 +209,7 @@ void append_full_blob(std::string& out, CheckpointPayload& payload) {
 /// unit rows, and task rows touched in the window, then the events
 /// pushed in it. The popped events are *not* recorded — composition
 /// derives them from the WAL records in the window via their seq.
+// redund: deterministic
 void append_delta_blob(std::string& out, const CheckpointPayload& payload) {
   TokenSink w(out);
   append_scalar_prefix(w, payload);

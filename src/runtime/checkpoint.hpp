@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "runtime/event_queue.hpp"
 #include "runtime/journal.hpp"
 #include "runtime/report.hpp"
@@ -181,8 +182,9 @@ class CheckpointWriter {
 
   /// Drain barrier: returns once every queued record is fully written
   /// (and fsynced where the record class calls for it). Rethrows a
-  /// pending writer-thread error.
-  void flush();
+  /// pending writer-thread error. Acquires mutex_ and sleeps on
+  /// work_done_, so it must not be called with mutex_ held.
+  void flush() REDUND_EXCLUDES(mutex_);
 
  private:
   struct WorkItem {
@@ -196,8 +198,8 @@ class CheckpointWriter {
 
   void thread_main_();
   void write_item_(const WorkItem& item);
-  void enqueue_(WorkItem&& item);
-  void throw_pending_error_locked_();
+  void enqueue_(WorkItem&& item) REDUND_EXCLUDES(mutex_);
+  void throw_pending_error_locked_() REDUND_REQUIRES(mutex_);
 
   std::FILE* file_ = nullptr;
   std::string path_;
@@ -206,16 +208,16 @@ class CheckpointWriter {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  std::deque<WorkItem> queue_;
-  bool stopping_ = false;
-  bool writing_ = false;
-  std::string error_;
+  std::deque<WorkItem> queue_ REDUND_GUARDED_BY(mutex_);
+  bool stopping_ REDUND_GUARDED_BY(mutex_) = false;
+  bool writing_ REDUND_GUARDED_BY(mutex_) = false;
+  std::string error_ REDUND_GUARDED_BY(mutex_);
 
   // Double-buffered payload pool: one being staged/written, one free.
   std::array<CheckpointPayload, 2> payload_pool_;
-  std::array<bool, 2> payload_busy_{};
+  std::array<bool, 2> payload_busy_ REDUND_GUARDED_BY(mutex_) {};
   CheckpointPayload* staging_ = nullptr;
-  std::vector<std::vector<Event>> wal_pool_;
+  std::vector<std::vector<Event>> wal_pool_ REDUND_GUARDED_BY(mutex_);
 
   // Writer-thread scratch, reused across records.
   std::string line_;

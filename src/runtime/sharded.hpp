@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/report.hpp"
 #include "runtime/supervisor.hpp"
@@ -62,7 +63,11 @@ class ShardedSupervisor {
   /// any pool size. With journaling configured and more than one shard,
   /// finishes by cross-replicating partner checkpoints (L3) so the
   /// completed fleet's journals tolerate the loss of any one file.
-  [[nodiscard]] RuntimeReport run(parallel::ThreadPool& pool) const;
+  /// Blocks inside parallel_for until every shard completes, so it must
+  /// not be called while holding the pool's sleep mutex (i.e. never from
+  /// inside a pool task that owns pool synchronization state).
+  [[nodiscard]] RuntimeReport run(parallel::ThreadPool& pool) const
+      REDUND_EXCLUDES(sleep_mutex_);
 
   /// L3 partner redundancy: reads each shard's journal and appends a
   /// compressed copy of its latest full (L2) checkpoint to the *next*
@@ -81,8 +86,9 @@ class ShardedSupervisor {
   /// from scratch. Every path re-runs the same deterministic event loop,
   /// so the merged report is bit-identical to run()'s regardless of
   /// which path each shard took. Throws std::invalid_argument when
-  /// journaling is not configured.
-  [[nodiscard]] RuntimeReport resume(parallel::ThreadPool& pool) const;
+  /// journaling is not configured. Same sleep-mutex exclusion as run().
+  [[nodiscard]] RuntimeReport resume(parallel::ThreadPool& pool) const
+      REDUND_EXCLUDES(sleep_mutex_);
 
   /// Folds per-shard reports (in the given order) into one campaign-level
   /// report: counters sum, makespan/end_time are the max, first detection

@@ -1,653 +1,73 @@
-// redund_lint — project-specific static checker for the redundancy
-// simulator. Token/regex based on purpose: the rules below are shallow
-// enough that a comment-and-string-aware line scan enforces them exactly,
-// and a libclang dependency would cost far more than it buys.
+// redund_lint v2 — project-specific static checker for the redundancy
+// simulator, now a thin CLI over the src/analysis library (tokenizer,
+// function extractor, project-wide call graph, attribute fixpoint).
 //
-// Rules (diagnostic form `path:line: [rule] message`, exit 1 on findings):
+// File rules (v1, unchanged semantics — see docs/correctness.md):
+//   nondeterministic-rng, unordered-iteration, hot-alloc,
+//   hot-per-element-insert, blocking-io-in-hot, scalar-draw-in-wave,
+//   include-c-header, include-iostream, using-namespace.
 //
-//   nondeterministic-rng     rand()/srand()/std::time()/time(nullptr) and
-//                            unseeded std::random_device anywhere in src/.
-//                            Campaign results must be functions of the
-//                            config seed alone.
-//   unordered-iteration      Iterating a std::unordered_* container in
-//                            src/runtime/, src/sim/, or src/control/.
-//                            Hash-table order is
-//                            implementation-defined; it leaks into
-//                            journals, reports, and merge folds.
-//   hot-alloc                Allocation-prone calls inside a function
-//                            annotated `// redund: hot` (supervisor/queue
-//                            steady-state paths are contractually
-//                            allocation-free).
-//   hot-per-element-insert   push_back / emplace / insert grown one element
-//                            at a time inside a loop in a `redund: hot`
-//                            function. Even pre-sized (an allowed
-//                            hot-alloc), per-element growth in a loop is
-//                            the pattern the SoA refactor removed — batch
-//                            with resize() + index writes or a bulk
-//                            insert outside the loop.
-//   blocking-io-in-hot       Blocking file I/O (fsync/fdatasync/fwrite/
-//                            fflush, std::ofstream construction, .flush())
-//                            inside a `redund: hot` function. Checkpoint
-//                            and journal bytes leave the event loop
-//                            through the async writer thread; an fsync on
-//                            the hot path stalls every event behind a
-//                            disk flush.
-//   scalar-draw-in-wave      A fresh keyed stream (rng::make_stream) built
-//                            inside a loop in src/sim/. Replica waves draw
-//                            one value per key; the rng::bulk_* kernels
-//                            evaluate those draws four streams per
-//                            instruction, so a scalar make_stream-per-
-//                            iteration loop is the pattern the bulk layer
-//                            exists to replace. Sequential draws from one
-//                            shared engine are fine — only per-iteration
-//                            stream construction fires.
-//   include-c-header         C headers (<stdio.h>, ...) instead of their
-//                            <cstdio>-style C++ spellings.
-//   include-iostream         <iostream> included from a header (drags in
-//                            static iostream initializers translation-unit
-//                            wide; headers use <ostream>/<iosfwd>).
-//   using-namespace          `using namespace` at header scope.
+// Interprocedural rules (v2 — see docs/analysis.md):
+//   transitive-hot-alloc            `redund: hot` function calls a helper
+//                                   that (transitively) allocates. The v1
+//                                   same-body scan cannot see through the
+//                                   call; the diagnostic prints the whole
+//                                   chain down to the allocating line.
+//   transitive-blocking-io-in-hot   Same, for blocking file I/O.
+//   determinism-taint               A nondeterminism source (clock read,
+//                                   unordered-container iteration,
+//                                   pointer-as-integer, std::random_device)
+//                                   reaches a `redund: deterministic`
+//                                   serialization function through any
+//                                   call path.
+//   guarded-by / lock-requires /    REDUND_GUARDED_BY / REDUND_REQUIRES /
+//   lock-excludes                   REDUND_EXCLUDES annotations
+//                                   (src/core/thread_annotations.hpp)
+//                                   checked against RAII guard regions
+//                                   and the call graph.
 //
-// Suppression: `// redund-lint: allow(rule)` (comma-separated list or
-// `all`) on the offending line or the line directly above it. Suppressions
-// are the audit trail for intentional exceptions — e.g. a pre-sized
-// vector's push_back inside a hot function.
+// Suppression: `// redund-lint: allow(rule)` (comma list or `all`) on the
+// reported line or the line directly above — for interprocedural rules
+// the reported line is the call/access site in the caller.
 //
-// `--self-test` runs embedded fixtures proving each rule fires and that
-// allow() suppresses it, so CI notices if a rule rots.
+// `--self-test` runs embedded fixtures (single- and multi-file) proving
+// each rule fires and that allow() suppresses it. `--dump-callgraph`
+// emits the resolved call graph as GraphViz DOT.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/project.hpp"
+
 namespace {
 
-struct Finding {
-  std::string path;
-  std::size_t line = 0;  // 1-based.
-  std::string rule;
-  std::string message;
-};
-
-/// One source line after comment/string stripping: `code` has comments,
-/// string literals, and char literals blanked with spaces (columns
-/// preserved); `comment` holds the concatenated comment text of the line
-/// (where `redund:` annotations and `redund-lint:` suppressions live).
-struct ScrubbedLine {
-  std::string code;
-  std::string comment;
-};
-
-/// Comment/string scanner. Handles //, /* */, "..." with escapes, '...'
-/// with escapes, and raw strings R"delim(...)delim". Operates on the whole
-/// file so block comments and raw strings may span lines.
-std::vector<ScrubbedLine> scrub_source(const std::string& text) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  std::vector<ScrubbedLine> lines(1);
-  State state = State::kCode;
-  std::string raw_delimiter;  // For kRaw: the ")delim\"" terminator.
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated ordinary string/char at EOL: ill-formed anyway; reset
-      // so one bad line cannot blank the rest of the file.
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      lines.emplace_back();
-      continue;
-    }
-    ScrubbedLine& line = lines.back();
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kLineComment;
-          ++i;
-          break;
-        }
-        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          line.code += "  ";
-          ++i;
-          break;
-        }
-        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-          // Raw string: R"delim( ... )delim". Collect the delimiter.
-          std::size_t j = i + 2;
-          std::string delimiter;
-          while (j < n && text[j] != '(' && text[j] != '\n' &&
-                 delimiter.size() <= 16) {
-            delimiter += text[j++];
-          }
-          if (j < n && text[j] == '(') {
-            raw_delimiter = ")" + delimiter + "\"";
-            state = State::kRaw;
-            line.code.append(j - i + 1, ' ');
-            i = j;
-            break;
-          }
-          line.code += c;  // Not actually a raw string; fall through.
-          break;
-        }
-        if (c == '"') {
-          state = State::kString;
-          line.code += ' ';
-          break;
-        }
-        if (c == '\'') {
-          state = State::kChar;
-          line.code += ' ';
-          break;
-        }
-        line.code += c;
-        break;
-      }
-      case State::kLineComment:
-        line.comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          line.comment += c;
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        if (c == '\\' && i + 1 < n) {
-          ++i;
-          line.code += "  ";
-          break;
-        }
-        if ((state == State::kString && c == '"') ||
-            (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-        }
-        line.code += ' ';
-        break;
-      }
-      case State::kRaw: {
-        if (c == ')' && text.compare(i, raw_delimiter.size(),
-                                     raw_delimiter) == 0) {
-          i += raw_delimiter.size() - 1;
-          line.code.append(raw_delimiter.size(), ' ');
-          state = State::kCode;
-        } else {
-          line.code += ' ';
-        }
-        break;
-      }
-    }
-  }
-  return lines;
-}
-
-/// Parses `redund-lint: allow(a, b)` out of a comment; returns the allowed
-/// rule names (or {"all"}).
-std::vector<std::string> allowed_rules(const std::string& comment) {
-  std::vector<std::string> rules;
-  static const std::regex kAllow(R"(redund-lint:\s*allow\(([^)]*)\))");
-  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::stringstream list((*it)[1].str());
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      const auto first = rule.find_first_not_of(" \t");
-      const auto last = rule.find_last_not_of(" \t");
-      if (first != std::string::npos) {
-        rules.push_back(rule.substr(first, last - first + 1));
-      }
-    }
-  }
-  return rules;
-}
-
-bool is_identifier_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `text` contains `token` as a whole identifier (not a substring
-/// of a longer identifier). `token` may end in '(' to require a call.
-bool contains_token(const std::string& text, const std::string& token) {
-  const bool want_call = !token.empty() && token.back() == '(';
-  const std::string word =
-      want_call ? token.substr(0, token.size() - 1) : token;
-  std::size_t pos = 0;
-  while ((pos = text.find(word, pos)) != std::string::npos) {
-    const bool start_ok = pos == 0 || !is_identifier_char(text[pos - 1]);
-    std::size_t end = pos + word.size();
-    const bool end_ok = end >= text.size() || !is_identifier_char(text[end]);
-    if (start_ok && end_ok) {
-      if (!want_call) return true;
-      while (end < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[end]))) {
-        ++end;
-      }
-      if (end < text.size() && text[end] == '(') return true;
-    }
-    pos += word.size();
-  }
-  return false;
-}
-
-struct LintOptions {
-  bool runtime_rules = false;  // unordered-iteration (runtime/sim/control).
-  bool header = false;         // Header-only rules.
-  bool wave_rules = false;     // scalar-draw-in-wave (sim only).
-};
-
-class Linter {
- public:
-  Linter(std::string path, const std::string& text, LintOptions options)
-      : path_(std::move(path)),
-        options_(options),
-        lines_(scrub_source(text)) {
-    allow_.reserve(lines_.size());
-    for (const ScrubbedLine& line : lines_) {
-      allow_.push_back(allowed_rules(line.comment));
-    }
-  }
-
-  std::vector<Finding> run() {
-    collect_unordered_names_();
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      check_rng_(i);
-      check_includes_(i);
-      check_using_namespace_(i);
-      if (options_.runtime_rules) check_unordered_iteration_(i);
-    }
-    check_hot_functions_();
-    if (options_.wave_rules) check_wave_draws_();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return a.line < b.line;
-              });
-    return std::move(findings_);
-  }
-
- private:
-  bool suppressed_(std::size_t i, const std::string& rule) const {
-    for (std::size_t j = i == 0 ? i : i - 1; j <= i; ++j) {
-      for (const std::string& allowed : allow_[j]) {
-        if (allowed == rule || allowed == "all") return true;
-      }
-    }
-    return false;
-  }
-
-  void report_(std::size_t i, const std::string& rule,
-               const std::string& message) {
-    if (suppressed_(i, rule)) return;
-    findings_.push_back(Finding{path_, i + 1, rule, message});
-  }
-
-  // ------------------------------------------------------ nondeterministic
-  void check_rng_(std::size_t i) {
-    const std::string& code = lines_[i].code;
-    static const char* kBanned[] = {"rand(", "srand(", "std::rand(",
-                                    "std::srand("};
-    for (const char* call : kBanned) {
-      if (contains_token(code, call)) {
-        report_(i, "nondeterministic-rng",
-                std::string("call to ") + call +
-                    ") — derive draws from the campaign seed via rng:: "
-                    "streams");
-        return;
-      }
-    }
-    static const std::regex kTimeCall(
-        R"((^|[^:\w])(std::)?time\s*\(\s*(nullptr|NULL|0)?\s*\))");
-    if (std::regex_search(code, kTimeCall)) {
-      report_(i, "nondeterministic-rng",
-              "wall-clock time() call — campaign behaviour must depend on "
-              "the config seed only");
-      return;
-    }
-    const std::size_t pos = code.find("std::random_device");
-    if (pos != std::string::npos) {
-      // A token-seeded random_device("...") is explicitly configured;
-      // anything else (default construction) draws entropy.
-      std::size_t end = pos + std::string("std::random_device").size();
-      while (end < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[end]))) {
-        ++end;
-      }
-      bool seeded = false;
-      if (end < code.size() && code[end] == '(') {
-        std::size_t inside = end + 1;
-        while (inside < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[inside]))) {
-          ++inside;
-        }
-        seeded = inside < code.size() && code[inside] != ')';
-      }
-      if (!seeded) {
-        report_(i, "nondeterministic-rng",
-                "default-constructed std::random_device draws OS entropy — "
-                "seed from the campaign config instead");
-      }
-    }
-  }
-
-  // -------------------------------------------------- unordered iteration
-  void collect_unordered_names_() {
-    if (!options_.runtime_rules) return;
-    static const std::regex kDecl(
-        R"(std::unordered_\w+\s*<[^;{]*?>\s*[&*]{0,2}\s*(\w+))");
-    for (const ScrubbedLine& line : lines_) {
-      auto begin =
-          std::sregex_iterator(line.code.begin(), line.code.end(), kDecl);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        unordered_names_.push_back((*it)[1].str());
-      }
-    }
-  }
-
-  void check_unordered_iteration_(std::size_t i) {
-    const std::string& code = lines_[i].code;
-    static const std::regex kRangeFor(R"(for\s*\([^;)]*:\s*([^)]+)\))");
-    std::smatch match;
-    if (std::regex_search(code, match, kRangeFor)) {
-      const std::string range = match[1].str();
-      if (range.find("unordered") != std::string::npos) {
-        report_(i, "unordered-iteration",
-                "range-for over a std::unordered_* container — hash order "
-                "leaks into journals/reports; use a sorted or indexed "
-                "container");
-        return;
-      }
-      for (const std::string& name : unordered_names_) {
-        if (contains_token(range, name)) {
-          report_(i, "unordered-iteration",
-                  "range-for over unordered container '" + name +
-                      "' — hash order leaks into journals/reports");
-          return;
-        }
-      }
-    }
-    for (const std::string& name : unordered_names_) {
-      for (const char* method : {".begin(", ".end(", ".cbegin(", ".cend("}) {
-        if (code.find(name + method) != std::string::npos) {
-          report_(i, "unordered-iteration",
-                  "iterator over unordered container '" + name +
-                      "' — hash order leaks into journals/reports");
-          return;
-        }
-      }
-    }
-  }
-
-  // ------------------------------------------------------------- includes
-  void check_includes_(std::size_t i) {
-    const std::string& code = lines_[i].code;
-    static const std::regex kInclude(R"(^\s*#\s*include\s*<([^>]+)>)");
-    std::smatch match;
-    if (!std::regex_search(code, match, kInclude)) return;
-    const std::string header = match[1].str();
-    static const std::pair<const char*, const char*> kCHeaders[] = {
-        {"assert.h", "cassert"}, {"ctype.h", "cctype"},
-        {"errno.h", "cerrno"},   {"float.h", "cfloat"},
-        {"limits.h", "climits"}, {"math.h", "cmath"},
-        {"signal.h", "csignal"}, {"stddef.h", "cstddef"},
-        {"stdint.h", "cstdint"}, {"stdio.h", "cstdio"},
-        {"stdlib.h", "cstdlib"}, {"string.h", "cstring"},
-        {"time.h", "ctime"},
-    };
-    for (const auto& [c_name, cpp_name] : kCHeaders) {
-      if (header == c_name) {
-        report_(i, "include-c-header",
-                std::string("#include <") + c_name + "> — use <" + cpp_name +
-                    "> (C++ spelling, std:: namespace)");
-        return;
-      }
-    }
-    if (options_.header && header == "iostream") {
-      report_(i, "include-iostream",
-              "<iostream> in a header drags static stream initializers into "
-              "every includer — use <ostream>/<iosfwd> in headers");
-    }
-  }
-
-  // ------------------------------------------------------ using namespace
-  void check_using_namespace_(std::size_t i) {
-    if (!options_.header) return;
-    static const std::regex kUsing(R"(^\s*using\s+namespace\s+\w)");
-    if (std::regex_search(lines_[i].code, kUsing)) {
-      report_(i, "using-namespace",
-              "'using namespace' at header scope pollutes every includer");
-    }
-  }
-
-  // -------------------------------------------------- scalar draw in wave
-  /// Walks the whole file tracking loop bodies by brace depth (same walk
-  /// as scan_hot_body_) and flags rng::make_stream construction inside a
-  /// loop — or on a brace-less loop line. One keyed engine per iteration
-  /// is the scalar half of an independent-draw wave; the bulk kernels
-  /// compute the identical draws four streams per instruction.
-  void check_wave_draws_() {
-    int depth = 0;
-    int paren_depth = 0;
-    bool pending_loop = false;
-    std::vector<int> loop_depths;
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      const std::string& code = lines_[i].code;
-      const bool line_opens_loop = contains_token(code, "for") ||
-                                   contains_token(code, "while") ||
-                                   contains_token(code, "do");
-      // pending_loop covers a brace-less body (or an open '{') on the line
-      // after the loop header.
-      if ((!loop_depths.empty() || line_opens_loop || pending_loop) &&
-          contains_token(code, "make_stream(")) {
-        report_(i, "scalar-draw-in-wave",
-                "make_stream() per loop iteration — a wave of independent "
-                "keyed draws belongs in an rng::bulk_* kernel (four streams "
-                "per instruction), not a scalar loop");
-      }
-      if (line_opens_loop) pending_loop = true;
-      for (const char c : code) {
-        if (c == '(') {
-          ++paren_depth;
-        } else if (c == ')') {
-          if (paren_depth > 0) --paren_depth;
-        } else if (c == '{') {
-          ++depth;
-          if (pending_loop) {
-            loop_depths.push_back(depth);
-            pending_loop = false;
-          }
-        } else if (c == '}') {
-          if (!loop_depths.empty() && loop_depths.back() == depth) {
-            loop_depths.pop_back();
-          }
-          if (depth > 0) --depth;
-        } else if (c == ';') {
-          if (paren_depth == 0) pending_loop = false;
-        }
-      }
-    }
-  }
-
-  // ------------------------------------------------------------ hot-alloc
-  void check_hot_functions_() {
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      if (lines_[i].comment.find("redund: hot") == std::string::npos) {
-        continue;
-      }
-      scan_hot_body_(i);
-    }
-  }
-
-  /// From a `// redund: hot` annotation, finds the next function body
-  /// (first '{' before any top-level ';') and scans it for
-  /// allocation-prone calls until the matching '}'. Loop bodies inside the
-  /// function are tracked by brace depth so per-element container growth
-  /// in a loop gets the stricter hot-per-element-insert diagnostic.
-  void scan_hot_body_(std::size_t annotation) {
-    static const char* kAllocating[] = {
-        "malloc(",       "calloc(",      "realloc(",  "free(",
-        "push_back(",    "emplace_back(", "emplace(",  "insert(",
-        "resize(",       "reserve(",     "make_unique(", "make_shared(",
-        "to_string(",    "std::string(",
-    };
-    static const char* kPerElementGrowth[] = {
-        "push_back(", "emplace_back(", "insert(", "emplace(", "try_emplace(",
-    };
-    static const char* kBlockingIo[] = {
-        "fsync(", "fdatasync(", "fwrite(", "fflush(", "fopen(",
-    };
-    int depth = 0;
-    int paren_depth = 0;
-    bool in_body = false;
-    bool pending_loop = false;       // Saw for/while; its '{' is next.
-    std::vector<int> loop_depths;    // Brace depth of enclosing loop bodies.
-    for (std::size_t i = annotation; i < lines_.size(); ++i) {
-      const std::string& code = lines_[i].code;
-      const bool line_opens_loop =
-          in_body && (contains_token(code, "for") ||
-                      contains_token(code, "while") ||
-                      contains_token(code, "do"));
-      if (in_body) {
-        static const std::regex kNew(R"((^|[^:\w])new\s*[\w(<])");
-        if (std::regex_search(code, kNew)) {
-          report_(i, "hot-alloc",
-                  "operator new inside a `redund: hot` function — hot paths "
-                  "are contractually allocation-free");
-        } else {
-          for (const char* call : kAllocating) {
-            if (contains_token(code, call)) {
-              report_(i, "hot-alloc",
-                      std::string("allocation-prone call ") + call +
-                          ") inside a `redund: hot` function");
-              break;
-            }
-          }
-        }
-        // Blocking file I/O: the event loop must hand bytes to the async
-        // journal writer, never touch the disk itself.
-        bool io_reported = false;
-        for (const char* call : kBlockingIo) {
-          if (contains_token(code, call)) {
-            report_(i, "blocking-io-in-hot",
-                    std::string("blocking I/O call ") + call +
-                        ") inside a `redund: hot` function — hand bytes to "
-                        "the async journal writer instead");
-            io_reported = true;
-            break;
-          }
-        }
-        if (!io_reported && (code.find("std::ofstream") != std::string::npos ||
-                             code.find(".flush(") != std::string::npos)) {
-          report_(i, "blocking-io-in-hot",
-                  "stream write/flush inside a `redund: hot` function — "
-                  "hand bytes to the async journal writer instead");
-        }
-        // Per-element growth in a loop (or on a brace-less loop line): the
-        // batch-processing hazard, reported separately from hot-alloc so a
-        // pre-sized push_back allowed there is still visible here.
-        if (!loop_depths.empty() || line_opens_loop) {
-          for (const char* call : kPerElementGrowth) {
-            if (contains_token(code, call)) {
-              report_(i, "hot-per-element-insert",
-                      std::string("per-element ") + call +
-                          ") inside a loop in a `redund: hot` function — "
-                          "batch the growth (resize + index writes or bulk "
-                          "insert) outside the per-element loop");
-              break;
-            }
-          }
-        }
-      }
-      if (line_opens_loop) pending_loop = true;
-      for (const char c : code) {
-        if (c == '(') {
-          ++paren_depth;
-        } else if (c == ')') {
-          if (paren_depth > 0) --paren_depth;
-        } else if (c == '{') {
-          ++depth;
-          in_body = true;
-          if (pending_loop) {
-            loop_depths.push_back(depth);
-            pending_loop = false;
-          }
-        } else if (c == '}') {
-          if (!loop_depths.empty() && loop_depths.back() == depth) {
-            loop_depths.pop_back();
-          }
-          if (--depth == 0 && in_body) return;
-        } else if (c == ';') {
-          if (!in_body && i > annotation) {
-            return;  // Declaration without a body: nothing to scan.
-          }
-          // A ';' outside parentheses ends a brace-less loop body (or a
-          // do-while tail) before any '{' arrives.
-          if (paren_depth == 0) pending_loop = false;
-        }
-      }
-    }
-  }
-
-  std::string path_;
-  LintOptions options_;
-  std::vector<ScrubbedLine> lines_;
-  std::vector<std::vector<std::string>> allow_;
-  std::vector<std::string> unordered_names_;
-  std::vector<Finding> findings_;
-};
-
-bool is_header_path(const std::filesystem::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".hpp" || ext == ".h";
-}
+using redund::analysis::Finding;
+using redund::analysis::Project;
 
 bool is_source_path(const std::filesystem::path& path) {
   const std::string ext = path.extension().string();
   return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
 }
 
-LintOptions options_for(const std::filesystem::path& path) {
-  LintOptions options;
-  options.header = is_header_path(path);
-  const std::string generic = path.generic_string();
-  options.runtime_rules = generic.find("/runtime/") != std::string::npos ||
-                          generic.find("/sim/") != std::string::npos ||
-                          generic.find("/control/") != std::string::npos;
-  options.wave_rules = generic.find("/sim/") != std::string::npos;
-  return options;
-}
-
-std::vector<Finding> lint_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return {Finding{path.string(), 0, "io-error", "cannot open file"}};
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Linter linter(path.string(), buffer.str(), options_for(path));
-  return linter.run();
-}
-
 // --------------------------------------------------------------- self-test
 
 struct Fixture {
   const char* name;
-  const char* path;     // Decides path-scoped rules.
+  const char* path;          // Decides path-scoped rules.
   const char* source;
-  const char* expect_rule;  // nullptr: expect clean.
-  std::size_t expect_line;  // 1-based; 0 with expect_rule: any line.
+  const char* expect_rule;   // nullptr: expect clean.
+  std::size_t expect_line;   // 1-based in `path`; 0 with expect_rule: any.
+  const char* path2 = nullptr;   // Optional second file (cross-file rules).
+  const char* source2 = nullptr;
 };
 
 const Fixture kFixtures[] = {
+    // ------------------------------------------------- v1 file rules.
     {"rng-fires", "src/math/x.cpp",
      "int f() {\n  return rand() % 6;\n}\n", "nondeterministic-rng", 2},
     {"rng-std-time-fires", "src/core/x.cpp",
@@ -867,13 +287,312 @@ const Fixture kFixtures[] = {
      "using namespace std;\n", "using-namespace", 1},
     {"using-namespace-cpp-clean", "src/core/x.cpp",
      "using namespace std::chrono_literals;\n", nullptr, 0},
+
+    // ---------------------------------- v2: transitive hot-path rules.
+    //
+    // The planted v1 blind spot: the hot function's own body is clean —
+    // the allocation hides one call away, where the same-body scan of
+    // v1 provably cannot see it.
+    {"transitive-alloc-one-hop-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(std::vector<int>& v) {\n"
+     "  record(v);\n"
+     "}\n"
+     "void record(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n",
+     "transitive-hot-alloc", 3},
+    {"transitive-alloc-two-hops-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(std::vector<int>& v) {\n"
+     "  stage(v);\n"
+     "}\n"
+     "void stage(std::vector<int>& v) {\n"
+     "  record(v);\n"
+     "}\n"
+     "void record(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n",
+     "transitive-hot-alloc", 3},
+    {"transitive-alloc-cross-file-fires", "src/runtime/a.cpp",
+     "// redund: hot\n"
+     "void tick(std::vector<int>& v) {\n"
+     "  record(v);\n"
+     "}\n",
+     "transitive-hot-alloc", 3, "src/runtime/b.cpp",
+     "void record(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n"},
+    {"transitive-alloc-allow-suppresses", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(std::vector<int>& v) {\n"
+     "  record(v);  // redund-lint: allow(transitive-hot-alloc)\n"
+     "}\n"
+     "void record(std::vector<int>& v) {\n"
+     "  v.push_back(1);\n"
+     "}\n",
+     nullptr, 0},
+    {"transitive-alloc-clean-helper-clean", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(int* slots, int n) {\n"
+     "  record(slots, n);\n"
+     "}\n"
+     "void record(int* slots, int n) {\n"
+     "  slots[n] = n;\n"
+     "}\n",
+     nullptr, 0},
+    // An audited, allow()-annotated allocation in the helper does not
+    // resurface transitively in its callers.
+    {"transitive-alloc-audited-helper-clean", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(std::vector<int>& v) {\n"
+     "  record(v);\n"
+     "}\n"
+     "void record(std::vector<int>& v) {\n"
+     "  v.push_back(1);  // redund-lint: allow(hot-alloc, transitive-hot-alloc)\n"
+     "}\n",
+     nullptr, 0},
+    {"transitive-blocking-io-fires", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(int fd) {\n"
+     "  persist(fd);\n"
+     "}\n"
+     "void persist(int fd) {\n"
+     "  fsync(fd);\n"
+     "}\n",
+     "transitive-blocking-io-in-hot", 3},
+    {"transitive-blocking-io-allow-suppresses", "src/runtime/x.cpp",
+     "// redund: hot\n"
+     "void tick(int fd) {\n"
+     "  persist(fd);  // redund-lint: allow(transitive-blocking-io-in-hot)\n"
+     "}\n"
+     "void persist(int fd) {\n"
+     "  fsync(fd);\n"
+     "}\n",
+     nullptr, 0},
+
+    // ------------------------------------ v2: determinism taint.
+    {"det-taint-clock-via-helper-fires", "src/report/x.cpp",
+     "// redund: deterministic\n"
+     "void write_report(std::ostream& out) {\n"
+     "  out << stamp();\n"
+     "}\n"
+     "long stamp() {\n"
+     "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+     "}\n",
+     "determinism-taint", 3},
+    {"det-taint-unordered-via-helper-fires", "src/report/x.cpp",
+     "std::unordered_map<int, int> table_;\n"
+     "// redund: deterministic\n"
+     "void write_report(std::ostream& out) {\n"
+     "  emit_rows(out);\n"
+     "}\n"
+     "void emit_rows(std::ostream& out) {\n"
+     "  for (const auto& kv : table_) { out << kv.second; }\n"
+     "}\n",
+     "determinism-taint", 4},
+    {"det-taint-address-direct-fires", "src/report/x.cpp",
+     "// redund: deterministic\n"
+     "void write_report(std::ostream& out, const void* p) {\n"
+     "  out << reinterpret_cast<std::uintptr_t>(p);\n"
+     "}\n",
+     "determinism-taint", 3},
+    {"det-taint-random-device-fires", "src/report/x.cpp",
+     "// redund: deterministic\n"
+     "void write_report(std::ostream& out) {\n"
+     "  out << salt();\n"
+     "}\n"
+     "unsigned salt() {\n"
+     "  std::random_device rd;\n"
+     "  return rd();\n"
+     "}\n",
+     "determinism-taint", 3},
+    {"det-taint-allow-suppresses", "src/report/x.cpp",
+     "// redund: deterministic\n"
+     "void write_report(std::ostream& out) {\n"
+     "  out << stamp();  // redund-lint: allow(determinism-taint)\n"
+     "}\n"
+     "long stamp() {\n"
+     "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+     "}\n",
+     nullptr, 0},
+    {"det-taint-unannotated-clean", "src/report/x.cpp",
+     "void write_report(std::ostream& out) {\n"
+     "  out << stamp();\n"
+     "}\n"
+     "long stamp() {\n"
+     "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+     "}\n",
+     nullptr, 0},
+
+    // -------------------------- v2: thread-safety annotations.
+    {"guarded-by-fires", "src/parallel/x.cpp",
+     "struct Q {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth REDUND_GUARDED_BY(mutex_);\n"
+     "};\n"
+     "int peek(Q& q) {\n"
+     "  return q.depth;\n"
+     "}\n",
+     "guarded-by", 6},
+    {"guarded-by-lock-clean", "src/parallel/x.cpp",
+     "struct Q {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth REDUND_GUARDED_BY(mutex_);\n"
+     "};\n"
+     "int peek(Q& q) {\n"
+     "  std::lock_guard<std::mutex> lock(q.mutex_);\n"
+     "  return q.depth;\n"
+     "}\n",
+     nullptr, 0},
+    {"guarded-by-requires-clean", "src/parallel/x.cpp",
+     "struct Q {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth REDUND_GUARDED_BY(mutex_);\n"
+     "  int peek() REDUND_REQUIRES(mutex_) { return depth; }\n"
+     "};\n",
+     nullptr, 0},
+    {"guarded-by-ctor-clean", "src/parallel/x.cpp",
+     "struct Q {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth REDUND_GUARDED_BY(mutex_);\n"
+     "  Q() { depth = 0; }\n"
+     "};\n",
+     nullptr, 0},
+    {"guarded-by-allow-suppresses", "src/parallel/x.cpp",
+     "struct Q {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth REDUND_GUARDED_BY(mutex_);\n"
+     "};\n"
+     "int peek(Q& q) {\n"
+     "  return q.depth;  // redund-lint: allow(guarded-by)\n"
+     "}\n",
+     nullptr, 0},
+    {"lock-requires-fires", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void drain_locked() REDUND_REQUIRES(mutex_);\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::drain_locked() {}\n"
+     "void W::poke() {\n"
+     "  drain_locked();\n"
+     "}\n",
+     "lock-requires", 8},
+    {"lock-requires-held-clean", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void drain_locked() REDUND_REQUIRES(mutex_);\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::drain_locked() {}\n"
+     "void W::poke() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "  drain_locked();\n"
+     "}\n",
+     nullptr, 0},
+    {"lock-requires-allow-suppresses", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void drain_locked() REDUND_REQUIRES(mutex_);\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::drain_locked() {}\n"
+     "void W::poke() {\n"
+     "  drain_locked();  // redund-lint: allow(lock-requires)\n"
+     "}\n",
+     nullptr, 0},
+    {"lock-excludes-one-hop-fires", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void enqueue();\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::enqueue() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "}\n"
+     "void W::poke() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "  enqueue();\n"
+     "}\n",
+     "lock-excludes", 11},
+    {"lock-excludes-transitive-fires", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void enqueue();\n"
+     "  void stage();\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::enqueue() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "}\n"
+     "void W::stage() {\n"
+     "  enqueue();\n"
+     "}\n"
+     "void W::poke() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "  stage();\n"
+     "}\n",
+     "lock-excludes", 15},
+    // The CheckpointWriter::append_wal pattern: the guard lives in an
+    // inner scope and is released before the call — no deadlock, and
+    // the scope-precise hold regions know it.
+    {"lock-excludes-scope-release-clean", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  int depth;\n"
+     "  void enqueue();\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::enqueue() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "}\n"
+     "void W::poke() {\n"
+     "  {\n"
+     "    std::lock_guard<std::mutex> lock(mutex_);\n"
+     "    depth = 1;\n"
+     "  }\n"
+     "  enqueue();\n"
+     "}\n",
+     nullptr, 0},
+    {"lock-excludes-annotated-fires", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void wait_idle() REDUND_EXCLUDES(mutex_);\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::wait_idle() {}\n"
+     "void W::poke() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "  wait_idle();\n"
+     "}\n",
+     "lock-excludes", 9},
+    {"lock-excludes-allow-suppresses", "src/parallel/x.cpp",
+     "struct W {\n"
+     "  std::mutex mutex_;\n"
+     "  void enqueue();\n"
+     "  void poke();\n"
+     "};\n"
+     "void W::enqueue() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "}\n"
+     "void W::poke() {\n"
+     "  std::lock_guard<std::mutex> lock(mutex_);\n"
+     "  enqueue();  // redund-lint: allow(lock-excludes)\n"
+     "}\n",
+     nullptr, 0},
 };
 
 int run_self_test() {
   int failures = 0;
   for (const Fixture& fixture : kFixtures) {
-    Linter linter(fixture.path, fixture.source, options_for(fixture.path));
-    const std::vector<Finding> findings = linter.run();
+    Project project;
+    project.add_file(fixture.path, fixture.source);
+    if (fixture.path2 != nullptr) {
+      project.add_file(fixture.path2, fixture.source2);
+    }
+    project.analyze();
+    const std::vector<Finding>& findings = project.findings();
     bool ok;
     if (fixture.expect_rule == nullptr) {
       ok = findings.empty();
@@ -881,6 +600,7 @@ int run_self_test() {
       ok = std::any_of(findings.begin(), findings.end(),
                        [&](const Finding& f) {
                          return f.rule == fixture.expect_rule &&
+                                f.path == fixture.path &&
                                 (fixture.expect_line == 0 ||
                                  f.line == fixture.expect_line);
                        });
@@ -900,7 +620,33 @@ int run_self_test() {
       std::cerr << ")\n";
     }
   }
-  const std::size_t total = std::size(kFixtures);
+
+  // --dump-callgraph smoke: the one-hop fixture must produce an edge.
+  {
+    Project project;
+    project.add_file(kFixtures[0].path, kFixtures[0].source);
+    project.add_file("src/runtime/x.cpp",
+                     "// redund: hot\n"
+                     "void tick(std::vector<int>& v) {\n"
+                     "  record(v);\n"
+                     "}\n"
+                     "void record(std::vector<int>& v) {\n"
+                     "  v.push_back(1);\n"
+                     "}\n");
+    project.analyze();
+    std::ostringstream dot;
+    project.dump_callgraph(dot);
+    const std::string text = dot.str();
+    if (text.find("digraph") == std::string::npos ||
+        text.find("->") == std::string::npos ||
+        text.find("[hot]") == std::string::npos) {
+      ++failures;
+      std::cerr << "self-test FAIL: dump-callgraph (missing digraph/edge/"
+                   "hot label)\n";
+    }
+  }
+
+  const std::size_t total = std::size(kFixtures) + 1;
   if (failures == 0) {
     std::cout << "redund_lint self-test: " << total << "/" << total
               << " fixtures passed\n";
@@ -916,15 +662,22 @@ int run_self_test() {
 int main(int argc, char** argv) {
   std::vector<std::filesystem::path> inputs;
   bool self_test = false;
+  bool dump_callgraph = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--dump-callgraph") {
+      dump_callgraph = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: redund_lint [--self-test] <file-or-dir>...\n"
+          << "usage: redund_lint [--self-test] [--dump-callgraph] "
+             "<file-or-dir>...\n"
              "Scans C++ sources for redundancy-project rule violations\n"
-             "(see docs/correctness.md). Exit 0 clean, 1 findings, 2 usage.\n";
+             "(see docs/correctness.md and docs/analysis.md).\n"
+             "  --self-test       run the embedded rule fixtures\n"
+             "  --dump-callgraph  emit the resolved call graph as DOT\n"
+             "Exit 0 clean, 1 findings, 2 usage.\n";
       return 0;
     } else {
       inputs.emplace_back(arg);
@@ -956,19 +709,39 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t finding_count = 0;
+  Project project;
+  std::size_t loaded = 0;
+  std::size_t io_errors = 0;
   for (const std::filesystem::path& file : files) {
-    for (const Finding& finding : lint_file(file)) {
-      ++finding_count;
-      std::cout << finding.path << ":" << finding.line << ": ["
-                << finding.rule << "] " << finding.message << "\n";
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cout << file.string() << ":0: [io-error] cannot open file\n";
+      ++io_errors;
+      continue;
     }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    project.add_file(file.generic_string(), buffer.str());
+    ++loaded;
+  }
+  project.analyze();
+
+  if (dump_callgraph) {
+    project.dump_callgraph(std::cout);
+    return 0;
+  }
+
+  std::size_t finding_count = io_errors;
+  for (const Finding& finding : project.findings()) {
+    ++finding_count;
+    std::cout << finding.path << ":" << finding.line << ": ["
+              << finding.rule << "] " << finding.message << "\n";
   }
   if (finding_count != 0) {
     std::cerr << "redund_lint: " << finding_count << " finding(s) in "
               << files.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "redund_lint: " << files.size() << " file(s) clean\n";
+  std::cout << "redund_lint: " << loaded << " file(s) clean\n";
   return 0;
 }
